@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the simulator itself: functional execution
+//! throughput and the cycle-level timing model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpusim::{DeviceSpec, Gpu, LaunchDims, ParamBuilder, TimingOptions};
+use kernels::{FusedConfig, FusedKernel};
+
+fn functional_block_throughput(c: &mut Criterion) {
+    // One block of the fused kernel, C=32: ~45k simulated warp-instructions.
+    let cfg = FusedConfig::ours(32, 4, 4, 32, 64);
+    let kern = FusedKernel::emit(cfg);
+    let insts_per_launch = 4u64 * 8 * 6000; // rough, for ops/sec display
+    let mut g = c.benchmark_group("functional_simulation");
+    g.throughput(Throughput::Elements(insts_per_launch));
+    g.bench_function("fused_block_c32", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 22);
+            let d_in = gpu.alloc((32 * 4 * 4 * 32) as u64 * 4);
+            let d_tf = gpu.alloc((32 * 16 * 64) as u64 * 4);
+            let d_out = gpu.alloc((64 * 4 * 4 * 32) as u64 * 4);
+            let params = kern.params(d_in, d_tf, d_out);
+            gpu.launch(&kern.module, kern.launch_dims(), &params).unwrap();
+            gpu
+        })
+    });
+    g.finish();
+}
+
+fn timing_model_wave(c: &mut Criterion) {
+    let mut cfg = FusedConfig::ours(64, 28, 28, 32, 64);
+    cfg.main_loop_only = true;
+    let kern = FusedKernel::emit(cfg);
+    c.bench_function("timing_model_one_wave_c64", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceSpec::rtx2070(), 1 << 26);
+            let d_in = gpu.alloc((64 * 28 * 28 * 32) as u64 * 4);
+            let d_tf = gpu.alloc((64 * 16 * 64) as u64 * 4);
+            let d_out = gpu.alloc((64 * 28 * 28 * 32) as u64 * 4);
+            let params = kern.params(d_in, d_tf, d_out);
+            gpusim::timing::time_kernel(
+                &mut gpu,
+                &kern.module,
+                kern.launch_dims(),
+                &params,
+                TimingOptions { region: Some(kern.region), ..Default::default() },
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn block_runner(c: &mut Criterion) {
+    // A tight synthetic loop: measures raw interpreter speed.
+    let m = sass::assemble(
+        r#"
+.kernel spin
+    --:-:-:Y:1  MOV R1, 0x400;
+LOOP:
+    --:-:-:Y:1  FFMA R2, R2, R2, R3;
+    --:-:-:Y:1  FFMA R4, R4, R4, R5;
+    --:-:-:Y:1  IADD3 R1, R1, -1, RZ;
+    --:-:-:Y:4  ISETP.GT.AND P0, PT, R1, 0, PT;
+    --:-:-:Y:5  @P0 BRA `(LOOP);
+    --:-:-:Y:5  EXIT;
+"#,
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("interpreter");
+    g.throughput(Throughput::Elements(1024 * 5 * 8)); // warp-insts per block
+    g.bench_function("alu_loop_block", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 16);
+            gpu.launch(&m, LaunchDims::linear(1, 256), &ParamBuilder::new().build()).unwrap();
+            gpu
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, functional_block_throughput, timing_model_wave, block_runner);
+criterion_main!(benches);

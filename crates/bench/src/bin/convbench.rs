@@ -1,0 +1,150 @@
+//! `convbench` — run any single convolution configuration through any
+//! algorithm on either simulated device.
+//!
+//! ```text
+//! convbench [--device v100|rtx2070] [--algo ours|winograd|gemm|implicit|
+//!            precomp|nonfused|fft|fft-tiling|all] [--n N] [--c C] [--hw HW]
+//!            [--k K] [--layer Conv2|Conv3|Conv4|Conv5] [--verify]
+//! ```
+
+use gpusim::DeviceSpec;
+use tensor::{allclose, LayoutKind, Tensor4};
+use wino_core::resnet::layer_by_name;
+use wino_core::{conv2d_direct, Algo, Conv, ConvProblem};
+
+fn parse_args() -> Result<(DeviceSpec, Vec<Algo>, ConvProblem, bool), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut device = DeviceSpec::rtx2070();
+    let mut algos = vec![Algo::OursFused];
+    let (mut n, mut c, mut hw, mut k) = (32usize, 64usize, 56usize, 64usize);
+    let mut verify = false;
+    let mut i = 0;
+    let value = |args: &[String], i: usize| -> Result<String, String> {
+        args.get(i + 1).cloned().ok_or_else(|| format!("{} needs a value", args[i]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--device" => {
+                device = match value(&args, i)?.as_str() {
+                    "v100" => DeviceSpec::v100(),
+                    "rtx2070" => DeviceSpec::rtx2070(),
+                    other => return Err(format!("unknown device {other}")),
+                };
+                i += 2;
+            }
+            "--algo" => {
+                algos = match value(&args, i)?.as_str() {
+                    "ours" => vec![Algo::OursFused],
+                    "winograd" => vec![Algo::CudnnWinograd],
+                    "gemm" => vec![Algo::Gemm],
+                    "implicit" => vec![Algo::ImplicitGemm],
+                    "precomp" => vec![Algo::ImplicitPrecompGemm],
+                    "nonfused" => vec![Algo::WinogradNonfused],
+                    "fft" => vec![Algo::Fft],
+                    "fft-tiling" => vec![Algo::FftTiling],
+                    "all" => Algo::ALL.to_vec(),
+                    other => return Err(format!("unknown algo {other}")),
+                };
+                i += 2;
+            }
+            "--layer" => {
+                let l = layer_by_name(&value(&args, i)?).ok_or("unknown layer")?;
+                c = l.c;
+                k = l.c;
+                hw = l.hw;
+                i += 2;
+            }
+            "--n" => {
+                n = value(&args, i)?.parse().map_err(|e| format!("--n: {e}"))?;
+                i += 2;
+            }
+            "--c" => {
+                c = value(&args, i)?.parse().map_err(|e| format!("--c: {e}"))?;
+                i += 2;
+            }
+            "--hw" => {
+                hw = value(&args, i)?.parse().map_err(|e| format!("--hw: {e}"))?;
+                i += 2;
+            }
+            "--k" => {
+                k = value(&args, i)?.parse().map_err(|e| format!("--k: {e}"))?;
+                i += 2;
+            }
+            "--verify" => {
+                verify = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    // The GPU kernels carry the paper's alignment constraints (§8.3);
+    // reject misaligned shapes with a clean message instead of a panic.
+    if n % 32 != 0 {
+        return Err(format!("--n must be a multiple of 32 (got {n})"));
+    }
+    if c % 8 != 0 {
+        return Err(format!("--c must be a multiple of 8 (got {c})"));
+    }
+    let needs_k64 = algos.iter().any(|a| {
+        matches!(a, Algo::OursFused | Algo::Gemm | Algo::ImplicitGemm | Algo::ImplicitPrecompGemm | Algo::WinogradNonfused)
+    });
+    if needs_k64 && k % 64 != 0 {
+        return Err(format!("--k must be a multiple of 64 for this algorithm set (got {k})"));
+    }
+    if k % 32 != 0 {
+        return Err(format!("--k must be a multiple of 32 (got {k})"));
+    }
+    Ok((device, algos, ConvProblem::resnet3x3(n, c, hw, k), verify))
+}
+
+fn main() {
+    let (device, algos, problem, verify) = match parse_args() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("see the module docs at the top of convbench.rs for usage");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{}  N={} C={} HxW={}x{} K={}",
+        device.name, problem.n, problem.c, problem.h, problem.w, problem.k
+    );
+    let conv = Conv::new(problem, device);
+
+    let reference = if verify {
+        let input = Tensor4::random(LayoutKind::Nchw, [problem.n, problem.c, problem.h, problem.w], -1.0, 1.0, 1);
+        let filter = Tensor4::random(LayoutKind::Kcrs, [problem.k, problem.c, 3, 3], -1.0, 1.0, 2);
+        let want = conv2d_direct(&problem, &input, &filter);
+        Some((input, filter, want))
+    } else {
+        None
+    };
+
+    println!(
+        "{:<24} {:>10} {:>9} {:>11} {:>9}",
+        "algorithm", "time (us)", "eff TF", "wkspc (MB)", "verify"
+    );
+    for algo in algos {
+        let t = conv.time(algo);
+        let v = match &reference {
+            Some((input, filter, want)) => {
+                let got = conv.run(algo, input, filter);
+                if allclose(want.as_slice(), got.output.as_slice(), 5e-3, 5e-3) {
+                    "PASS"
+                } else {
+                    "FAIL"
+                }
+            }
+            None => "-",
+        };
+        println!(
+            "{:<24} {:>10.1} {:>9.2} {:>11.2} {:>9}",
+            algo.name(),
+            t.time_s * 1e6,
+            t.tflops_effective,
+            conv.workspace_bytes(algo) as f64 / 1e6,
+            v
+        );
+    }
+}

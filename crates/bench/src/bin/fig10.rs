@@ -1,0 +1,27 @@
+//! Figure 10: Speed-of-Light (FP32-pipe utilization) on RTX 2070, whole
+//! kernel ("Total") and main loop. Paper: main loop 87.5-93%, total ≥ ~80%.
+
+use bench::{configs, label, Table};
+use gpusim::DeviceSpec;
+use wino_core::{Algo, Conv};
+
+fn main() {
+    run(DeviceSpec::rtx2070(), "Figure 10", "RTX 2070");
+}
+
+pub fn run(dev: DeviceSpec, fig: &str, name: &str) {
+    println!("{fig}: Speed of Light (simulated {name})");
+    println!("Paper: main loop up to ~93%, total above ~80% for large batch\n");
+    let mut t = Table::new(&["layer", "Total %", "Main loop %"]);
+    for (layer, n) in configs() {
+        let conv = Conv::new(layer.problem(n), dev.clone());
+        let timing = conv.time(Algo::OursFused);
+        let k = timing.kernel.expect("fused kernel timing");
+        t.row(vec![
+            label(&layer, n),
+            format!("{:.1}", k.sol_total_pct),
+            format!("{:.1}", k.sol_pct),
+        ]);
+    }
+    t.print();
+}

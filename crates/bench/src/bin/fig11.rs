@@ -1,0 +1,23 @@
+//! Figure 11: Speed-of-Light on V100 (see fig10).
+
+use bench::{configs, label, Table};
+use gpusim::DeviceSpec;
+use wino_core::{Algo, Conv};
+
+fn main() {
+    let dev = DeviceSpec::v100();
+    println!("Figure 11: Speed of Light (simulated V100)");
+    println!("Paper: main loop up to ~93%, total ~75-95%\n");
+    let mut t = Table::new(&["layer", "Total %", "Main loop %"]);
+    for (layer, n) in configs() {
+        let conv = Conv::new(layer.problem(n), dev.clone());
+        let timing = conv.time(Algo::OursFused);
+        let k = timing.kernel.expect("fused kernel timing");
+        t.row(vec![
+            label(&layer, n),
+            format!("{:.1}", k.sol_total_pct),
+            format!("{:.1}", k.sol_pct),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,40 @@
+//! Figure 12: speedup of our kernel over every other cuDNN algorithm on
+//! RTX 2070. Paper highlights: ≥1.56× over everything on Conv2; faster than
+//! all but WINOGRAD_NONFUSED on Conv5 (where F(4×4)'s 4× reduction wins).
+
+use bench::{configs, label, x, Table};
+use gpusim::DeviceSpec;
+use wino_core::{Algo, Conv};
+
+fn main() {
+    run(DeviceSpec::rtx2070(), "Figure 12");
+}
+
+#[allow(dead_code)] // `main` above is unused when included from fig13.rs
+pub fn run(dev: DeviceSpec, fig: &str) {
+    println!("{fig}: speedup of ours over all other algorithms (simulated {})\n", dev.name);
+    let algos = [
+        Algo::Fft,
+        Algo::FftTiling,
+        Algo::Gemm,
+        Algo::ImplicitGemm,
+        Algo::ImplicitPrecompGemm,
+        Algo::WinogradNonfused,
+    ];
+    let mut headers = vec!["layer"];
+    for a in &algos {
+        headers.push(a.name());
+    }
+    let mut t = Table::new(&headers);
+    for (layer, n) in configs() {
+        let conv = Conv::new(layer.problem(n), dev.clone());
+        let ours = conv.time(Algo::OursFused).time_s;
+        let mut row = vec![label(&layer, n)];
+        for a in algos {
+            let other = conv.time(a).time_s;
+            row.push(x(other / ours));
+        }
+        t.row(row);
+    }
+    t.print();
+}

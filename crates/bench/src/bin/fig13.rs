@@ -1,0 +1,12 @@
+//! Figure 13: speedup of our kernel over every other cuDNN algorithm on
+//! V100 (see fig12).
+
+use gpusim::DeviceSpec;
+
+#[path = "fig12.rs"]
+#[allow(dead_code)]
+mod fig12;
+
+fn main() {
+    fig12::run(DeviceSpec::v100(), "Figure 13");
+}

@@ -1,0 +1,34 @@
+//! Figure 14: workspace (MB) required by each algorithm.
+//! Paper highlights: ours needs 0.25-16 MB (transformed filter only); FFT
+//! variants need hundreds of MB to > 1.6 GB on Conv5.
+
+use bench::{configs, label, Table};
+use gpusim::DeviceSpec;
+use wino_core::{Algo, Conv};
+
+fn main() {
+    println!("Figure 14: workspace (MB) per algorithm\n");
+    let algos = [
+        Algo::Fft,
+        Algo::FftTiling,
+        Algo::Gemm,
+        Algo::ImplicitGemm,
+        Algo::ImplicitPrecompGemm,
+        Algo::WinogradNonfused,
+        Algo::OursFused,
+    ];
+    let mut headers = vec!["layer"];
+    for a in &algos {
+        headers.push(a.name());
+    }
+    let mut t = Table::new(&headers);
+    for (layer, n) in configs() {
+        let conv = Conv::new(layer.problem(n), DeviceSpec::v100());
+        let mut row = vec![label(&layer, n)];
+        for a in algos {
+            row.push(format!("{:.1}", conv.workspace_bytes(a) as f64 / 1e6));
+        }
+        t.row(row);
+    }
+    t.print();
+}

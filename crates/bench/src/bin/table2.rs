@@ -1,0 +1,32 @@
+//! Table 2: speedup of cuDNN's Winograd convolution over cuDNN's GEMM-based
+//! convolution on V100 — the motivation measurement (§2.2).
+//!
+//! Paper values: 0.81×–1.67×, average 1.4× — far below the theoretical
+//! 2.25× multiplication reduction.
+
+use bench::{conv_for, x, Table};
+use gpusim::DeviceSpec;
+use wino_core::resnet::{BATCH_SIZES, RESNET_LAYERS};
+use wino_core::Algo;
+
+fn main() {
+    println!("Table 2: cuDNN-like Winograd vs GEMM-based convolution (simulated V100)");
+    println!("Paper: 0.81x-1.67x, average 1.4x\n");
+    let dev = DeviceSpec::v100();
+    let mut t = Table::new(&["N", "Conv2", "Conv3", "Conv4", "Conv5"]);
+    let mut all = Vec::new();
+    for n in BATCH_SIZES {
+        let mut row = vec![n.to_string()];
+        for layer in RESNET_LAYERS {
+            let conv = conv_for(&layer, n, &dev);
+            let wino = conv.time(Algo::CudnnWinograd).time_s;
+            let gemm = conv.time(Algo::ImplicitPrecompGemm).time_s;
+            let sp = gemm / wino;
+            all.push(sp);
+            row.push(x(sp));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("\naverage speedup: {}", x(bench::mean(&all)));
+}

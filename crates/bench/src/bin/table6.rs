@@ -1,0 +1,35 @@
+//! Table 6: speedup of our Winograd convolution over the cuDNN-like fused
+//! Winograd convolution, on RTX 2070 and V100.
+//!
+//! Paper: RTX2070 up to 2.65× (avg 1.95×); V100 up to 2.13× (avg 1.5×);
+//! Conv5 speedups are the largest (bk=64 halves input overfetch, §7.1), and
+//! RTX2070 speedups exceed V100's (cuDNN gets 2 blocks/SM on V100 only).
+
+use bench::{conv_for, x, Table};
+use gpusim::DeviceSpec;
+use wino_core::resnet::{BATCH_SIZES, RESNET_LAYERS};
+use wino_core::Algo;
+
+fn main() {
+    println!("Table 6: speedup over the cuDNN-like fused Winograd convolution");
+    println!("Paper: RTX2070 1.65x-2.65x (avg 1.95x); V100 1.23x-2.13x (avg 1.5x)\n");
+    for dev in [DeviceSpec::rtx2070(), DeviceSpec::v100()] {
+        println!("{}:", dev.name);
+        let mut t = Table::new(&["N", "Conv2", "Conv3", "Conv4", "Conv5"]);
+        let mut all = Vec::new();
+        for n in BATCH_SIZES {
+            let mut row = vec![n.to_string()];
+            for layer in RESNET_LAYERS {
+                let conv = conv_for(&layer, n, &dev);
+                let ours = conv.time(Algo::OursFused).time_s;
+                let cudnn = conv.time(Algo::CudnnWinograd).time_s;
+                let sp = cudnn / ours;
+                all.push(sp);
+                row.push(x(sp));
+            }
+            t.row(row);
+        }
+        t.print();
+        println!("average: {}\n", x(bench::mean(&all)));
+    }
+}

@@ -1,0 +1,35 @@
+//! Table 7: parameters of our implementation vs cuDNN 7.6.1's Winograd,
+//! with the §7.1 occupancy consequence on both devices.
+
+use bench::Table;
+use gpusim::DeviceSpec;
+use perfmodel::kernel_table;
+use kernels::{FusedConfig, FusedKernel};
+
+fn main() {
+    println!("Table 7: kernel parameters\n");
+    let mut t = Table::new(&[
+        "Parameters", "Ours", "cuDNN's",
+    ]);
+    let [ours, cudnn] = kernel_table();
+    t.row(vec!["(bk, bn, bc)".into(), format!("({},{},{})", ours.bk, ours.bn, ours.bc), format!("({},{},{})", cudnn.bk, cudnn.bn, cudnn.bc)]);
+    t.row(vec!["Threads per block".into(), ours.threads_per_block.to_string(), cudnn.threads_per_block.to_string()]);
+    t.row(vec!["SMEM per block".into(), format!("{}KB", ours.smem_per_block / 1024), format!("{}KB", cudnn.smem_per_block / 1024)]);
+    t.row(vec!["Registers per thread".into(), ours.regs_per_thread.to_string(), cudnn.regs_per_thread.to_string()]);
+    t.row(vec!["Registers per block".into(), ours.regs_per_block().to_string(), cudnn.regs_per_block().to_string()]);
+    for dev in [DeviceSpec::v100(), DeviceSpec::rtx2070()] {
+        t.row(vec![
+            format!("Blocks/SM on {}", dev.name),
+            ours.blocks_per_sm(&dev).to_string(),
+            cudnn.blocks_per_sm(&dev).to_string(),
+        ]);
+    }
+    t.print();
+
+    // Cross-check the emitted kernels against the table.
+    let k_ours = FusedKernel::emit(FusedConfig::ours(64, 56, 56, 32, 64));
+    let k_cudnn = FusedKernel::emit(FusedConfig::cudnn_like(64, 56, 56, 32, 32));
+    println!("\nEmitted kernels: ours uses {} regs/thread ({} B smem), cuDNN-like uses {} regs/thread ({} B smem)",
+        k_ours.module.info.num_regs, k_ours.module.info.smem_bytes,
+        k_cudnn.module.info.num_regs, k_cudnn.module.info.smem_bytes);
+}

@@ -1,0 +1,106 @@
+//! `bench` — the experiment harness: one binary per table and figure of the
+//! paper's evaluation (see DESIGN.md §2.6 for the index), plus Criterion
+//! micro-benchmarks of the host-side hot paths.
+//!
+//! Every binary prints the same rows/series the paper reports, with the
+//! published values alongside for comparison; EXPERIMENTS.md records the
+//! paper-vs-measured discussion.
+
+use gpusim::DeviceSpec;
+use wino_core::resnet::{eval_grid, ResnetLayer};
+use wino_core::{Conv, ConvProblem};
+
+/// The 16 `(layer, batch)` points used by Tables 2/6 and Figs. 7–13.
+pub fn configs() -> Vec<(ResnetLayer, usize)> {
+    eval_grid()
+}
+
+/// `ConvxNn` label.
+pub fn label(layer: &ResnetLayer, n: usize) -> String {
+    layer.label(n)
+}
+
+/// Conv bound to a device for a grid point.
+pub fn conv_for(layer: &ResnetLayer, n: usize, dev: &DeviceSpec) -> Conv {
+    Conv::new(layer.problem(n), dev.clone())
+}
+
+/// A convolution problem for one grid point.
+pub fn problem_for(layer: &ResnetLayer, n: usize) -> ConvProblem {
+    layer.problem(n)
+}
+
+/// Render a simple aligned table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.headers);
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Format seconds as microseconds.
+pub fn us(t: f64) -> String {
+    format!("{:.1}", t * 1e6)
+}
+
+/// Format a speedup.
+pub fn x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Geometric-free average of a slice.
+pub fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_configs() {
+        assert_eq!(configs().len(), 16);
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(x(1.5), "1.50x");
+    }
+}

@@ -1,0 +1,261 @@
+//! FFT-based convolution on the host — the reference for cuDNN's `FFT` and
+//! `FFT_TILING` baselines (§7.3, Figures 12–14).
+//!
+//! Implements an iterative radix-2 complex FFT from scratch, a 2-D transform
+//! built from row/column passes, and frequency-domain cross-correlation with
+//! channel accumulation. Padded transform sizes and the tiled variant's
+//! 32×32 tiling match the structure cuDNN uses, so their workspace formulas
+//! (Fig. 14) and traffic models (`perfmodel`) line up with this code.
+
+use crate::reference::ConvProblem;
+use tensor::{LayoutKind, Tensor4};
+
+/// One complex number, kept as a plain pair to stay dependency-free.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cpx {
+    pub re: f32,
+    pub im: f32,
+}
+
+impl Cpx {
+    pub fn new(re: f32, im: f32) -> Self {
+        Cpx { re, im }
+    }
+
+    #[inline]
+    pub fn mul(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    #[inline]
+    pub fn conj(self) -> Cpx {
+        Cpx::new(self.re, -self.im)
+    }
+
+    #[inline]
+    pub fn add(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re + o.re, self.im + o.im)
+    }
+
+    #[inline]
+    fn sub(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// In-place iterative radix-2 FFT. `data.len()` must be a power of two.
+/// `inverse` applies the conjugate transform *without* the 1/N scale
+/// (callers scale once at the end).
+pub fn fft_inplace(data: &mut [Cpx], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        if (j as usize) > i {
+            data.swap(i, j as usize);
+        }
+    }
+    let sign = if inverse { 1.0f64 } else { -1.0f64 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Cpx::new(ang.cos() as f32, ang.sin() as f32);
+        for start in (0..n).step_by(len) {
+            let mut w = Cpx::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2].mul(w);
+                data[start + k] = u.add(v);
+                data[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// 2-D FFT over a `size × size` row-major complex buffer.
+pub fn fft2d(data: &mut [Cpx], size: usize, inverse: bool) {
+    assert_eq!(data.len(), size * size);
+    let mut col = vec![Cpx::default(); size];
+    for row in data.chunks_exact_mut(size) {
+        fft_inplace(row, inverse);
+    }
+    for c in 0..size {
+        for r in 0..size {
+            col[r] = data[r * size + c];
+        }
+        fft_inplace(&mut col, inverse);
+        for r in 0..size {
+            data[r * size + c] = col[r];
+        }
+    }
+}
+
+/// Smallest power of two ≥ `n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// Transform size cuDNN's full-image `FFT` algorithm needs: the padded image
+/// (`H + 2·pad`) plus filter wrap-around, rounded up to a power of two.
+pub fn fft_size_full(p: &ConvProblem) -> usize {
+    next_pow2(p.h + 2 * p.pad + p.r - 1)
+}
+
+/// FFT-based convolution over full images. Input NCHW, filter KCRS.
+pub fn conv2d_fft(p: &ConvProblem, input: &Tensor4, filter: &Tensor4) -> Tensor4 {
+    conv2d_fft_tiled(p, input, filter, fft_size_full(p).max(p.r))
+}
+
+/// FFT convolution with `tile`-sized transforms (cuDNN `FFT_TILING` uses
+/// 32×32 tiles). `tile` must be a power of two ≥ `r`; the usable output per
+/// tile is `tile - r + 1` (overlap-save).
+pub fn conv2d_fft_tiled(p: &ConvProblem, input: &Tensor4, filter: &Tensor4, tile: usize) -> Tensor4 {
+    assert!(tile.is_power_of_two() && tile >= p.r);
+    let (oh, ow) = (p.out_h(), p.out_w());
+    let step = tile - p.r + 1; // valid outputs per tile
+    let sz = tile * tile;
+    let mut out = Tensor4::zeros(LayoutKind::Nchw, [p.n, p.k, oh, ow]);
+
+    // Filter spectra: K×C, each tile×tile. The filter is conjugated in the
+    // frequency domain, which realizes cross-correlation.
+    let mut fspec = vec![Cpx::default(); p.k * p.c * sz];
+    for k in 0..p.k {
+        for c in 0..p.c {
+            let buf = &mut fspec[(k * p.c + c) * sz..(k * p.c + c + 1) * sz];
+            for r in 0..p.r {
+                for s in 0..p.s {
+                    buf[r * tile + s] = Cpx::new(filter.get([k, c, r, s]), 0.0);
+                }
+            }
+            fft2d(buf, tile, false);
+            for v in buf.iter_mut() {
+                *v = v.conj();
+            }
+        }
+    }
+
+    let scale = 1.0 / (sz as f32);
+    let mut ispec = vec![Cpx::default(); sz];
+    let mut acc = vec![Cpx::default(); p.k * sz];
+    for n in 0..p.n {
+        for ty in (0..oh).step_by(step) {
+            for tx in (0..ow).step_by(step) {
+                acc.fill(Cpx::default());
+                for c in 0..p.c {
+                    // Load the input window for this tile (overlap-save).
+                    for dy in 0..tile {
+                        for dx in 0..tile {
+                            let iy = (ty + dy) as isize - p.pad as isize;
+                            let ix = (tx + dx) as isize - p.pad as isize;
+                            let v = if iy >= 0 && (iy as usize) < p.h && ix >= 0 && (ix as usize) < p.w {
+                                input.get([n, c, iy as usize, ix as usize])
+                            } else {
+                                0.0
+                            };
+                            ispec[dy * tile + dx] = Cpx::new(v, 0.0);
+                        }
+                    }
+                    fft2d(&mut ispec, tile, false);
+                    for k in 0..p.k {
+                        let fs = &fspec[(k * p.c + c) * sz..(k * p.c + c + 1) * sz];
+                        let a = &mut acc[k * sz..(k + 1) * sz];
+                        for i in 0..sz {
+                            a[i] = a[i].add(ispec[i].mul(fs[i]));
+                        }
+                    }
+                }
+                for k in 0..p.k {
+                    let a = &mut acc[k * sz..(k + 1) * sz];
+                    fft2d(a, tile, true);
+                    for dy in 0..step.min(oh - ty) {
+                        for dx in 0..step.min(ow - tx) {
+                            out.set([n, k, ty + dy, tx + dx], a[dy * tile + dx].re * scale);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::conv2d_direct;
+    use tensor::allclose;
+
+    #[test]
+    fn fft_round_trip() {
+        let mut data: Vec<Cpx> = (0..16).map(|i| Cpx::new((i as f32).sin(), (i as f32).cos())).collect();
+        let orig = data.clone();
+        fft_inplace(&mut data, false);
+        fft_inplace(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re / 16.0 - b.re).abs() < 1e-5);
+            assert!((a.im / 16.0 - b.im).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Cpx::default(); 8];
+        data[0] = Cpx::new(1.0, 0.0);
+        fft_inplace(&mut data, false);
+        for v in &data {
+            assert!((v.re - 1.0).abs() < 1e-6 && v.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft2d_parseval_sanity() {
+        let size = 8;
+        let mut data: Vec<Cpx> = (0..size * size).map(|i| Cpx::new((i as f32 * 0.31).sin(), 0.0)).collect();
+        let energy_t: f32 = data.iter().map(|c| c.re * c.re + c.im * c.im).sum();
+        fft2d(&mut data, size, false);
+        let energy_f: f32 = data.iter().map(|c| c.re * c.re + c.im * c.im).sum();
+        assert!((energy_f / (size * size) as f32 - energy_t).abs() / energy_t < 1e-4);
+    }
+
+    #[test]
+    fn fft_conv_matches_direct() {
+        for (n, c, hw, k) in [(1, 2, 6, 2), (2, 3, 8, 2), (1, 1, 7, 1)] {
+            let p = ConvProblem::resnet3x3(n, c, hw, k);
+            let input = Tensor4::random(LayoutKind::Nchw, [n, c, hw, hw], -1.0, 1.0, 41);
+            let filter = Tensor4::random(LayoutKind::Kcrs, [k, c, 3, 3], -1.0, 1.0, 42);
+            let want = conv2d_direct(&p, &input, &filter);
+            let got = conv2d_fft(&p, &input, &filter);
+            assert!(
+                allclose(want.as_slice(), got.as_slice(), 1e-3, 1e-3),
+                "({n},{c},{hw},{k}): {}",
+                tensor::compare(want.as_slice(), got.as_slice(), 1e-3, 1e-3)
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_fft_matches_direct() {
+        // 14×14 image with 8×8 tiles: exercises overlap-save across tiles.
+        let p = ConvProblem::resnet3x3(1, 3, 14, 2);
+        let input = Tensor4::random(LayoutKind::Nchw, [1, 3, 14, 14], -1.0, 1.0, 51);
+        let filter = Tensor4::random(LayoutKind::Kcrs, [2, 3, 3, 3], -1.0, 1.0, 52);
+        let want = conv2d_direct(&p, &input, &filter);
+        let got = conv2d_fft_tiled(&p, &input, &filter, 8);
+        assert!(allclose(want.as_slice(), got.as_slice(), 1e-3, 1e-3));
+    }
+
+    #[test]
+    fn full_fft_size_for_resnet_layers() {
+        // Conv5 (7×7, pad 1) needs 16; Conv2 (56×56, pad 1) needs 64.
+        assert_eq!(fft_size_full(&ConvProblem::resnet3x3(1, 1, 7, 1)), 16);
+        assert_eq!(fft_size_full(&ConvProblem::resnet3x3(1, 1, 56, 1)), 64);
+        assert_eq!(fft_size_full(&ConvProblem::resnet3x3(1, 1, 28, 1)), 32);
+    }
+}

@@ -1,0 +1,133 @@
+//! GEMM-based convolution on the host: explicit `im2col` lowering plus an
+//! SGEMM, the structure of cuDNN's `GEMM` algorithm; the `IMPLICIT_*`
+//! variants share the math but skip the materialized column matrix (their
+//! GPU cost difference is modelled in the `kernels`/`perfmodel` crates).
+
+use crate::reference::ConvProblem;
+use tensor::{LayoutKind, Tensor4};
+
+/// Lower the input to the column matrix: shape `(C·R·S) × (N·OH·OW)`,
+/// row-major. Zero padding is materialized.
+pub fn im2col(p: &ConvProblem, input: &Tensor4) -> Vec<f32> {
+    assert_eq!(input.kind(), LayoutKind::Nchw);
+    let (oh, ow) = (p.out_h(), p.out_w());
+    let cols = p.n * oh * ow;
+    let rows = p.c * p.r * p.s;
+    let mut out = vec![0.0f32; rows * cols];
+    for c in 0..p.c {
+        for r in 0..p.r {
+            for s in 0..p.s {
+                let row = (c * p.r + r) * p.s + s;
+                for n in 0..p.n {
+                    for y in 0..oh {
+                        let iy = (y + r) as isize - p.pad as isize;
+                        for x in 0..ow {
+                            let ix = (x + s) as isize - p.pad as isize;
+                            let col = (n * oh + y) * ow + x;
+                            if iy >= 0 && (iy as usize) < p.h && ix >= 0 && (ix as usize) < p.w {
+                                out[row * cols + col] = input.get([n, c, iy as usize, ix as usize]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Plain row-major SGEMM: `C[m×n] = A[m×k] × B[k×n]`.
+pub fn sgemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+/// GEMM-based convolution: `O[K × (N·OH·OW)] = F[K × CRS] × im2col(I)`.
+pub fn conv2d_gemm(p: &ConvProblem, input: &Tensor4, filter: &Tensor4) -> Tensor4 {
+    assert_eq!(filter.kind(), LayoutKind::Kcrs);
+    let (oh, ow) = (p.out_h(), p.out_w());
+    let cols = p.n * oh * ow;
+    let crs = p.c * p.r * p.s;
+    let b = im2col(p, input);
+    let mut c = vec![0.0f32; p.k * cols];
+    sgemm(p.k, cols, crs, filter.as_slice(), &b, &mut c);
+    // Repack K × (N,OH,OW) into NCHW (K plays the channel role).
+    let mut out = Tensor4::zeros(LayoutKind::Nchw, [p.n, p.k, oh, ow]);
+    for k in 0..p.k {
+        for n in 0..p.n {
+            for y in 0..oh {
+                for x in 0..ow {
+                    out.set([n, k, y, x], c[k * cols + (n * oh + y) * ow + x]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::conv2d_direct;
+    use tensor::allclose;
+
+    #[test]
+    fn gemm_conv_matches_direct() {
+        for (n, c, hw, k) in [(1, 3, 5, 2), (2, 4, 8, 4), (1, 1, 7, 1)] {
+            let p = ConvProblem::resnet3x3(n, c, hw, k);
+            let input = Tensor4::random(LayoutKind::Nchw, [n, c, hw, hw], -1.0, 1.0, 21);
+            let filter = Tensor4::random(LayoutKind::Kcrs, [k, c, 3, 3], -1.0, 1.0, 22);
+            let want = conv2d_direct(&p, &input, &filter);
+            let got = conv2d_gemm(&p, &input, &filter);
+            assert!(allclose(want.as_slice(), got.as_slice(), 1e-4, 1e-4), "({n},{c},{hw},{k})");
+        }
+    }
+
+    #[test]
+    fn gemm_conv_no_padding() {
+        let p = ConvProblem { n: 1, c: 2, h: 6, w: 6, k: 3, r: 3, s: 3, pad: 0 };
+        let input = Tensor4::random(LayoutKind::Nchw, [1, 2, 6, 6], -1.0, 1.0, 31);
+        let filter = Tensor4::random(LayoutKind::Kcrs, [3, 2, 3, 3], -1.0, 1.0, 32);
+        let want = conv2d_direct(&p, &input, &filter);
+        let got = conv2d_gemm(&p, &input, &filter);
+        assert!(allclose(want.as_slice(), got.as_slice(), 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn im2col_shape_and_padding() {
+        let p = ConvProblem::resnet3x3(1, 1, 3, 1);
+        let input = Tensor4::from_fn(LayoutKind::Nchw, [1, 1, 3, 3], |_, _, h, w| (h * 3 + w + 1) as f32);
+        let cols = im2col(&p, &input);
+        assert_eq!(cols.len(), 9 * 9);
+        // Row (r=0,s=0) at output (0,0) reads input (-1,-1) → 0 (padding).
+        assert_eq!(cols[0], 0.0);
+        // Row (r=1,s=1) is the identity: column j = input element j.
+        let center_row = 4;
+        for j in 0..9 {
+            assert_eq!(cols[center_row * 9 + j], (j + 1) as f32);
+        }
+    }
+
+    #[test]
+    fn sgemm_small_known_values() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        sgemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+}

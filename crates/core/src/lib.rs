@@ -1,0 +1,30 @@
+//! `wino-core` — the workspace's primary library: batched Winograd
+//! convolution with the paper's optimized GPU kernel, plus every baseline
+//! algorithm the paper compares against.
+//!
+//! The public entry point is [`conv::Conv`]: describe a problem
+//! ([`ConvProblem`]), pick an [`conv::Algo`], run it functionally on the
+//! simulated GPU (validated against [`reference::conv2d_direct`]) or time it
+//! with the cycle-level model.
+//!
+//! Layering:
+//!
+//! * [`transforms`] — the `F(m×m, 3×3)` Winograd transform matrices;
+//! * [`reference`], [`winograd_host`], [`im2col`], [`fft`] — host (CPU)
+//!   implementations of every algorithm, used as correctness oracles;
+//! * [`conv`] — the GPU-facing API dispatching to the SASS kernels in the
+//!   `kernels` crate and the simulator in `gpusim`;
+//! * [`resnet`] — the paper's Table 1 workload definitions.
+
+pub mod conv;
+pub mod fft;
+pub mod im2col;
+pub mod reference;
+pub mod resnet;
+pub mod transforms;
+pub mod winograd_host;
+
+pub use conv::{Algo, AlgoTiming, Conv, ConvOutput};
+pub use reference::{conv2d_direct, ConvProblem};
+pub use transforms::Variant;
+pub use winograd_host::conv2d_winograd;

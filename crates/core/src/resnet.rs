@@ -1,0 +1,84 @@
+//! The paper's workload: all 3×3 convolutional layers of ResNet (Table 1),
+//! with the `ConvxNn` naming used throughout the evaluation.
+
+use crate::reference::ConvProblem;
+
+/// One ResNet layer shape from Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResnetLayer {
+    /// Layer name: "Conv2" … "Conv5".
+    pub name: &'static str,
+    /// Output (and input) spatial size `H = W`.
+    pub hw: usize,
+    /// Channels `C` (= filters `K` for these layers).
+    pub c: usize,
+}
+
+/// Table 1: all 3×3 convolutional layers in ResNet.
+pub const RESNET_LAYERS: [ResnetLayer; 4] = [
+    ResnetLayer { name: "Conv2", hw: 56, c: 64 },
+    ResnetLayer { name: "Conv3", hw: 28, c: 128 },
+    ResnetLayer { name: "Conv4", hw: 14, c: 256 },
+    ResnetLayer { name: "Conv5", hw: 7, c: 512 },
+];
+
+/// Batch sizes used throughout the evaluation (Tables 2 & 6, Figs. 7–13).
+pub const BATCH_SIZES: [usize; 4] = [32, 64, 96, 128];
+
+impl ResnetLayer {
+    /// The convolution problem at batch size `n`.
+    pub fn problem(&self, n: usize) -> ConvProblem {
+        ConvProblem::resnet3x3(n, self.c, self.hw, self.c)
+    }
+
+    /// The paper's `ConvxNn` label, e.g. `Conv2N32`.
+    pub fn label(&self, n: usize) -> String {
+        format!("{}N{}", self.name, n)
+    }
+}
+
+/// Look a layer up by name ("Conv2" … "Conv5").
+pub fn layer_by_name(name: &str) -> Option<ResnetLayer> {
+    RESNET_LAYERS.iter().copied().find(|l| l.name == name)
+}
+
+/// The 16 `(layer, batch)` evaluation points of the paper, in figure order.
+pub fn eval_grid() -> Vec<(ResnetLayer, usize)> {
+    let mut v = Vec::new();
+    for layer in RESNET_LAYERS {
+        for n in BATCH_SIZES {
+            v.push((layer, n));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes() {
+        assert_eq!(RESNET_LAYERS[0].problem(32).h, 56);
+        assert_eq!(RESNET_LAYERS[3].c, 512);
+        let p = layer_by_name("Conv4").unwrap().problem(96);
+        assert_eq!((p.n, p.c, p.h, p.k), (96, 256, 14, 256));
+        assert!(layer_by_name("Conv9").is_none());
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(RESNET_LAYERS[0].label(32), "Conv2N32");
+        assert_eq!(RESNET_LAYERS[3].label(128), "Conv5N128");
+    }
+
+    #[test]
+    fn eval_grid_is_16_points() {
+        let g = eval_grid();
+        assert_eq!(g.len(), 16);
+        assert_eq!(g[0].0.name, "Conv2");
+        assert_eq!(g[0].1, 32);
+        assert_eq!(g[15].0.name, "Conv5");
+        assert_eq!(g[15].1, 128);
+    }
+}

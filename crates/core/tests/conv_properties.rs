@@ -1,0 +1,123 @@
+//! Property tests on the algorithm layer: for random shapes and data, every
+//! convolution algorithm agrees with the direct reference; the Winograd
+//! transforms satisfy their algebraic identities.
+
+use proptest::prelude::*;
+use tensor::{allclose, LayoutKind, Tensor4};
+use wino_core::transforms::{Mat, Variant};
+use wino_core::winograd_host::conv2d_winograd;
+use wino_core::{conv2d_direct, ConvProblem};
+
+fn arb_problem() -> impl Strategy<Value = ConvProblem> {
+    // Host-only shapes (no GPU-path alignment constraints).
+    (1usize..3, 1usize..6, 3usize..12, 3usize..12, 1usize..6).prop_map(|(n, c, h, w, k)| ConvProblem {
+        n,
+        c,
+        h,
+        w,
+        k,
+        r: 3,
+        s: 3,
+        pad: 1,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn winograd_f2_matches_direct(p in arb_problem(), seed in 1u64..1000) {
+        let input = Tensor4::random(LayoutKind::Nchw, [p.n, p.c, p.h, p.w], -1.0, 1.0, seed);
+        let filter = Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, seed + 1);
+        let want = conv2d_direct(&p, &input, &filter);
+        let got = conv2d_winograd(&p, &input, &filter, Variant::F2x2);
+        prop_assert!(allclose(want.as_slice(), got.as_slice(), 1e-3, 1e-3));
+    }
+
+    #[test]
+    fn winograd_f4_matches_direct(p in arb_problem(), seed in 1u64..1000) {
+        let input = Tensor4::random(LayoutKind::Nchw, [p.n, p.c, p.h, p.w], -1.0, 1.0, seed);
+        let filter = Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, seed + 1);
+        let want = conv2d_direct(&p, &input, &filter);
+        let got = conv2d_winograd(&p, &input, &filter, Variant::F4x4);
+        prop_assert!(allclose(want.as_slice(), got.as_slice(), 5e-3, 5e-3));
+    }
+
+    #[test]
+    fn gemm_conv_matches_direct(p in arb_problem(), seed in 1u64..1000) {
+        let input = Tensor4::random(LayoutKind::Nchw, [p.n, p.c, p.h, p.w], -1.0, 1.0, seed);
+        let filter = Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, seed + 1);
+        let want = conv2d_direct(&p, &input, &filter);
+        let got = wino_core::im2col::conv2d_gemm(&p, &input, &filter);
+        prop_assert!(allclose(want.as_slice(), got.as_slice(), 1e-3, 1e-3));
+    }
+
+    /// The defining Winograd identity on random single tiles:
+    /// `Aᵀ[(G f Gᵀ) ⊙ (Bᵀ d B)]A == direct 2-D correlation`, all variants.
+    #[test]
+    fn tile_identity_holds(seed in 1u64..10_000) {
+        for v in [Variant::F2x2, Variant::F4x4, Variant::F6x6] {
+            let tr = v.transform();
+            let t = tr.t;
+            let mut rng = tensor::XorShiftRng::new(seed);
+            let d = Mat::new(t, t, (0..t * t).map(|_| rng.gen_range(-1.0, 1.0)).collect());
+            let f = Mat::new(3, 3, (0..9).map(|_| rng.gen_range(-1.0, 1.0)).collect());
+            let tf = tr.filter_tile(&f);
+            let ti = tr.input_tile(&d);
+            let mut prod = Mat::zeros(t, t);
+            for i in 0..t * t {
+                prod.data[i] = tf.data[i] * ti.data[i];
+            }
+            let out = tr.output_tile(&prod);
+            for y in 0..tr.m {
+                for x in 0..tr.m {
+                    let mut want = 0.0f32;
+                    for r in 0..3 {
+                        for s in 0..3 {
+                            want += d.at(y + r, x + s) * f.at(r, s);
+                        }
+                    }
+                    let tol = 1e-2f32.max(want.abs() * 1e-2);
+                    prop_assert!(
+                        (out.at(y, x) - want).abs() < tol,
+                        "{v:?} seed {seed} ({y},{x}): {} vs {want}",
+                        out.at(y, x)
+                    );
+                }
+            }
+        }
+    }
+
+    /// FFT convolution agrees with direct for random pow-2-friendly shapes.
+    #[test]
+    fn fft_conv_matches_direct(hw in 4usize..10, c in 1usize..4, seed in 1u64..1000) {
+        let p = ConvProblem { n: 1, c, h: hw, w: hw, k: 2, r: 3, s: 3, pad: 1 };
+        let input = Tensor4::random(LayoutKind::Nchw, [1, c, hw, hw], -1.0, 1.0, seed);
+        let filter = Tensor4::random(LayoutKind::Kcrs, [2, c, 3, 3], -1.0, 1.0, seed + 1);
+        let want = conv2d_direct(&p, &input, &filter);
+        let got = wino_core::fft::conv2d_fft(&p, &input, &filter);
+        prop_assert!(allclose(want.as_slice(), got.as_slice(), 1e-3, 1e-3));
+    }
+}
+
+/// The GPU fused kernel agrees with the reference over randomized *aligned*
+/// shapes (the kernel's documented constraints: C%8, N%32, K%bk).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn gpu_fused_kernel_matches_direct(
+        c8 in 1usize..3,
+        hw in 4usize..9,
+        kb in 1usize..3,
+        seed in 1u64..100,
+    ) {
+        let p = ConvProblem::resnet3x3(32, c8 * 8, hw, kb * 64);
+        let input = Tensor4::random(LayoutKind::Nchw, [p.n, p.c, p.h, p.w], -1.0, 1.0, seed);
+        let filter = Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, seed + 1);
+        let want = conv2d_direct(&p, &input, &filter);
+        let conv = wino_core::Conv::new(p, gpusim::DeviceSpec::v100());
+        let got = conv.run(wino_core::Algo::OursFused, &input, &filter);
+        prop_assert!(allclose(want.as_slice(), got.output.as_slice(), 1e-3, 1e-3));
+    }
+}

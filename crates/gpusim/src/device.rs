@@ -1,0 +1,188 @@
+//! Device descriptions and the occupancy calculator.
+//!
+//! Two devices matter to the paper: the Volta **V100** and the Turing
+//! **RTX 2070**. The micro-architectural constants below are taken from the
+//! paper (§7.1, Table 7 discussion), the Turing whitepaper it cites, and the
+//! Volta microbenchmarking study it relies on (Jia et al. 2018).
+
+/// Architecture generation (identical pipeline model, different limits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arch {
+    Volta,
+    Turing,
+}
+
+/// Static description of a GPU.
+#[derive(Clone, Debug)]
+pub struct DeviceSpec {
+    pub name: &'static str,
+    pub arch: Arch,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Core clock in Hz used for time conversion.
+    pub clock_hz: f64,
+    /// FP32 lanes per SM (V100/TU106: 64, i.e. 16 per scheduler).
+    pub fp32_lanes_per_sm: u32,
+    /// Warp schedulers (processing blocks) per SM.
+    pub schedulers_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Maximum registers addressable per thread (§5.2.1: 255 architectural,
+    /// ≤253 usable in practice — footnote 7).
+    pub max_regs_per_thread: u32,
+    /// Maximum shared memory per SM, bytes (V100: 96 KiB, Turing: 64 KiB —
+    /// the §7.1 occupancy argument).
+    pub smem_per_sm: u32,
+    /// Maximum threads resident per SM (Volta: 2048, Turing: 1024).
+    pub max_threads_per_sm: u32,
+    /// Maximum thread blocks resident per SM.
+    pub max_blocks_per_sm: u32,
+    /// DRAM bandwidth, bytes/s.
+    pub dram_bw: f64,
+    /// Aggregate L2 bandwidth, bytes/s (the paper's Fig. 2 draws 2.5 TB/s
+    /// for V100).
+    pub l2_bw: f64,
+    /// L2 capacity, bytes.
+    pub l2_bytes: u64,
+    /// L2 hit latency, cycles.
+    pub l2_hit_latency: u32,
+    /// L2 miss (DRAM) latency, cycles.
+    pub l2_miss_latency: u32,
+    /// Shared-memory load latency, cycles (§3.4: "around 20").
+    pub smem_latency: u32,
+    /// Combined L1/shared-memory capacity per SM, bytes (Volta: 128 KiB;
+    /// Turing: 96 KiB). What shared memory doesn't claim serves as L1.
+    pub l1_smem_combined: u32,
+    /// L1 hit latency, cycles.
+    pub l1_latency: u32,
+}
+
+impl DeviceSpec {
+    /// Tesla V100 (SXM2): 80 SMs @ 1530 MHz, 15.7 TFLOPS fp32, 900 GB/s HBM2.
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "V100",
+            arch: Arch::Volta,
+            num_sms: 80,
+            clock_hz: 1.530e9,
+            fp32_lanes_per_sm: 64,
+            schedulers_per_sm: 4,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 253,
+            smem_per_sm: 96 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            dram_bw: 900.0e9,
+            l2_bw: 2.5e12,
+            l2_bytes: 6 * 1024 * 1024,
+            l2_hit_latency: 193,
+            l2_miss_latency: 450,
+            smem_latency: 24,
+            l1_smem_combined: 128 * 1024,
+            l1_latency: 32,
+        }
+    }
+
+    /// GeForce RTX 2070 (TU106): 36 SMs @ ~1620 MHz boost, ~7.5 TFLOPS fp32,
+    /// 448 GB/s GDDR6. Shared memory is capped at 64 KiB per SM (§7.1).
+    pub fn rtx2070() -> Self {
+        DeviceSpec {
+            name: "RTX2070",
+            arch: Arch::Turing,
+            num_sms: 36,
+            clock_hz: 1.620e9,
+            fp32_lanes_per_sm: 64,
+            schedulers_per_sm: 4,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 253,
+            smem_per_sm: 64 * 1024,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 16,
+            dram_bw: 448.0e9,
+            l2_bw: 1.8e12,
+            l2_bytes: 4 * 1024 * 1024,
+            l2_hit_latency: 188,
+            l2_miss_latency: 420,
+            smem_latency: 22,
+            l1_smem_combined: 96 * 1024,
+            l1_latency: 32,
+        }
+    }
+
+    /// Peak single-precision throughput, FLOP/s (2 FLOPs per FFMA lane-op).
+    pub fn peak_fp32_flops(&self) -> f64 {
+        self.num_sms as f64 * self.fp32_lanes_per_sm as f64 * 2.0 * self.clock_hz
+    }
+
+    /// Resident thread blocks per SM for a kernel footprint, per the CUDA
+    /// occupancy rules. Returns 0 if the kernel cannot launch at all.
+    pub fn blocks_per_sm(&self, threads_per_block: u32, regs_per_thread: u32, smem_per_block: u32) -> u32 {
+        if threads_per_block == 0 || threads_per_block > self.max_threads_per_sm {
+            return 0;
+        }
+        if regs_per_thread > self.max_regs_per_thread {
+            return 0;
+        }
+        if smem_per_block > self.smem_per_sm {
+            return 0;
+        }
+        let by_threads = self.max_threads_per_sm / threads_per_block;
+        // Register allocation granularity: warps allocate registers in units
+        // of 8 regs/thread (256 per warp).
+        let regs_rounded = regs_per_thread.div_ceil(8) * 8;
+        let regs_per_block = regs_rounded.max(32) * threads_per_block;
+        let by_regs = self.regs_per_sm / regs_per_block;
+        let by_smem = if smem_per_block == 0 {
+            self.max_blocks_per_sm
+        } else {
+            self.smem_per_sm / smem_per_block
+        };
+        by_threads.min(by_regs).min(by_smem).min(self.max_blocks_per_sm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_flops_match_datasheets() {
+        let v = DeviceSpec::v100().peak_fp32_flops();
+        assert!((v - 15.7e12).abs() / 15.7e12 < 0.01, "{v}");
+        let t = DeviceSpec::rtx2070().peak_fp32_flops();
+        assert!((t - 7.46e12).abs() / 7.46e12 < 0.01, "{t}");
+    }
+
+    #[test]
+    fn paper_kernel_occupancy_table7() {
+        // Our kernel: 256 threads, 253 regs, 48 KiB smem.
+        // cuDNN's: 256 threads, 126 regs, 48 KiB smem.
+        let v100 = DeviceSpec::v100();
+        let t2070 = DeviceSpec::rtx2070();
+        // §7.1: cuDNN's Winograd gets 2 blocks/SM on V100 but 1 on RTX 2070
+        // (the 96 KiB vs 64 KiB shared-memory limit).
+        assert_eq!(v100.blocks_per_sm(256, 126, 48 * 1024), 2);
+        assert_eq!(t2070.blocks_per_sm(256, 126, 48 * 1024), 1);
+        // Ours is register-bound to 1 block/SM everywhere (64768 regs/block).
+        assert_eq!(v100.blocks_per_sm(256, 253, 48 * 1024), 1);
+        assert_eq!(t2070.blocks_per_sm(256, 253, 48 * 1024), 1);
+    }
+
+    #[test]
+    fn over_limit_kernels_cannot_launch() {
+        let d = DeviceSpec::rtx2070();
+        assert_eq!(d.blocks_per_sm(256, 254, 0), 0);
+        assert_eq!(d.blocks_per_sm(256, 32, 80 * 1024), 0);
+        assert_eq!(d.blocks_per_sm(2048, 32, 0), 0);
+        assert_eq!(d.blocks_per_sm(0, 32, 0), 0);
+    }
+
+    #[test]
+    fn small_kernels_hit_thread_or_block_limits() {
+        let d = DeviceSpec::v100();
+        // Tiny kernel: bounded by max blocks/SM.
+        assert_eq!(d.blocks_per_sm(32, 16, 0), 32);
+        // 1024-thread blocks: two fit by threads.
+        assert_eq!(d.blocks_per_sm(1024, 32, 0), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! `gpusim` — a functional and cycle-level simulator of the NVIDIA
+//! Volta/Turing SM micro-architecture.
+//!
+//! This crate is the hardware substrate for the Winograd reproduction: the
+//! paper's experiments run on a V100 and an RTX 2070, and every optimization
+//! it studies is a property of mechanisms this simulator implements
+//! explicitly:
+//!
+//! * 4 warp schedulers per SM with the **yield-flag** issue policy (§5.1.4,
+//!   §6.1) — one extra cycle and loss of the reuse cache on a warp switch;
+//! * two 64-bit **register banks** with operand **reuse caches** (§5.2.2):
+//!   a 3-source FFMA whose operands collide in one bank occupies the FP32
+//!   pipe for an extra cycle unless `.reuse` covers the collision;
+//! * 32-bank **shared memory** with exact conflict detection, including the
+//!   two-phase service of `LDS.128` (the subtlety behind the paper's Fig. 3
+//!   lane arrangement);
+//! * **scoreboard wait barriers** (6 per warp) and stall counts from each
+//!   instruction's control code — the hardware trusts the assembler;
+//! * an L2/DRAM model with sector-level coalescing and bandwidth accounting;
+//! * CUDA **occupancy** rules (registers / shared memory / thread limits)
+//!   that reproduce the V100-vs-RTX2070 difference of §7.1.
+//!
+//! Functional execution ([`exec`], [`launch`]) is exact; timing
+//! ([`timing`]) is cycle-level for one wave of resident blocks on one SM and
+//! analytic across waves (all blocks of these kernels are identical).
+
+pub mod device;
+pub mod exec;
+pub mod launch;
+pub mod memory;
+pub mod timing;
+
+pub use device::{Arch, DeviceSpec};
+pub use exec::{ExecEnv, ExecError, StepEvent, Warp, WARP_SIZE};
+pub use launch::{Gpu, LaunchDims, LaunchError};
+pub use memory::{ConstBank, DevPtr, GlobalMemory, MemError, ParamBuilder, PARAM_BASE};
+pub use timing::{KernelTiming, TimingOptions};

@@ -1,0 +1,1210 @@
+//! Cycle-level SM timing model.
+//!
+//! One *wave* of resident thread blocks is simulated cycle-by-cycle on one
+//! SM, executing instructions functionally at issue so that register-bank
+//! conflicts, shared-memory bank conflicts and L2/DRAM behaviour come from
+//! exact addresses. Because every block of the paper's kernels does identical
+//! work, whole-kernel time is the wave time multiplied by the number of
+//! waves, bounded below by DRAM bandwidth (§3.2–3.4 of DESIGN.md).
+//!
+//! The model implements the paper's scheduling machinery explicitly:
+//!
+//! * **stall counts** gate the earliest next issue of a warp;
+//! * **wait barriers** (scoreboards) gate issue until variable-latency
+//!   producers complete;
+//! * the **yield flag** steers the scheduler's warp choice: when set it
+//!   stays on the same warp, when clear it switches, paying one dead cycle
+//!   and invalidating the operand reuse cache (§5.1.4);
+//! * the FP32 pipe takes 2 cycles per warp instruction (16 lanes/scheduler)
+//!   plus 1 for a register-bank conflict — three distinct source registers
+//!   with the same index parity, unless `.reuse` covers one (§5.2.2);
+//! * `LDS`/`STS` occupy the MIO pipe for a number of phases derived from
+//!   exact bank-conflict analysis (32 banks × 4 B; wide accesses are served
+//!   in 64-bit/128-bit phases);
+//! * `LDG`/`STG` coalesce into 32 B sectors, look up a set-associative L2,
+//!   and account DRAM traffic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sass::isa::{Instruction, MemSpace, Op};
+use sass::reg::Reg;
+use sass::Module;
+
+use crate::device::DeviceSpec;
+use crate::exec::{step, ExecEnv, StepEvent, Warp, WARP_SIZE};
+use crate::launch::{Gpu, LaunchDims, LaunchError};
+use crate::memory::ConstBank;
+
+/// Options for a timing run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimingOptions {
+    /// Override the number of resident blocks per SM (defaults to the
+    /// occupancy calculation).
+    pub blocks_per_sm: Option<u32>,
+    /// Simulate only instruction indices in `[start, end)` as the region of
+    /// interest for cycle/FLOP accounting (the paper reports "main loop"
+    /// numbers separately from whole-kernel numbers). Everything still
+    /// executes; only the accounting window changes.
+    pub region: Option<(u32, u32)>,
+    /// Strict load writeback: memory loads deposit a poison bit pattern at
+    /// issue and only deliver their real data when the scoreboard signals.
+    /// Under a *correct* schedule (§5.1.4) results are unchanged; a missing
+    /// stall or wait lets consumers see poison and corrupts the output —
+    /// a dynamic validator for the kernels' control codes, catching
+    /// loop-carried hazards the static linter's per-block analysis cannot.
+    pub strict_writeback: bool,
+}
+
+/// Result of timing one kernel.
+#[derive(Clone, Debug)]
+pub struct KernelTiming {
+    /// Cycles for one wave of resident blocks on one SM.
+    pub wave_cycles: u64,
+    /// Number of waves needed across the whole device.
+    pub waves: u64,
+    /// Resident blocks per SM used for the wave.
+    pub blocks_per_sm: u32,
+    /// Total thread blocks in the grid.
+    pub total_blocks: u64,
+    /// Whole-kernel time in seconds (max of compute and DRAM bounds).
+    pub time_s: f64,
+    /// FP32 FLOPs executed by the whole grid (2 per FFMA lane, 1 per
+    /// FADD/FMUL lane).
+    pub flops: f64,
+    /// Achieved TFLOP/s over the whole kernel.
+    pub tflops: f64,
+    /// FP32-pipe utilization during the accounting region when one was
+    /// given, else over the whole kernel — our equivalent of Nsight
+    /// Compute's SM "speed of light" (§7.2).
+    pub sol_pct: f64,
+    /// FP32-pipe utilization over the whole kernel, in percent.
+    pub sol_total_pct: f64,
+    /// Issue-slot utilization in percent.
+    pub issue_util_pct: f64,
+    /// Estimated DRAM traffic of the whole grid, bytes.
+    pub dram_bytes: u64,
+    /// Pure-DRAM lower bound on kernel time, seconds.
+    pub dram_time_s: f64,
+    /// Cycles in the accounting region.
+    pub region_cycles: u64,
+    /// Extra FP32-pipe cycles lost to register bank conflicts.
+    pub reg_bank_conflict_cycles: u64,
+    /// Extra MIO cycles lost to shared-memory bank conflicts.
+    pub smem_conflict_cycles: u64,
+    /// Cycles the schedulers lost to warp switches (cleared yield flag).
+    pub yield_switch_cycles: u64,
+    /// Attribution of scheduler-idle cycles (FP pipe free, nothing issued):
+    /// `[barrier, scoreboard-wait, mio-queue, stall, empty]`.
+    pub idle_breakdown: [u64; 5],
+}
+
+impl KernelTiming {
+    /// Main-loop (region) TFLOP/s on the simulated device: the region's
+    /// FLOPs per SM over the region's cycles, scaled to the whole chip.
+    pub fn region_tflops(&self, device: &DeviceSpec, region_flops_per_block: f64) -> f64 {
+        if self.region_cycles == 0 {
+            return 0.0;
+        }
+        let blocks = self.blocks_per_sm as f64;
+        let region_time = self.region_cycles as f64 / device.clock_hz;
+        region_flops_per_block * blocks * device.num_sms as f64 / region_time / 1e12
+    }
+}
+
+// ---- L2 cache model ----------------------------------------------------------
+
+/// Set-associative, sectored L2 with LRU replacement. Presence is tracked
+/// at 32 B sector granularity, like the real cache: a miss fills only the
+/// missing sector, so DRAM traffic is counted per sector.
+struct L2Cache {
+    sets: Vec<Vec<(u64, u64)>>, // (sector tag, last-use stamp)
+    ways: usize,
+    num_sets: u64,
+    stamp: u64,
+}
+
+const L2_LINE: u64 = 32;
+
+impl L2Cache {
+    fn new(bytes: u64) -> Self {
+        let ways = 16usize;
+        let num_sets = (bytes / L2_LINE / ways as u64).max(1);
+        L2Cache {
+            sets: vec![Vec::new(); num_sets as usize],
+            ways,
+            num_sets,
+            stamp: 0,
+        }
+    }
+
+    /// Drop a sector if present (store-coherence for the L1 model).
+    fn invalidate(&mut self, addr: u64) {
+        let line = addr / L2_LINE;
+        let set = (line % self.num_sets) as usize;
+        self.sets[set].retain(|e| e.0 != line);
+    }
+
+    /// Access one 32 B sector; returns true on hit.
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr / L2_LINE;
+        let set = (line % self.num_sets) as usize;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let entries = &mut self.sets[set];
+        if let Some(e) = entries.iter_mut().find(|e| e.0 == line) {
+            e.1 = stamp;
+            return true;
+        }
+        if entries.len() >= self.ways {
+            let lru = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .unwrap();
+            entries.swap_remove(lru);
+        }
+        entries.push((line, stamp));
+        false
+    }
+}
+
+// ---- shared-memory bank-conflict analysis ------------------------------------
+
+/// Number of MIO phases needed to service one shared-memory warp access.
+///
+/// Shared memory has 32 banks of 4 B. A 32-bit access is serviced in one
+/// phase over the full warp; 64-bit in two half-warp phases; 128-bit in four
+/// quarter-warp phases (this is why the paper needs the Fig. 3 arrangement —
+/// the hardware broadcast rule is per-phase, and patterns that look
+/// broadcast-friendly across the full warp still conflict within a phase).
+/// Within a phase, the cost is the maximum over banks of the number of
+/// *distinct* 4 B words requested in that bank (same word broadcasts).
+pub fn smem_phases(addrs: &[u32], width_bytes: u32) -> u32 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    let words_per_lane = (width_bytes / 4).max(1);
+    let lanes_per_phase = (32 / words_per_lane).max(1) as usize;
+    let mut total = 0u32;
+    for chunk in addrs.chunks(lanes_per_phase) {
+        // All words of all lanes in this phase go out together.
+        let mut per_bank: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
+            std::collections::HashMap::new();
+        for &a in chunk {
+            for w in 0..words_per_lane {
+                let word = a / 4 + w;
+                let bank = word % 32;
+                per_bank.entry(bank).or_default().insert(word);
+            }
+        }
+        let degree = per_bank.values().map(|s| s.len() as u32).max().unwrap_or(1);
+        total += degree;
+    }
+    total
+}
+
+/// Number of distinct 32 B sectors touched by a global warp access.
+pub fn global_sectors(addrs: &[u64], width_bytes: u32) -> Vec<u64> {
+    let mut sectors: Vec<u64> = addrs
+        .iter()
+        .flat_map(|&a| {
+            let first = a / 32;
+            let last = (a + width_bytes as u64 - 1) / 32;
+            first..=last
+        })
+        .collect();
+    sectors.sort_unstable();
+    sectors.dedup();
+    sectors
+}
+
+// ---- per-warp scheduling state -----------------------------------------------
+
+struct WarpSlot {
+    warp: Warp,
+    block: usize,
+    ready_at: u64,
+    sb_pending: [u32; 6],
+    at_barrier: bool,
+    /// Reuse cache: operand slot -> latched register, per §5.1.4.
+    reuse_cache: [Option<Reg>; 4],
+    /// Yield flag of the last issued instruction.
+    last_yield: bool,
+}
+
+struct Event {
+    cycle: u64,
+    warp: usize,
+    barrier: u8,
+    /// Deferred load data (strict mode): (first reg, lane mask, per-reg
+    /// lane values). Only the masked lanes are written back — exactly the
+    /// lanes the (possibly predicated) load produced, like hardware.
+    writeback: Option<(u8, u32, Vec<[u32; 32]>)>,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycle == other.cycle && self.warp == other.warp && self.barrier == other.barrier
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.cycle, self.warp, self.barrier).cmp(&(other.cycle, other.warp, other.barrier))
+    }
+}
+
+/// Classification for pipe assignment.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum PipeKind {
+    Fp32,
+    Int,
+    Mio,
+    Ctrl,
+    None,
+}
+
+fn pipe_of(op: &Op) -> PipeKind {
+    match op {
+        Op::Ffma { .. } | Op::Fadd { .. } | Op::Fmul { .. } | Op::Fsetp { .. }
+        | Op::Hfma2 { .. } | Op::Hadd2 { .. } | Op::Hmul2 { .. } => PipeKind::Fp32,
+        Op::Iadd3 { .. }
+        | Op::Imad { .. }
+        | Op::ImadHi { .. }
+        | Op::ImadWide { .. }
+        | Op::Lea { .. }
+        | Op::Lop3 { .. }
+        | Op::Shf { .. }
+        | Op::Mov { .. }
+        | Op::Sel { .. }
+        | Op::Isetp { .. }
+        | Op::P2r { .. }
+        | Op::R2p { .. }
+        | Op::S2r { .. } => PipeKind::Int,
+        Op::Ld { .. } | Op::St { .. } => PipeKind::Mio,
+        Op::Bra { .. } | Op::Exit | Op::BarSync => PipeKind::Ctrl,
+        Op::Nop => PipeKind::None,
+    }
+}
+
+/// FP32 FLOPs per lane for an op.
+fn flops_of(op: &Op) -> u64 {
+    match op {
+        Op::Ffma { .. } => 2,
+        Op::Fadd { .. } | Op::Fmul { .. } => 1,
+        // Paired fp16 ops do two element-operations per lane (§8.3's 2×).
+        Op::Hfma2 { .. } => 4,
+        Op::Hadd2 { .. } | Op::Hmul2 { .. } => 2,
+        _ => 0,
+    }
+}
+
+/// Extra FP32-pipe cycles from register-bank conflicts.
+///
+/// Volta/Turing have two 64-bit banks (even/odd register index). Per the
+/// paper's footnote 6, an FFMA whose three source registers all fall in one
+/// bank occupies the pipe one extra cycle; operands served from the reuse
+/// cache don't touch the bank.
+fn reg_bank_conflict(inst: &Instruction, reuse_cache: &[Option<Reg>; 4]) -> bool {
+    let mut even = Vec::new();
+    let mut odd = Vec::new();
+    for (slot, r) in inst.op.src_regs() {
+        if r.is_rz() {
+            continue;
+        }
+        // Served by the reuse cache? The latch is armed by the *previous*
+        // instruction's reuse flag; the consumer needs no flag of its own.
+        if reuse_cache[slot as usize] == Some(r) {
+            continue;
+        }
+        let v = if r.0 & 1 == 0 { &mut even } else { &mut odd };
+        if !v.contains(&r) {
+            v.push(r);
+        }
+    }
+    even.len() >= 3 || odd.len() >= 3
+}
+
+/// Time one kernel launch on `gpu`. Executes the simulated wave functionally
+/// (the blocks it simulates really run), then scales to the whole grid.
+pub fn time_kernel(
+    gpu: &mut Gpu,
+    module: &Module,
+    dims: LaunchDims,
+    params: &[u8],
+    opts: TimingOptions,
+) -> Result<KernelTiming, LaunchError> {
+    let device = gpu.device.clone();
+    let tpb = dims.threads_per_block();
+    let occupancy = device.blocks_per_sm(tpb, module.info.num_regs as u32, module.info.smem_bytes);
+    if occupancy == 0 {
+        return Err(LaunchError::BadBlockShape(format!(
+            "kernel cannot be resident: {} regs, {} B smem, {} threads",
+            module.info.num_regs, module.info.smem_bytes, tpb
+        )));
+    }
+    let total_blocks = dims.num_blocks();
+    let resident = opts
+        .blocks_per_sm
+        .unwrap_or(occupancy)
+        .min(total_blocks.max(1) as u32)
+        .max(1);
+
+    let cbank = ConstBank::new(dims.block, dims.grid, params);
+    let warps_per_block = tpb.div_ceil(WARP_SIZE) as usize;
+    let num_warps = warps_per_block * resident as usize;
+
+    // Architectural state: `resident` blocks, each with its own smem.
+    let mut smems: Vec<Vec<u8>> = (0..resident)
+        .map(|_| vec![0u8; module.info.smem_bytes as usize])
+        .collect();
+    let mut slots: Vec<WarpSlot> = (0..num_warps)
+        .map(|i| {
+            let block = i / warps_per_block;
+            let w = (i % warps_per_block) as u32;
+            let base = w * WARP_SIZE;
+            let lanes = (tpb - base).min(WARP_SIZE);
+            WarpSlot {
+                warp: Warp::new(module.info.num_regs.max(1), base, lanes),
+                block,
+                ready_at: 0,
+                sb_pending: [0; 6],
+                at_barrier: false,
+                reuse_cache: [None; 4],
+                last_yield: true,
+            }
+        })
+        .collect();
+    // Map resident block index -> actual grid coordinates. Block 0 of the
+    // grid serves as an L2 warm-up block (see below), so the timed wave
+    // uses blocks 1..=resident when the grid is large enough — a
+    // steady-state wave whose neighbours have already pulled the shared
+    // (filter) data into L2.
+    let warm = total_blocks > resident as u64;
+    let block_coord = move |b: usize| -> [u32; 3] {
+        let i = b as u64 + if warm { 1 } else { 0 };
+        [
+            (i % dims.grid[0] as u64) as u32,
+            ((i / dims.grid[0] as u64) % dims.grid[1] as u64) as u32,
+            (i / (dims.grid[0] as u64 * dims.grid[1] as u64)) as u32,
+        ]
+    };
+
+    let schedulers = device.schedulers_per_sm as usize;
+    // Warp -> scheduler assignment, round-robin like hardware.
+    let sched_of = |w: usize| w % schedulers;
+
+    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut l2 = L2Cache::new(device.l2_bytes);
+    // L1: whatever the combined L1/shared capacity leaves after the resident
+    // blocks' shared-memory allocations. Sectored, write-through/no-allocate.
+    let smem_used = resident as u64 * module.info.smem_bytes as u64;
+    let l1_bytes = (device.l1_smem_combined as u64).saturating_sub(smem_used).max(4 * 1024);
+    let mut l1 = L2Cache::new(l1_bytes);
+    if warm {
+        warm_l2(gpu, module, &cbank, [0, 0, 0], dims.block, &mut l2)?;
+    }
+
+    // Per-scheduler state.
+    let mut fp_busy = vec![0u64; schedulers];
+    let mut int_busy = vec![0u64; schedulers];
+    let mut sched_free = vec![0u64; schedulers];
+    let mut last_warp: Vec<Option<usize>> = vec![None; schedulers];
+    // Per-SM MIO pipe.
+    let mut mio_busy = 0u64;
+    // Memory-backend service queue: each SM gets a fair share of L2/DRAM
+    // bandwidth; sector service times accumulate here so bursty load
+    // streams see queueing delay, not just fixed latency. This is what
+    // makes the §3.3 arithmetic-intensity argument live: a kernel whose
+    // sector demand outruns its share becomes memory-throughput-bound.
+    let mut mem_q: f64 = 0.0;
+    let l2_cycles_per_sector = 32.0 * device.num_sms as f64 * device.clock_hz / device.l2_bw;
+    let dram_cycles_per_sector = 32.0 * device.num_sms as f64 * device.clock_hz / device.dram_bw;
+
+    // Counters.
+    let mut cycle: u64 = 0;
+    let mut fp_active: u64 = 0;
+    let mut issued: u64 = 0;
+    let mut flops_wave: u64 = 0;
+    let mut dram_bytes_wave: u64 = 0;
+    let mut reg_conflicts: u64 = 0;
+    let mut smem_conflict_cycles: u64 = 0;
+    let mut yield_switches: u64 = 0;
+    let mut idle_attr = [0u64; 5];
+    // Region accounting.
+    let region = opts.region;
+    let mut region_first: Option<u64> = None;
+    let mut region_last: u64 = 0;
+    let mut region_fp_active: u64 = 0;
+
+    let live = |slots: &Vec<WarpSlot>| slots.iter().any(|s| !s.warp.exited);
+    let mut guard_iter: u64 = 0;
+    let max_cycles: u64 = 5_000_000_000;
+
+    while live(&slots) {
+        guard_iter += 1;
+        if cycle > max_cycles || guard_iter > max_cycles {
+            return Err(LaunchError::BadBlockShape("timing simulation did not converge".into()));
+        }
+        // Deliver due scoreboard completions.
+        while let Some(Reverse(ev)) = events.peek() {
+            if ev.cycle > cycle {
+                break;
+            }
+            let ev = events.pop().unwrap().0;
+            if let Some((reg0, mask, values)) = &ev.writeback {
+                for (j, vals) in values.iter().enumerate() {
+                    let reg = &mut slots[ev.warp].warp.regs[*reg0 as usize + j];
+                    for lane in 0..32 {
+                        if mask & (1 << lane) != 0 {
+                            reg[lane] = vals[lane];
+                        }
+                    }
+                }
+            }
+            let p = &mut slots[ev.warp].sb_pending[ev.barrier as usize];
+            *p = p.saturating_sub(1);
+        }
+
+        let mut any_issue_possible_later = false;
+        for s in 0..schedulers {
+            if sched_free[s] > cycle {
+                any_issue_possible_later = true;
+                continue;
+            }
+            // Candidate warps on this scheduler; classify blockers for the
+            // idle-attribution counters.
+            let mut candidates: Vec<usize> = Vec::new();
+            let mut blockers = [false; 5]; // barrier, sb, mio, stall, empty
+            for w in (0..num_warps).filter(|&w| sched_of(w) == s) {
+                let slot = &slots[w];
+                if slot.warp.exited {
+                    continue;
+                }
+                if slot.at_barrier {
+                    blockers[0] = true;
+                    continue;
+                }
+                if slot.ready_at > cycle {
+                    blockers[3] = true;
+                    continue;
+                }
+                let pc = match slot.warp.current_ctx() {
+                    Some(c) => c.pc,
+                    None => continue,
+                };
+                let inst = match module.insts.get(pc as usize) {
+                    Some(i) => i,
+                    None => continue, // will fault at issue; let it through
+                };
+                // Scoreboard waits.
+                let mut blocked = false;
+                for b in 0..6 {
+                    if inst.ctrl.wait_mask & (1 << b) != 0 && slot.sb_pending[b] > 0 {
+                        blocked = true;
+                        break;
+                    }
+                }
+                if blocked {
+                    blockers[1] = true;
+                    continue;
+                }
+                // Structural hazards.
+                match pipe_of(&inst.op) {
+                    PipeKind::Fp32 if fp_busy[s] > cycle => continue,
+                    PipeKind::Int if int_busy[s] > cycle => continue,
+                    PipeKind::Mio if mio_busy > cycle + 3 => {
+                        blockers[2] = true;
+                        continue;
+                    }
+                    _ => {}
+                }
+                candidates.push(w);
+            }
+            if candidates.is_empty() {
+                if fp_busy[s] <= cycle {
+                    // Attribute the idle issue slot to the highest-priority
+                    // blocker observed.
+                    let idx = blockers.iter().position(|&b| b).unwrap_or(4);
+                    idle_attr[idx] += 1;
+                }
+                continue;
+            }
+            any_issue_possible_later = true;
+
+            // Yield policy: prefer the last warp when its last instruction
+            // had the yield flag set; otherwise prefer a different warp.
+            let prev = last_warp[s];
+            let stay = prev.filter(|p| candidates.contains(p) && slots[*p].last_yield);
+            let chosen = match stay {
+                Some(p) => p,
+                None => {
+                    // Round-robin away from prev.
+                    let start = prev.map_or(0, |p| p + 1);
+                    *candidates
+                        .iter()
+                        .min_by_key(|&&w| (w + num_warps - start % num_warps) % num_warps)
+                        .unwrap()
+                }
+            };
+            let switched = prev != Some(chosen);
+            if switched && prev.is_some() {
+                yield_switches += 1;
+                sched_free[s] = cycle + 2;
+            } else {
+                sched_free[s] = cycle + 1;
+            }
+            last_warp[s] = Some(chosen);
+
+            // Issue: execute functionally.
+            let block = slots[chosen].block;
+            let ctaid = block_coord(block);
+            let pc = slots[chosen].warp.current_ctx().unwrap().pc;
+            let inst = module.insts[pc as usize];
+            if opts.strict_writeback {
+                // Direct poison detection: reading a register whose load has
+                // not completed is a schedule hazard — report it precisely.
+                for (_, r) in inst.op.src_regs() {
+                    if r.is_rz() {
+                        continue;
+                    }
+                    let regs = &slots[chosen].warp.regs[r.0 as usize];
+                    for lane in 0..32 {
+                        if regs[lane] == 0x7fba_dbad {
+                            return Err(LaunchError::Exec(crate::exec::ExecError {
+                                ctaid,
+                                warp: (chosen % warps_per_block) as u32,
+                                pc,
+                                inst: sass::disasm::inst_text(&inst),
+                                msg: format!(
+                                    "schedule hazard: {} lane {} read before its load completed (poison)",
+                                    r, lane
+                                ),
+                            }));
+                        }
+                    }
+                }
+            }
+            let (event, trace) = {
+                let slot = &mut slots[chosen];
+                let mut env = ExecEnv {
+                    global: &mut gpu.mem,
+                    smem: &mut smems[block],
+                    cbank: &cbank,
+                    ctaid,
+                    block_dim: dims.block,
+                };
+                step(&mut slot.warp, &module.insts, &mut env, (chosen % warps_per_block) as u32)
+                    .map_err(LaunchError::Exec)?
+            };
+            issued += 1;
+
+            // Strict writeback: capture the freshly-loaded destination
+            // registers, poison them, and defer the real values to the
+            // scoreboard-completion event.
+            let mut wb: Option<(u8, u32, Vec<[u32; 32]>)> = None;
+            if opts.strict_writeback && !trace.is_store && trace.exec_mask != 0 {
+                if let Op::Ld { d, width, .. } = inst.op {
+                    if !d.is_rz() && inst.ctrl.write_bar.is_some() {
+                        let n = width.regs() as usize;
+                        let mut vals = Vec::with_capacity(n);
+                        let slot = &mut slots[chosen];
+                        for j in 0..n {
+                            let r = d.0 as usize + j;
+                            vals.push(slot.warp.regs[r]);
+                            for lane in 0..32 {
+                                if trace.exec_mask & (1 << lane) != 0 {
+                                    slot.warp.regs[r][lane] = 0x7fba_dbad; // poison NaN
+                                }
+                            }
+                        }
+                        wb = Some((d.0, trace.exec_mask, vals));
+                    }
+                }
+            }
+
+            let in_region = region.map_or(true, |(a, b)| pc >= a && pc < b);
+            if in_region {
+                if region_first.is_none() {
+                    region_first = Some(cycle);
+                }
+                region_last = cycle;
+            }
+
+            // Account cost per pipe.
+            let active_lanes = 32u64; // cost is per warp instruction
+            let _ = active_lanes;
+            match pipe_of(&inst.op) {
+                PipeKind::Fp32 => {
+                    let mut occ = 2u64;
+                    if reg_bank_conflict(&inst, &slots[chosen].reuse_cache) {
+                        occ += 1;
+                        reg_conflicts += 1;
+                    }
+                    fp_busy[s] = cycle + occ;
+                    fp_active += 2; // useful cycles only
+                    if in_region {
+                        region_fp_active += 2;
+                    }
+                    let fl = flops_of(&inst.op) * 32;
+                    flops_wave += fl;
+                }
+                PipeKind::Int => {
+                    int_busy[s] = cycle + 2;
+                }
+                PipeKind::Mio => {
+                    let start = mio_busy.max(cycle);
+                    match inst.op {
+                        Op::Ld { space: MemSpace::Shared, .. } | Op::St { space: MemSpace::Shared, .. } => {
+                            let phases = smem_phases(&trace.shared_addrs, trace.width) as u64;
+                            let ideal = (trace.width as u64 * trace.shared_addrs.len() as u64).div_ceil(128);
+                            smem_conflict_cycles += phases.saturating_sub(ideal.max(1));
+                            mio_busy = start + phases.max(1);
+                            let done = mio_busy + device.smem_latency as u64;
+                            if let Some(b) = inst.ctrl.write_bar {
+                                slots[chosen].sb_pending[b as usize] += 1;
+                                events.push(Reverse(Event { cycle: done, warp: chosen, barrier: b, writeback: wb.take() }));
+                            }
+                            if let Some(b) = inst.ctrl.read_bar {
+                                slots[chosen].sb_pending[b as usize] += 1;
+                                events.push(Reverse(Event { cycle: mio_busy + 2, warp: chosen, barrier: b, writeback: None }));
+                            }
+                        }
+                        Op::Ld { space: MemSpace::Global, .. } | Op::St { space: MemSpace::Global, .. } => {
+                            let sectors = global_sectors(&trace.global_addrs, trace.width);
+                            let occ = (sectors.len() as u64).div_ceil(4).max(1);
+                            mio_busy = start + occ;
+                            let mut worst = device.l1_latency as u64;
+                            let mut service = 0.0f64;
+                            for &sec in &sectors {
+                                if trace.is_store {
+                                    // Write-through, no-allocate; keep L1
+                                    // coherent by dropping the stale sector.
+                                    l1.invalidate(sec * 32);
+                                    let hit = l2.access(sec * 32);
+                                    if !hit {
+                                        dram_bytes_wave += 32;
+                                        service += dram_cycles_per_sector;
+                                    } else {
+                                        service += l2_cycles_per_sector;
+                                    }
+                                    continue;
+                                }
+                                if l1.access(sec * 32) {
+                                    continue; // L1 hit: no backend traffic
+                                }
+                                let hit = l2.access(sec * 32);
+                                if !hit {
+                                    dram_bytes_wave += 32;
+                                    worst = worst.max(device.l2_miss_latency as u64);
+                                    service += dram_cycles_per_sector;
+                                } else {
+                                    worst = worst.max(device.l2_hit_latency as u64);
+                                    service += l2_cycles_per_sector;
+                                }
+                            }
+                            mem_q = mem_q.max(cycle as f64) + service;
+                            // Completion cannot precede backend service.
+                            let backend_done = mem_q as u64;
+                            if trace.is_store {
+                                // Stores: sources are read at MIO entry.
+                                if let Some(b) = inst.ctrl.read_bar {
+                                    slots[chosen].sb_pending[b as usize] += 1;
+                                    events.push(Reverse(Event { cycle: mio_busy + 2, warp: chosen, barrier: b, writeback: None }));
+                                }
+                            } else {
+                                let done = (mio_busy + worst).max(backend_done);
+                                if let Some(b) = inst.ctrl.write_bar {
+                                    slots[chosen].sb_pending[b as usize] += 1;
+                                    events.push(Reverse(Event { cycle: done, warp: chosen, barrier: b, writeback: wb.take() }));
+                                }
+                                if let Some(b) = inst.ctrl.read_bar {
+                                    slots[chosen].sb_pending[b as usize] += 1;
+                                    events.push(Reverse(Event { cycle: mio_busy + 2, warp: chosen, barrier: b, writeback: None }));
+                                }
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                PipeKind::Ctrl | PipeKind::None => {
+                    int_busy[s] = cycle + 1;
+                }
+            }
+
+            // Control-code bookkeeping. A cleared yield flag costs the
+            // scheduler one extra issue cycle beyond the switch preference
+            // (§5.1.4: "this will take one more clock cycle") — an
+            // unhidable slot loss, which is why the paper's "Natural"
+            // strategy wins (§6.1).
+            if !inst.ctrl.yield_flag {
+                sched_free[s] = sched_free[s].max(cycle + 3);
+            }
+            let slot = &mut slots[chosen];
+            slot.ready_at = cycle + (inst.ctrl.stall.max(1)) as u64;
+            slot.last_yield = inst.ctrl.yield_flag;
+            // Update reuse cache: latch flagged operand registers. A cleared
+            // yield flag disables the instruction's own reuse latch (§5.1.4:
+            // switching "disables the register reuse cache").
+            let srcs = inst.op.src_regs();
+            for sl in 0..4u8 {
+                if inst.ctrl.reuse & (1 << sl) != 0 && inst.ctrl.yield_flag {
+                    slot.reuse_cache[sl as usize] =
+                        srcs.iter().find(|(s2, _)| *s2 == sl).map(|(_, r)| *r);
+                } else if pipe_of(&inst.op) == PipeKind::Fp32 {
+                    slot.reuse_cache[sl as usize] = None;
+                }
+            }
+
+            match event {
+                StepEvent::Barrier => {
+                    slot.at_barrier = true;
+                    // Release when all live warps of the block arrived.
+                    let (mut waiting, mut live_block) = (0, 0);
+                    for w2 in (0..num_warps).filter(|&w2| slots[w2].block == block) {
+                        if !slots[w2].warp.exited {
+                            live_block += 1;
+                            if slots[w2].at_barrier {
+                                waiting += 1;
+                            }
+                        }
+                    }
+                    if waiting == live_block {
+                        for w2 in 0..num_warps {
+                            if slots[w2].block == block {
+                                slots[w2].at_barrier = false;
+                            }
+                        }
+                    }
+                }
+                StepEvent::Exited => {
+                    // May release a barrier the exiting warp was gating.
+                    let (mut waiting, mut live_block) = (0, 0);
+                    for w2 in (0..num_warps).filter(|&w2| slots[w2].block == block) {
+                        if !slots[w2].warp.exited {
+                            live_block += 1;
+                            if slots[w2].at_barrier {
+                                waiting += 1;
+                            }
+                        }
+                    }
+                    if live_block > 0 && waiting == live_block {
+                        for w2 in 0..num_warps {
+                            if slots[w2].block == block {
+                                slots[w2].at_barrier = false;
+                            }
+                        }
+                    }
+                }
+                StepEvent::Executed => {}
+            }
+        }
+
+        // Advance time: either 1 cycle, or jump to the next interesting time
+        // when nothing can issue.
+        if any_issue_possible_later {
+            cycle += 1;
+        } else {
+            let mut next = u64::MAX;
+            for s in 0..schedulers {
+                if sched_free[s] > cycle {
+                    next = next.min(sched_free[s]);
+                }
+                if fp_busy[s] > cycle {
+                    next = next.min(fp_busy[s]);
+                }
+                if int_busy[s] > cycle {
+                    next = next.min(int_busy[s]);
+                }
+            }
+            if mio_busy > cycle {
+                next = next.min(mio_busy);
+            }
+            for slot in &slots {
+                if !slot.warp.exited && !slot.at_barrier && slot.ready_at > cycle {
+                    next = next.min(slot.ready_at);
+                }
+            }
+            if let Some(Reverse(ev)) = events.peek() {
+                next = next.min(ev.cycle);
+            }
+            if next == u64::MAX {
+                if live(&slots) {
+                    return Err(LaunchError::BadBlockShape(
+                        "timing deadlock: live warps but nothing schedulable".into(),
+                    ));
+                }
+                break;
+            }
+            cycle = next.max(cycle + 1);
+        }
+    }
+
+    let wave_cycles = cycle.max(1);
+    let waves = total_blocks.div_ceil(resident as u64 * device.num_sms as u64).max(1);
+    // Blocks in the wave we actually simulated:
+    let simulated_blocks = resident as u64;
+    let flops_total = flops_wave as f64 * total_blocks as f64 / simulated_blocks as f64;
+    let dram_total = (dram_bytes_wave as f64 * total_blocks as f64 / simulated_blocks as f64) as u64;
+
+    let compute_time = waves as f64 * wave_cycles as f64 / device.clock_hz;
+    let dram_time = dram_total as f64 / device.dram_bw;
+    let time_s = compute_time.max(dram_time);
+
+    let region_cycles = match region_first {
+        Some(f) => region_last.saturating_sub(f).max(1),
+        None => 0,
+    };
+    let sol_total = fp_active as f64 / (schedulers as f64 * wave_cycles as f64);
+    let sol_base = if region.is_some() && region_cycles > 0 {
+        region_fp_active as f64 / (schedulers as f64 * region_cycles as f64)
+    } else {
+        sol_total
+    };
+
+    Ok(KernelTiming {
+        wave_cycles,
+        waves,
+        blocks_per_sm: resident,
+        total_blocks,
+        time_s,
+        flops: flops_total,
+        tflops: flops_total / time_s / 1e12,
+        sol_pct: 100.0 * sol_base,
+        sol_total_pct: 100.0 * sol_total,
+        issue_util_pct: 100.0 * issued as f64 / (schedulers as f64 * wave_cycles as f64),
+        dram_bytes: dram_total,
+        dram_time_s: dram_time,
+        region_cycles,
+        reg_bank_conflict_cycles: reg_conflicts,
+        smem_conflict_cycles,
+        yield_switch_cycles: yield_switches,
+        idle_breakdown: idle_attr,
+    })
+}
+
+/// Functionally execute one block, inserting every global-memory sector it
+/// touches into the L2 model (steady-state warm-up for the timed wave).
+fn warm_l2(
+    gpu: &mut Gpu,
+    module: &Module,
+    cbank: &ConstBank,
+    ctaid: [u32; 3],
+    block_dim: [u32; 3],
+    l2: &mut L2Cache,
+) -> Result<(), LaunchError> {
+    let tpb = block_dim[0] * block_dim[1] * block_dim[2];
+    let num_warps = tpb.div_ceil(WARP_SIZE);
+    let mut smem = vec![0u8; module.info.smem_bytes as usize];
+    let mut warps: Vec<Warp> = (0..num_warps)
+        .map(|w| {
+            let base = w * WARP_SIZE;
+            let lanes = (tpb - base).min(WARP_SIZE);
+            Warp::new(module.info.num_regs.max(1), base, lanes)
+        })
+        .collect();
+    let mut at_barrier = vec![false; num_warps as usize];
+    let mut steps: u64 = 0;
+    const WARM_STEP_LIMIT: u64 = 500_000_000;
+    loop {
+        let mut all_done = true;
+        for w in 0..num_warps as usize {
+            if warps[w].exited || at_barrier[w] {
+                all_done &= warps[w].exited;
+                continue;
+            }
+            all_done = false;
+            loop {
+                steps += 1;
+                if steps > WARM_STEP_LIMIT {
+                    return Err(LaunchError::BadBlockShape(
+                        "warm-up block exceeded the instruction-step limit (infinite loop?)".into(),
+                    ));
+                }
+                let mut env = ExecEnv {
+                    global: &mut gpu.mem,
+                    smem: &mut smem,
+                    cbank,
+                    ctaid,
+                    block_dim,
+                };
+                let (event, trace) =
+                    step(&mut warps[w], module.insts.as_slice(), &mut env, w as u32).map_err(LaunchError::Exec)?;
+                for sec in global_sectors(&trace.global_addrs, trace.width.max(1)) {
+                    l2.access(sec * 32);
+                }
+                match event {
+                    StepEvent::Executed => {}
+                    StepEvent::Barrier => {
+                        at_barrier[w] = true;
+                        break;
+                    }
+                    StepEvent::Exited => break,
+                }
+            }
+        }
+        if all_done {
+            return Ok(());
+        }
+        let waiting = at_barrier.iter().filter(|&&b| b).count();
+        let live = warps.iter().filter(|w| !w.exited).count();
+        if live > 0 && waiting == live {
+            at_barrier.iter_mut().for_each(|b| *b = false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::memory::ParamBuilder;
+    use sass::assemble;
+
+    #[test]
+    fn smem_phase_math() {
+        // 32 lanes, consecutive 4B: one phase, no conflict.
+        let addrs: Vec<u32> = (0..32).map(|l| l * 4).collect();
+        assert_eq!(smem_phases(&addrs, 4), 1);
+        // All lanes hit the same bank, different words: 32-way conflict.
+        let addrs: Vec<u32> = (0..32).map(|l| l * 128).collect();
+        assert_eq!(smem_phases(&addrs, 4), 32);
+        // Broadcast: all lanes same word: 1 phase.
+        let addrs: Vec<u32> = vec![64; 32];
+        assert_eq!(smem_phases(&addrs, 4), 1);
+        // 128-bit, lanes consecutive 16B: 4 phases of 8 lanes, each phase
+        // covers all 32 banks once.
+        let addrs: Vec<u32> = (0..32).map(|l| l * 16).collect();
+        assert_eq!(smem_phases(&addrs, 16), 4);
+        // 128-bit, all lanes load the same 16B: still 4 phases (broadcast).
+        let addrs: Vec<u32> = vec![0; 32];
+        assert_eq!(smem_phases(&addrs, 16), 4);
+        // 128-bit with a 2-way conflict inside each phase: within each
+        // 8-lane phase, half the lanes sit 512 B away (same banks, different
+        // words).
+        let addrs: Vec<u32> = (0..32).map(|l| (l % 4) * 16 + (l % 8 / 4) * 512).collect();
+        assert_eq!(smem_phases(&addrs, 16), 8);
+        // ...whereas a uniform 512 B split across *phases* is conflict-free.
+        let addrs: Vec<u32> = (0..32).map(|l| (l % 8) * 16 + (l / 8 % 2) * 512).collect();
+        assert_eq!(smem_phases(&addrs, 16), 4);
+    }
+
+    #[test]
+    fn sector_coalescing() {
+        // Fully coalesced 32×4B: 4 sectors.
+        let addrs: Vec<u64> = (0..32).map(|l| 0x1000 + l * 4).collect();
+        assert_eq!(global_sectors(&addrs, 4).len(), 4);
+        // Strided by 128: 32 sectors.
+        let addrs: Vec<u64> = (0..32).map(|l| 0x1000 + l * 128).collect();
+        assert_eq!(global_sectors(&addrs, 4).len(), 32);
+        // 128-bit coalesced: 16 sectors.
+        let addrs: Vec<u64> = (0..32).map(|l| 0x1000 + l * 16).collect();
+        assert_eq!(global_sectors(&addrs, 16).len(), 16);
+    }
+
+    /// A pure-FFMA kernel should run the FP32 pipe near 100% and achieve
+    /// close to peak TFLOPS.
+    #[test]
+    fn ffma_kernel_approaches_peak() {
+        // 8 warps/SM, each issuing a long stream of independent FFMAs.
+        let mut body = String::from(".kernel peak\n");
+        body.push_str("MOV R2, 0x3f800000;\nMOV R3, 0x3f800000;\n");
+        body.push_str("MOV R63, 0x200;\nLOOP:\n");
+        for i in 0..64 {
+            let d = 4 + (i % 32);
+            body.push_str(&format!("--:-:-:Y:1  FFMA R{d}, R2, R3, R{d};\n"));
+        }
+        body.push_str("IADD3 R63, R63, -1, RZ;\n");
+        body.push_str("ISETP.GT.AND P0, PT, R63, 0, PT;\n");
+        body.push_str("--:-:-:Y:5  @P0 BRA `(LOOP);\nEXIT;\n");
+        let m = assemble(&body).unwrap();
+        let mut gpu = Gpu::new(DeviceSpec::rtx2070(), 1 << 20);
+        // Grid sized to one full wave at the computed occupancy (4 blocks
+        // of 256 threads per SM × 36 SMs).
+        let t = time_kernel(
+            &mut gpu,
+            &m,
+            LaunchDims::linear(144, 256),
+            &[],
+            TimingOptions::default(),
+        )
+        .unwrap();
+        let peak = DeviceSpec::rtx2070().peak_fp32_flops() / 1e12;
+        assert!(
+            t.tflops > 0.85 * peak && t.tflops <= peak * 1.01,
+            "tflops {} vs peak {peak}",
+            t.tflops
+        );
+        assert!(t.sol_pct > 85.0, "SOL {}", t.sol_pct);
+    }
+
+    /// Register-bank conflicts must slow the FP pipe measurably, and the
+    /// reuse flag must recover the loss.
+    #[test]
+    fn bank_conflicts_and_reuse() {
+        let build = |conflict: bool, reuse: bool| {
+            let mut body = String::from(".kernel bk\nMOV R63, 0x100;\nLOOP:\n");
+            for i in 0..32 {
+                let d = 4 + i;
+                // Sources R2, R4, R6 all even = conflict; R2, R5 mixed = none.
+                let (a, b, c) = if conflict { (2, 4, 6) } else { (2, 5, 6) };
+                let r = if reuse { ".reuse" } else { "" };
+                body.push_str(&format!("--:-:-:Y:1  FFMA R{d}, R{a}, R{b}{r}, R{c};\n"));
+            }
+            body.push_str("IADD3 R63, R63, -1, RZ;\nISETP.GT.AND P0, PT, R63, 0, PT;\n@P0 BRA `(LOOP);\nEXIT;\n");
+            assemble(&body).unwrap()
+        };
+        let run = |m: &sass::Module| {
+            let mut gpu = Gpu::new(DeviceSpec::rtx2070(), 1 << 20);
+            time_kernel(&mut gpu, m, LaunchDims::linear(36, 256), &[], TimingOptions::default()).unwrap()
+        };
+        let clean = run(&build(false, false));
+        let conflicted = run(&build(true, false));
+        let reused = run(&build(true, true));
+        assert!(
+            conflicted.wave_cycles as f64 > 1.3 * clean.wave_cycles as f64,
+            "conflict {} vs clean {}",
+            conflicted.wave_cycles,
+            clean.wave_cycles
+        );
+        // Reuse covers the repeated operand, removing the conflict.
+        assert!(
+            (reused.wave_cycles as f64) < 1.1 * clean.wave_cycles as f64,
+            "reused {} vs clean {}",
+            reused.wave_cycles,
+            clean.wave_cycles
+        );
+        assert!(conflicted.reg_bank_conflict_cycles > 0);
+        // Only cold-start FFMAs (empty reuse cache) may conflict when reuse
+        // is on; steady state must be clean.
+        assert!(
+            reused.reg_bank_conflict_cycles * 100 < conflicted.reg_bank_conflict_cycles,
+            "reused {} conflicted {}",
+            reused.reg_bank_conflict_cycles,
+            conflicted.reg_bank_conflict_cycles
+        );
+    }
+
+    /// A streaming-load kernel must be DRAM-bandwidth-bound.
+    #[test]
+    fn streaming_load_hits_bandwidth_wall() {
+        let m = assemble(
+            r#"
+.kernel stream
+.params 16
+    --:-:-:Y:1  S2R R0, SR_TID.X;
+    --:-:-:Y:1  S2R R1, SR_CTAID.X;
+    --:-:-:Y:6  MOV R10, c[0x0][0x160];
+    --:-:-:Y:6  MOV R11, c[0x0][0x164];
+    --:-:-:Y:6  IMAD R2, R1, 0x100, R0;
+    --:-:-:Y:6  IMAD.WIDE.U32 R2, R2, 0x10, R10;
+    --:-:0:-:2  LDG.E.128 R4, [R2];
+    01:-:-:Y:4  FADD R8, R4, R5;
+    --:-:-:Y:6  IMAD.WIDE.U32 R4, R1, 0x4, R10;
+    --:-:-:Y:2  STG.E [R4], R8;
+    --:-:-:Y:5  EXIT;
+"#,
+        )
+        .unwrap();
+        let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 28);
+        let blocks = 4096u32;
+        let buf = gpu.alloc(blocks as u64 * 256 * 16);
+        let params = ParamBuilder::new().push_ptr(buf).build();
+        let t = time_kernel(&mut gpu, &m, LaunchDims::linear(blocks, 256), &params, TimingOptions::default()).unwrap();
+        // Each block loads 256 × 16 B = 4 KiB of unique data.
+        assert!(t.dram_bytes as f64 > 0.8 * blocks as f64 * 4096.0, "dram {}", t.dram_bytes);
+        // The DRAM bound should be a visible fraction of the total time.
+        assert!(t.dram_time_s > 0.2 * t.time_s, "dram {} total {}", t.dram_time_s, t.time_s);
+    }
+
+    /// More resident warps hide memory latency better: occupancy 2 beats
+    /// occupancy 1 for a latency-bound kernel (the §7.1 mechanism).
+    #[test]
+    fn occupancy_hides_latency() {
+        let m = assemble(
+            r#"
+.kernel lat
+.params 16
+    --:-:-:Y:1  S2R R0, SR_TID.X;
+    --:-:-:Y:1  S2R R1, SR_CTAID.X;
+    --:-:-:Y:6  MOV R10, c[0x0][0x160];
+    --:-:-:Y:6  MOV R11, c[0x0][0x164];
+    --:-:-:Y:6  MOV R20, 0x20;
+    --:-:-:Y:6  IMAD R2, R1, 0x40, R0;
+    --:-:-:Y:6  IMAD.WIDE.U32 R2, R2, 0x4, R10;
+LOOP:
+    --:-:0:-:2  LDG.E R4, [R2];
+    01:-:-:Y:4  FADD R8, R8, R4;
+    --:-:-:Y:4  IADD3 R20, R20, -1, RZ;
+    --:-:-:Y:4  ISETP.GT.AND P0, PT, R20, 0, PT;
+    --:-:-:Y:5  @P0 BRA `(LOOP);
+    --:-:-:Y:2  STG.E [R2], R8;
+    --:-:-:Y:5  EXIT;
+"#,
+        )
+        .unwrap();
+        let run = |resident: u32| {
+            let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 24);
+            let buf = gpu.alloc(1 << 20);
+            let params = ParamBuilder::new().push_ptr(buf).build();
+            time_kernel(
+                &mut gpu,
+                &m,
+                LaunchDims::linear(160, 64),
+                &params,
+                TimingOptions { blocks_per_sm: Some(resident), ..Default::default() },
+            )
+            .unwrap()
+        };
+        let occ1 = run(1);
+        let occ2 = run(2);
+        // Two resident blocks per SM halve the wave count and overlap
+        // latency; total time must improve.
+        assert!(
+            occ2.time_s < 0.8 * occ1.time_s,
+            "occ2 {} vs occ1 {}",
+            occ2.time_s,
+            occ1.time_s
+        );
+    }
+
+    /// The functional result produced during a timing run matches launch().
+    #[test]
+    fn timing_run_is_functionally_correct() {
+        let m = assemble(
+            r#"
+.kernel sq
+.params 16
+    --:-:-:Y:1  S2R R0, SR_TID.X;
+    --:-:-:Y:1  S2R R1, SR_CTAID.X;
+    --:-:-:Y:6  MOV R10, c[0x0][0x160];
+    --:-:-:Y:6  MOV R11, c[0x0][0x164];
+    --:-:-:Y:6  IMAD R2, R1, 0x20, R0;
+    --:-:-:Y:6  IMAD.WIDE.U32 R2, R2, 0x4, R10;
+    --:-:0:-:2  LDG.E R4, [R2];
+    01:-:-:Y:4  FMUL R4, R4, R4;
+    --:-:-:Y:2  STG.E [R2], R4;
+    --:-:-:Y:5  EXIT;
+"#,
+        )
+        .unwrap();
+        let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 20);
+        let x: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let xp = gpu.alloc_upload_f32(&x);
+        let params = ParamBuilder::new().push_ptr(xp).build();
+        // Grid of 2 blocks × 32 threads; V100 has 80 SMs so one wave covers
+        // everything and both blocks are simulated.
+        time_kernel(&mut gpu, &m, LaunchDims::linear(2, 32), &params, TimingOptions::default()).unwrap();
+        let out = gpu.mem.download_f32(xp, 64).unwrap();
+        for i in 0..64 {
+            assert_eq!(out[i], (i * i) as f32);
+        }
+    }
+}

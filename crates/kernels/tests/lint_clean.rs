@@ -1,0 +1,61 @@
+//! Every emitted kernel must be schedule-hazard-free: the emitter's
+//! auto-repair pass (sass::lint::fix_schedule) runs at build time, and this
+//! test pins the invariant so schedule regressions fail loudly.
+
+use kernels::filter_transform::emit_filter_transform;
+use kernels::gemm::{GemmConfig, GemmKernel};
+use kernels::{FusedConfig, FusedKernel};
+
+fn assert_clean(name: &str, insts: &[sass::Instruction]) {
+    let d = sass::lint(insts);
+    assert!(
+        d.is_empty(),
+        "{name}: {} hazards, first: {}",
+        d.len(),
+        d.first().map(|x| x.to_string()).unwrap_or_default()
+    );
+}
+
+#[test]
+fn fused_kernels_lint_clean() {
+    for cfg in [
+        FusedConfig::ours(64, 56, 56, 32, 64),
+        FusedConfig::ours(512, 7, 7, 128, 512),
+        FusedConfig::cudnn_like(64, 56, 56, 32, 32),
+        FusedConfig::cudnn_like(256, 14, 14, 96, 256),
+        {
+            let mut c = FusedConfig::ours(64, 28, 28, 32, 64);
+            c.use_p2r = false;
+            c
+        },
+        {
+            let mut c = FusedConfig::ours(64, 28, 28, 32, 64);
+            c.main_loop_only = true;
+            c
+        },
+    ] {
+        let kern = FusedKernel::emit(cfg);
+        assert_clean(&format!("fused bk={}", cfg.bk), &kern.module.insts);
+    }
+}
+
+#[test]
+fn gemm_kernels_lint_clean() {
+    for cfg in [
+        GemmConfig::new(64, 128, 8),
+        GemmConfig::new(512, 1024, 576).batched(36),
+        {
+            let mut c = GemmConfig::new(64, 128, 64);
+            c.extra_index_ops = 6;
+            c
+        },
+    ] {
+        assert_clean("gemm", &GemmKernel::emit(cfg).module.insts);
+    }
+}
+
+#[test]
+fn filter_transform_lints_clean() {
+    assert_clean("fx", &emit_filter_transform(64, 64).insts);
+    assert_clean("fx512", &emit_filter_transform(512, 512).insts);
+}

@@ -1,0 +1,90 @@
+//! The §8.1 model: fused `F(2×2,3×3)` vs non-fused `F(4×4,3×3)`.
+//!
+//! Fused F(2×2): assume data loading hides behind compute;
+//! `t = 2·N·C·H·W·K·R·S / (2.25 · FLOPS)`.
+//!
+//! Non-fused F(4×4): the GEMM runs at a 4× multiplication reduction but the
+//! transformed input (2.25× the original) must round-trip DRAM;
+//! `t = 2·N·C·H·W·K·R·S / (4 · FLOPS) + N·C·H·W·(1+2.25)·2·4 B / BW`.
+//!
+//! Setting the two equal at fixed `C = K` yields the break-even K —
+//! ≈ 129 on V100 and ≈ 127 on RTX 2070 per the paper, which matches the
+//! Fig. 12/13 observation that the non-fused version only wins on Conv5
+//! (K = 512) and loses on Conv2/3 (K ≤ 128, near the crossover).
+
+use gpusim::DeviceSpec;
+
+/// Per-image MACs of a 3×3 convolution over an `h×w` map with `c`→`k`
+/// channels at batch `n` (2 FLOPs per MAC).
+fn conv_flops(n: f64, c: f64, h: f64, w: f64, k: f64) -> f64 {
+    2.0 * n * c * h * w * k * 9.0
+}
+
+/// Predicted fused `F(2×2,3×3)` time (seconds).
+pub fn fused_f2_time(dev: &DeviceSpec, n: f64, c: f64, h: f64, w: f64, k: f64) -> f64 {
+    conv_flops(n, c, h, w, k) / (2.25 * dev.peak_fp32_flops())
+}
+
+/// Predicted non-fused `F(4×4,3×3)` time (seconds).
+pub fn nonfused_f4_time(dev: &DeviceSpec, n: f64, c: f64, h: f64, w: f64, k: f64) -> f64 {
+    let compute = conv_flops(n, c, h, w, k) / (4.0 * dev.peak_fp32_flops());
+    let traffic = n * c * h * w * (1.0 + 2.25) * 2.0 * 4.0 / dev.dram_bw;
+    compute + traffic
+}
+
+/// The K (= C) at which the two strategies tie, for any layer shape — the
+/// §8.1 analysis (the spatial extent cancels out of the model).
+pub fn break_even_k(dev: &DeviceSpec) -> f64 {
+    // fused = nonfused:
+    //   F/(2.25 P) = F/(4 P) + T  with F = α·K² (C = K) and T = β·K:
+    //   α K² (1/2.25 − 1/4)/P = β K  →  K = β P / (α (1/2.25 − 1/4)).
+    let alpha = 2.0 * 9.0; // per (n·h·w) unit, per K²
+    let beta = (1.0 + 2.25) * 2.0 * 4.0 / dev.dram_bw; // per (n·h·w) unit, per K
+    beta * dev.peak_fp32_flops() / (alpha * (1.0 / 2.25 - 1.0 / 4.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn break_even_matches_paper_values() {
+        // §8.1: "the break-even point for V100 is K = 129 … and the
+        // break-even point for RTX2070 is K = 127".
+        let v = break_even_k(&DeviceSpec::v100());
+        let t = break_even_k(&DeviceSpec::rtx2070());
+        assert!((v - 129.0).abs() < 5.0, "V100 break-even {v}");
+        assert!((t - 127.0).abs() < 5.0, "RTX2070 break-even {t}");
+    }
+
+    #[test]
+    fn fused_wins_below_nonfused_above() {
+        let dev = DeviceSpec::v100();
+        let k_be = break_even_k(&dev);
+        let small = k_be * 0.5;
+        let large = k_be * 2.0;
+        assert!(
+            fused_f2_time(&dev, 32.0, small, 28.0, 28.0, small)
+                < nonfused_f4_time(&dev, 32.0, small, 28.0, 28.0, small)
+        );
+        assert!(
+            fused_f2_time(&dev, 32.0, large, 28.0, 28.0, large)
+                > nonfused_f4_time(&dev, 32.0, large, 28.0, 28.0, large)
+        );
+    }
+
+    #[test]
+    fn conv5_prefers_nonfused_conv2_prefers_fused() {
+        // Matches Fig. 12/13: Conv5 (K=512) favours WINOGRAD_NONFUSED;
+        // Conv2 (K=64) favours the fused kernel.
+        let dev = DeviceSpec::rtx2070();
+        assert!(
+            nonfused_f4_time(&dev, 32.0, 512.0, 7.0, 7.0, 512.0)
+                < fused_f2_time(&dev, 32.0, 512.0, 7.0, 7.0, 512.0)
+        );
+        assert!(
+            fused_f2_time(&dev, 32.0, 64.0, 56.0, 56.0, 64.0)
+                < nonfused_f4_time(&dev, 32.0, 64.0, 56.0, 56.0, 64.0)
+        );
+    }
+}

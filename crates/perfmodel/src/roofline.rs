@@ -1,0 +1,132 @@
+//! The Figure 2 roofline model.
+//!
+//! Attainable TFLOPS at a given arithmetic intensity is
+//! `min(peak, intensity × bandwidth)`. The paper plots the Winograd steps
+//! (ITF, FTF, OTF — all memory-bound) and the batched-GEMM step at cache
+//! block sizes `bk = 32` and `bk = 64` against the V100's DRAM and L2 roofs.
+
+use gpusim::DeviceSpec;
+
+/// A labelled point on the roofline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RooflinePoint {
+    pub name: &'static str,
+    /// Arithmetic intensity, FLOPs per DRAM byte.
+    pub intensity: f64,
+}
+
+/// Arithmetic intensity of the input transform (ITF): 32 FADDs transform a
+/// 4×4 tile; traffic = 16 floats in + 16 out = 128 B → 0.25 ops/byte.
+pub const ITF_INTENSITY: f64 = 32.0 / 128.0;
+
+/// Filter transform (FTF): 28 float ops per tile; 9 floats in, 16 out.
+pub const FTF_INTENSITY: f64 = 28.0 / ((9.0 + 16.0) * 4.0);
+
+/// Output transform (OTF): 24 FADDs; 16 floats in, 4 out.
+pub const OTF_INTENSITY: f64 = 24.0 / ((16.0 + 4.0) * 4.0);
+
+/// Batched-GEMM (EWMM) step intensity at cache block size `bk` (§3.3).
+///
+/// Per main-loop iteration a block loads `16·bc·(bk + bn)` floats and
+/// computes `16·bk·bn·bc` MACs (2 FLOPs each). With `bn = 32, bc = 8`:
+/// `bk = 32` → 8 ops/byte, `bk = 64` → 10.67 ops/byte — the paper's "+33%".
+pub fn gemm_intensity(bk: f64) -> f64 {
+    let bn = 32.0;
+    let bc = 8.0;
+    let flops = 16.0 * bk * bn * bc * 2.0;
+    let bytes = 16.0 * bc * (bk + bn) * 4.0;
+    flops / bytes
+}
+
+/// Direct convolution (3×3) intensity at `bk = 64`: `2·9·bk·bn` MACs per
+/// `(bk + bn·9ish)` tile traffic — approximated the way Fig. 2 labels it,
+/// i.e. 2.25× the Winograd GEMM intensity.
+pub fn direct_conv_intensity(bk: f64) -> f64 {
+    2.25 * gemm_intensity(bk)
+}
+
+/// The labelled steps of Figure 2.
+pub const WINOGRAD_STEPS: [RooflinePoint; 3] = [
+    RooflinePoint { name: "ITF", intensity: ITF_INTENSITY },
+    RooflinePoint { name: "FTF", intensity: FTF_INTENSITY },
+    RooflinePoint { name: "OTF", intensity: OTF_INTENSITY },
+];
+
+/// Attainable TFLOPS on `dev` at `intensity` ops/byte against a roof with
+/// bandwidth `bw` bytes/s.
+pub fn attainable_tflops_vs(dev: &DeviceSpec, intensity: f64, bw: f64) -> f64 {
+    (dev.peak_fp32_flops() / 1e12).min(intensity * bw / 1e12)
+}
+
+/// Attainable TFLOPS against the DRAM roof.
+pub fn attainable_tflops(dev: &DeviceSpec, intensity: f64) -> f64 {
+    attainable_tflops_vs(dev, intensity, dev.dram_bw)
+}
+
+/// Effective L2 bandwidth used for the Fig. 2 L2 roof (the paper draws
+/// 2.5 TB/s for V100).
+pub fn l2_bandwidth(dev: &DeviceSpec) -> f64 {
+    match dev.name {
+        "V100" => 2.5e12,
+        _ => 1.8e12,
+    }
+}
+
+/// Ridge intensity: ops/byte at which the kernel turns compute-bound.
+pub fn ridge_intensity(dev: &DeviceSpec) -> f64 {
+    dev.peak_fp32_flops() / dev.dram_bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_intensity_matches_paper() {
+        // §3.3: bk=32 → 8 ops/byte; bk=64 → 10.67 ops/byte (+33%).
+        assert!((gemm_intensity(32.0) - 8.0).abs() < 1e-9);
+        assert!((gemm_intensity(64.0) - 32.0 / 3.0).abs() < 1e-9);
+        let gain = gemm_intensity(64.0) / gemm_intensity(32.0) - 1.0;
+        assert!((gain - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transforms_are_memory_bound_on_v100() {
+        let v100 = DeviceSpec::v100();
+        let ridge = ridge_intensity(&v100);
+        for step in WINOGRAD_STEPS {
+            assert!(
+                step.intensity < ridge,
+                "{} at {} ops/byte should sit under the ridge {}",
+                step.name,
+                step.intensity,
+                ridge
+            );
+            // All three transforms attain well under 10% of peak from DRAM.
+            let t = attainable_tflops(&v100, step.intensity);
+            assert!(t < 0.1 * v100.peak_fp32_flops() / 1e12, "{}: {t}", step.name);
+        }
+    }
+
+    #[test]
+    fn gemm_step_needs_l2_residency() {
+        // Fig. 2: even the batched GEMM needs "a certain level of L2 hit
+        // rate" — from DRAM alone it cannot reach peak, from L2 it can.
+        let v100 = DeviceSpec::v100();
+        let i64 = gemm_intensity(64.0);
+        assert!(attainable_tflops(&v100, i64) < v100.peak_fp32_flops() / 1e12);
+        assert!(
+            attainable_tflops_vs(&v100, i64, l2_bandwidth(&v100)) >= v100.peak_fp32_flops() / 1e12
+        );
+    }
+
+    #[test]
+    fn roofline_is_monotone_and_capped() {
+        let dev = DeviceSpec::rtx2070();
+        let a = attainable_tflops(&dev, 1.0);
+        let b = attainable_tflops(&dev, 10.0);
+        let c = attainable_tflops(&dev, 1e6);
+        assert!(a < b);
+        assert!((c - dev.peak_fp32_flops() / 1e12).abs() < 1e-9);
+    }
+}

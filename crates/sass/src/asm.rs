@@ -1,0 +1,818 @@
+//! The text assembler.
+//!
+//! Accepts maxas/TuringAs-style source: one instruction per line with an
+//! optional control-code prefix, optional guard predicate, labels, and
+//! directives. Example:
+//!
+//! ```text
+//! .kernel axpy
+//! .smem   0
+//! .params 24
+//! .def    tid R0
+//!
+//!         --:-:-:Y:1   S2R tid, SR_TID.X;
+//!         --:-:-:Y:6   MOV R2, c[0x0][0x160];
+//!         --:-:-:Y:6   MOV R3, c[0x0][0x164];
+//!         --:-:1:-:2   LDG.E R4, [R2];
+//! LOOP:
+//!         01:-:-:Y:4   FFMA R4, R4, 2.0, R4;
+//!         --:-:-:Y:5   @P0 BRA `(LOOP);
+//!         --:-:-:Y:5   EXIT;
+//! ```
+//!
+//! Register aliases (`.def name Rn`) play the role of TuringAs's register
+//! name mapping (§5.3); `.reuse` suffixes set the control-code reuse flags
+//! for the operand's slot.
+
+use std::collections::HashMap;
+
+use crate::ctrl::Ctrl;
+use crate::isa::*;
+use crate::module::Module;
+use crate::reg::{Pred, Reg, PT, RZ};
+
+/// Assembly error with 1-based source line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+/// Assemble a source string into a [`Module`].
+pub fn assemble(src: &str) -> Result<Module, AsmError> {
+    let mut name = "kernel".to_string();
+    let mut smem = 0u32;
+    let mut params = 0u32;
+    let mut defs: HashMap<String, Reg> = HashMap::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+
+    // Pass 1: directives, labels, and the list of instruction lines.
+    let mut inst_lines: Vec<(usize, String)> = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            // Directive or a `.Lx:` label.
+            if line.ends_with(':') {
+                labels.insert(line[..line.len() - 1].to_string(), inst_lines.len() as u32);
+                continue;
+            }
+            let mut it = rest.split_whitespace();
+            match it.next() {
+                Some("kernel") => {
+                    name = it.next().map(str::to_string).unwrap_or(name);
+                }
+                Some("smem") => {
+                    let v = it.next().ok_or(AsmError { line: lineno, msg: ".smem needs a value".into() })?;
+                    smem = parse_u32(v).map_err(|m| AsmError { line: lineno, msg: m })?;
+                }
+                Some("params") => {
+                    let v = it.next().ok_or(AsmError { line: lineno, msg: ".params needs a value".into() })?;
+                    params = parse_u32(v).map_err(|m| AsmError { line: lineno, msg: m })?;
+                }
+                Some("def") => {
+                    let (n, r) = match (it.next(), it.next()) {
+                        (Some(n), Some(r)) => (n, r),
+                        _ => return err(lineno, ".def needs a name and a register"),
+                    };
+                    let reg = parse_reg_name(r).ok_or(AsmError {
+                        line: lineno,
+                        msg: format!("bad register in .def: {r}"),
+                    })?;
+                    defs.insert(n.to_string(), reg);
+                }
+                other => return err(lineno, format!("unknown directive .{}", other.unwrap_or(""))),
+            }
+            continue;
+        }
+        if line.ends_with(':') && !line.contains(' ') {
+            labels.insert(line[..line.len() - 1].to_string(), inst_lines.len() as u32);
+            continue;
+        }
+        inst_lines.push((lineno, line));
+    }
+
+    // Pass 2: parse instructions.
+    let mut insts = Vec::with_capacity(inst_lines.len());
+    for (lineno, line) in inst_lines {
+        insts.push(parse_instruction(&line, lineno, &defs, &labels)?);
+    }
+    Ok(Module::new(name, smem, params, insts))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find("//").or_else(|| line.find('#')).unwrap_or(line.len());
+    &line[..cut]
+}
+
+fn parse_u32(s: &str) -> Result<u32, String> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).map_err(|e| format!("bad hex {s}: {e}"))
+    } else {
+        s.parse::<u32>().map_err(|e| format!("bad number {s}: {e}"))
+    }
+}
+
+fn parse_i32(s: &str) -> Result<i32, String> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('-') {
+        parse_u32(rest).map(|v| -(v as i64) as i32)
+    } else {
+        parse_u32(s).map(|v| v as i32)
+    }
+}
+
+fn parse_reg_name(s: &str) -> Option<Reg> {
+    if s == "RZ" {
+        return Some(RZ);
+    }
+    let n = s.strip_prefix('R')?;
+    let idx: u32 = n.parse().ok()?;
+    if idx < 255 {
+        Some(Reg(idx as u8))
+    } else {
+        None
+    }
+}
+
+fn parse_pred_name(s: &str) -> Option<Pred> {
+    if s == "PT" {
+        return Some(PT);
+    }
+    let n = s.strip_prefix('P')?;
+    let idx: u32 = n.parse().ok()?;
+    if idx < 7 {
+        Some(Pred(idx as u8))
+    } else {
+        None
+    }
+}
+
+/// Parsed operand, before per-mnemonic interpretation.
+#[derive(Clone, Debug)]
+enum Tok {
+    Reg { r: Reg, neg: bool, reuse: bool },
+    Pred { p: Pred, neg: bool },
+    Int { v: i64, hex: bool, neg: bool },
+    Float(f32),
+    Const { off: u16, neg: bool },
+    Addr(Addr),
+    Special(SpecialReg),
+    Label(String),
+    /// Anything unrecognized — surfaced verbatim in error messages.
+    Word(String),
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Word(w) => format!("unrecognized token `{w}`"),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+struct Ctx<'a> {
+    line: usize,
+    defs: &'a HashMap<String, Reg>,
+    labels: &'a HashMap<String, u32>,
+}
+
+fn parse_operand(s: &str, ctx: &Ctx) -> Result<Tok, AsmError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return err(ctx.line, "empty operand");
+    }
+    // Address operand.
+    if s.starts_with('[') && s.ends_with(']') {
+        let inner = &s[1..s.len() - 1];
+        let (base_s, off) = if let Some(pos) = inner.rfind('+') {
+            (&inner[..pos], parse_i32(&inner[pos + 1..]).map_err(|m| AsmError { line: ctx.line, msg: m })?)
+        } else if let Some(pos) = inner.rfind('-') {
+            if pos == 0 {
+                ("RZ", parse_i32(inner).map_err(|m| AsmError { line: ctx.line, msg: m })?)
+            } else {
+                (
+                    &inner[..pos],
+                    -parse_i32(&inner[pos + 1..]).map_err(|m| AsmError { line: ctx.line, msg: m })?,
+                )
+            }
+        } else if parse_reg_name(inner.trim()).is_some() || ctx.defs.contains_key(inner.trim()) {
+            (inner, 0)
+        } else {
+            ("RZ", parse_i32(inner).map_err(|m| AsmError { line: ctx.line, msg: m })?)
+        };
+        let base_s = base_s.trim();
+        let base = parse_reg_name(base_s)
+            .or_else(|| ctx.defs.get(base_s).copied())
+            .ok_or(AsmError { line: ctx.line, msg: format!("bad base register {base_s}") })?;
+        return Ok(Tok::Addr(Addr::new(base, off)));
+    }
+    // Branch label `(NAME).
+    if let Some(rest) = s.strip_prefix("`(") {
+        let name = rest.strip_suffix(')').ok_or(AsmError {
+            line: ctx.line,
+            msg: format!("unterminated label ref {s}"),
+        })?;
+        return Ok(Tok::Label(name.to_string()));
+    }
+    // Constant memory (with optional negation).
+    let (cneg, cbody) = match s.strip_prefix("-c[") {
+        Some(_) => (true, &s[1..]),
+        None => (false, s),
+    };
+    if cbody.starts_with("c[") {
+        let parts: Vec<&str> = cbody.trim_start_matches("c[").trim_end_matches(']').split("][").collect();
+        if parts.len() != 2 {
+            return err(ctx.line, format!("bad constant operand {s}"));
+        }
+        let off = parse_u32(parts[1]).map_err(|m| AsmError { line: ctx.line, msg: m })?;
+        return Ok(Tok::Const { off: off as u16, neg: cneg });
+    }
+    // Special register.
+    for sr in SpecialReg::ALL {
+        if s == sr.name() {
+            return Ok(Tok::Special(sr));
+        }
+    }
+    // Predicates (incl. negated).
+    if let Some(rest) = s.strip_prefix('!') {
+        if let Some(p) = parse_pred_name(rest) {
+            return Ok(Tok::Pred { p, neg: true });
+        }
+    }
+    if let Some(p) = parse_pred_name(s) {
+        return Ok(Tok::Pred { p, neg: false });
+    }
+    // Registers (with optional - prefix and .reuse suffix), incl. aliases.
+    {
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(b) => (true, b),
+            None => (false, s),
+        };
+        let (body, reuse) = match body.strip_suffix(".reuse") {
+            Some(b) => (b, true),
+            None => (body, false),
+        };
+        if let Some(r) = parse_reg_name(body).or_else(|| ctx.defs.get(body).copied()) {
+            return Ok(Tok::Reg { r, neg, reuse });
+        }
+        // Fall through: might be a number like -5.
+    }
+    // Numbers: float if it contains '.' or 'e' (and is not hex), else int.
+    // A leading '-' is kept as a separate negation flag so that the operand
+    // negation bit survives text round-trips (it is encoded separately from
+    // the immediate on real hardware too).
+    let is_hex = s.contains("0x") || s.contains("0X");
+    if !is_hex && (s.contains('.') || s.contains('e') || s.contains('E')) {
+        if let Ok(f) = s.parse::<f32>() {
+            return Ok(Tok::Float(f));
+        }
+    }
+    let (neg, mag) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    if let Ok(v) = parse_u32(mag) {
+        return Ok(Tok::Int { v: v as i64, hex: is_hex, neg });
+    }
+    Ok(Tok::Word(s.to_string()))
+}
+
+/// Split the operand list at top-level commas (respecting `[...]`).
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for ch in s.chars() {
+        match ch {
+            '[' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ']' => {
+                depth -= 1;
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn parse_instruction(
+    line: &str,
+    lineno: usize,
+    defs: &HashMap<String, Reg>,
+    labels: &HashMap<String, u32>,
+) -> Result<Instruction, AsmError> {
+    let ctx = Ctx { line: lineno, defs, labels };
+    let mut rest = line.trim();
+
+    // Optional control-code prefix: the first whitespace-delimited token, if
+    // it parses as a control code.
+    let mut ctrl = Ctrl::new();
+    if let Some((first, tail)) = rest.split_once(char::is_whitespace) {
+        if let Some(c) = Ctrl::from_text(first) {
+            ctrl = c;
+            rest = tail.trim();
+        }
+    }
+
+    // Optional guard.
+    let mut guard = PredGuard::always();
+    if let Some(tail) = rest.strip_prefix('@') {
+        let (g, tail2) = tail.split_once(char::is_whitespace).ok_or(AsmError {
+            line: lineno,
+            msg: "guard predicate without instruction".into(),
+        })?;
+        let (neg, pname) = match g.strip_prefix('!') {
+            Some(p) => (true, p),
+            None => (false, g),
+        };
+        let pred = parse_pred_name(pname).ok_or(AsmError {
+            line: lineno,
+            msg: format!("bad guard predicate {g}"),
+        })?;
+        guard = PredGuard { pred, neg };
+        rest = tail2.trim();
+    }
+
+    // Mnemonic and operands.
+    let rest = rest.strip_suffix(';').unwrap_or(rest).trim();
+    let (mnemonic, operand_str) = match rest.split_once(char::is_whitespace) {
+        Some((m, o)) => (m, o.trim()),
+        None => (rest, ""),
+    };
+    let ops: Vec<Tok> = split_operands(operand_str)
+        .iter()
+        .map(|o| parse_operand(o, &ctx))
+        .collect::<Result<_, _>>()?;
+
+    let parts: Vec<&str> = mnemonic.split('.').collect();
+    let base = parts[0];
+    let suffixes = &parts[1..];
+
+    let mut reuse_mask = 0u8;
+    let op = build_op(base, suffixes, &ops, &ctx, &mut reuse_mask)?;
+    ctrl.reuse |= reuse_mask;
+    Ok(Instruction { guard, op, ctrl })
+}
+
+// ---- per-mnemonic operand interpretation ------------------------------------
+
+fn want_reg(t: &Tok, ctx: &Ctx, reuse_mask: &mut u8, slot: Option<u8>) -> Result<(Reg, bool), AsmError> {
+    match t {
+        Tok::Reg { r, neg, reuse } => {
+            if *reuse {
+                match slot {
+                    Some(s) => *reuse_mask |= 1 << s,
+                    None => return err(ctx.line, ".reuse not allowed on this operand"),
+                }
+            }
+            Ok((*r, *neg))
+        }
+        other => err(ctx.line, format!("expected register, got {}", other.describe())),
+    }
+}
+
+fn want_srcb(t: &Tok, ctx: &Ctx, float: bool, reuse_mask: &mut u8, slot: Option<u8>) -> Result<(SrcB, bool), AsmError> {
+    match t {
+        Tok::Reg { r, neg, reuse } => {
+            if *reuse {
+                match slot {
+                    Some(s) => *reuse_mask |= 1 << s,
+                    None => return err(ctx.line, ".reuse not allowed on this operand"),
+                }
+            }
+            Ok((SrcB::Reg(*r), *neg))
+        }
+        Tok::Int { v, hex, neg } => {
+            if float && !*hex {
+                // Decimal literal on a float instruction: IEEE value.
+                let f = if *neg { -(*v as f32) } else { *v as f32 };
+                Ok((SrcB::imm_f32(f), false))
+            } else {
+                // Hex literals are raw bits (float or int); the sign is kept
+                // as the operand negation flag.
+                Ok((SrcB::Imm(*v as u32), *neg))
+            }
+        }
+        Tok::Float(f) => {
+            if float {
+                Ok((SrcB::imm_f32(*f), false))
+            } else {
+                err(ctx.line, "float immediate on integer instruction")
+            }
+        }
+        Tok::Const { off, neg } => Ok((SrcB::Const(*off), *neg)),
+        other => err(ctx.line, format!("expected reg/imm/const, got {}", other.describe())),
+    }
+}
+
+fn want_pred(t: &Tok, ctx: &Ctx) -> Result<PredSrc, AsmError> {
+    match t {
+        Tok::Pred { p, neg } => Ok(PredSrc { pred: *p, neg: *neg }),
+        other => err(ctx.line, format!("expected predicate, got {}", other.describe())),
+    }
+}
+
+fn want_addr(t: &Tok, ctx: &Ctx) -> Result<Addr, AsmError> {
+    match t {
+        Tok::Addr(a) => Ok(*a),
+        other => err(ctx.line, format!("expected address, got {}", other.describe())),
+    }
+}
+
+fn want_int(t: &Tok, ctx: &Ctx) -> Result<i64, AsmError> {
+    match t {
+        Tok::Int { v, neg, .. } => Ok(if *neg { -*v } else { *v }),
+        other => err(ctx.line, format!("expected integer, got {}", other.describe())),
+    }
+}
+
+fn arity(ops: &[Tok], n: usize, ctx: &Ctx, mn: &str) -> Result<(), AsmError> {
+    if ops.len() != n {
+        err(ctx.line, format!("{mn} expects {n} operands, got {}", ops.len()))
+    } else {
+        Ok(())
+    }
+}
+
+fn mem_width(suffixes: &[&str]) -> MemWidth {
+    if suffixes.contains(&"128") {
+        MemWidth::B128
+    } else if suffixes.contains(&"64") {
+        MemWidth::B64
+    } else {
+        MemWidth::B32
+    }
+}
+
+fn cmp_from(suffixes: &[&str]) -> Option<CmpOp> {
+    for s in suffixes {
+        match *s {
+            "LT" => return Some(CmpOp::Lt),
+            "LE" => return Some(CmpOp::Le),
+            "GT" => return Some(CmpOp::Gt),
+            "GE" => return Some(CmpOp::Ge),
+            "EQ" => return Some(CmpOp::Eq),
+            "NE" => return Some(CmpOp::Ne),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn build_op(
+    base: &str,
+    suffixes: &[&str],
+    ops: &[Tok],
+    ctx: &Ctx,
+    reuse: &mut u8,
+) -> Result<Op, AsmError> {
+    let line = ctx.line;
+    match base {
+        "FFMA" => {
+            arity(ops, 4, ctx, "FFMA")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (a, _) = want_reg(&ops[1], ctx, reuse, Some(0))?;
+            let (b, neg_b) = want_srcb(&ops[2], ctx, true, reuse, Some(1))?;
+            let (c, neg_c) = want_reg(&ops[3], ctx, reuse, Some(2))?;
+            Ok(Op::Ffma { d, a, b, c, neg_b, neg_c })
+        }
+        "FADD" => {
+            arity(ops, 3, ctx, "FADD")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (a, neg_a) = want_reg(&ops[1], ctx, reuse, Some(0))?;
+            let (b, neg_b) = want_srcb(&ops[2], ctx, true, reuse, Some(1))?;
+            Ok(Op::Fadd { d, a, neg_a, b, neg_b })
+        }
+        "FMUL" => {
+            arity(ops, 3, ctx, "FMUL")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (a, _) = want_reg(&ops[1], ctx, reuse, Some(0))?;
+            let (b, neg_b) = want_srcb(&ops[2], ctx, true, reuse, Some(1))?;
+            Ok(Op::Fmul { d, a, b, neg_b })
+        }
+        "HFMA2" => {
+            arity(ops, 4, ctx, "HFMA2")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (a, _) = want_reg(&ops[1], ctx, reuse, Some(0))?;
+            let (b, _) = want_srcb(&ops[2], ctx, false, reuse, Some(1))?;
+            let (c, _) = want_reg(&ops[3], ctx, reuse, Some(2))?;
+            Ok(Op::Hfma2 { d, a, b, c })
+        }
+        "HADD2" => {
+            arity(ops, 3, ctx, "HADD2")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (a, neg_a) = want_reg(&ops[1], ctx, reuse, Some(0))?;
+            let (b, neg_b) = want_srcb(&ops[2], ctx, false, reuse, Some(1))?;
+            Ok(Op::Hadd2 { d, a, neg_a, b, neg_b })
+        }
+        "HMUL2" => {
+            arity(ops, 3, ctx, "HMUL2")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (a, _) = want_reg(&ops[1], ctx, reuse, Some(0))?;
+            let (b, _) = want_srcb(&ops[2], ctx, false, reuse, Some(1))?;
+            Ok(Op::Hmul2 { d, a, b })
+        }
+        "FSETP" => {
+            // FSETP.cmp.AND Pd, PT, Ra, B, Pc
+            arity(ops, 5, ctx, "FSETP")?;
+            let cmp = cmp_from(suffixes).ok_or(AsmError { line, msg: "FSETP needs a comparison suffix".into() })?;
+            let p = want_pred(&ops[0], ctx)?.pred;
+            let (a, _) = want_reg(&ops[2], ctx, reuse, Some(0))?;
+            let (b, _) = want_srcb(&ops[3], ctx, true, reuse, Some(1))?;
+            let combine = want_pred(&ops[4], ctx)?;
+            Ok(Op::Fsetp { p, cmp, a, b, combine })
+        }
+        "IADD3" => {
+            arity(ops, 4, ctx, "IADD3")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (a, neg_a) = want_reg(&ops[1], ctx, reuse, Some(0))?;
+            let (b, neg_b) = want_srcb(&ops[2], ctx, false, reuse, Some(1))?;
+            let (c, neg_c) = want_reg(&ops[3], ctx, reuse, Some(2))?;
+            Ok(Op::Iadd3 { d, a, neg_a, b, neg_b, c, neg_c })
+        }
+        "IMAD" => {
+            arity(ops, 4, ctx, "IMAD")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (a, _) = want_reg(&ops[1], ctx, reuse, Some(0))?;
+            let (b, _) = want_srcb(&ops[2], ctx, false, reuse, Some(1))?;
+            let (c, _) = want_reg(&ops[3], ctx, reuse, Some(2))?;
+            if suffixes.contains(&"WIDE") {
+                Ok(Op::ImadWide { d, a, b, c })
+            } else if suffixes.contains(&"HI") {
+                Ok(Op::ImadHi { d, a, b, c })
+            } else {
+                Ok(Op::Imad { d, a, b, c })
+            }
+        }
+        "LEA" => {
+            arity(ops, 4, ctx, "LEA")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (a, _) = want_reg(&ops[1], ctx, reuse, Some(0))?;
+            let (b, _) = want_srcb(&ops[2], ctx, false, reuse, Some(1))?;
+            let shift = want_int(&ops[3], ctx)? as u8;
+            Ok(Op::Lea { d, a, b, shift })
+        }
+        "LOP3" => {
+            arity(ops, 5, ctx, "LOP3")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (a, _) = want_reg(&ops[1], ctx, reuse, Some(0))?;
+            let (b, _) = want_srcb(&ops[2], ctx, false, reuse, Some(1))?;
+            let (c, _) = want_reg(&ops[3], ctx, reuse, Some(2))?;
+            let lut = want_int(&ops[4], ctx)? as u8;
+            Ok(Op::Lop3 { d, a, b, c, lut })
+        }
+        "SHF" => {
+            arity(ops, 4, ctx, "SHF")?;
+            let right = suffixes.contains(&"R");
+            let u32_mode = suffixes.contains(&"U32");
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (lo, _) = want_reg(&ops[1], ctx, reuse, Some(0))?;
+            let (shift, _) = want_srcb(&ops[2], ctx, false, reuse, Some(1))?;
+            let (hi, _) = want_reg(&ops[3], ctx, reuse, Some(2))?;
+            Ok(Op::Shf { d, lo, shift, hi, right, u32_mode })
+        }
+        "MOV" => {
+            arity(ops, 2, ctx, "MOV")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (b, _) = want_srcb(&ops[1], ctx, false, reuse, Some(1))?;
+            Ok(Op::Mov { d, b })
+        }
+        "SEL" => {
+            arity(ops, 4, ctx, "SEL")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (a, _) = want_reg(&ops[1], ctx, reuse, Some(0))?;
+            let (b, _) = want_srcb(&ops[2], ctx, false, reuse, Some(1))?;
+            let p = want_pred(&ops[3], ctx)?;
+            Ok(Op::Sel { d, a, b, p })
+        }
+        "ISETP" => {
+            // ISETP.cmp[.U32].AND Pd, PT, Ra, B, Pc
+            arity(ops, 5, ctx, "ISETP")?;
+            let cmp = cmp_from(suffixes).ok_or(AsmError { line, msg: "ISETP needs a comparison suffix".into() })?;
+            let u32 = suffixes.contains(&"U32");
+            let p = want_pred(&ops[0], ctx)?.pred;
+            let (a, _) = want_reg(&ops[2], ctx, reuse, Some(0))?;
+            let (b, _) = want_srcb(&ops[3], ctx, false, reuse, Some(1))?;
+            let combine = want_pred(&ops[4], ctx)?;
+            Ok(Op::Isetp { p, cmp, u32, a, b, combine })
+        }
+        "P2R" => {
+            // P2R Rd, PR, Ra, mask
+            arity(ops, 4, ctx, "P2R")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let (a, _) = want_reg(&ops[2], ctx, reuse, Some(0))?;
+            let mask = want_int(&ops[3], ctx)? as u32;
+            Ok(Op::P2r { d, a, mask })
+        }
+        "R2P" => {
+            // R2P PR, Ra, mask
+            arity(ops, 3, ctx, "R2P")?;
+            let (a, _) = want_reg(&ops[1], ctx, reuse, Some(0))?;
+            let mask = want_int(&ops[2], ctx)? as u32;
+            Ok(Op::R2p { a, mask })
+        }
+        "S2R" => {
+            arity(ops, 2, ctx, "S2R")?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            match &ops[1] {
+                Tok::Special(sr) => Ok(Op::S2r { d, sr: *sr }),
+                other => err(line, format!("expected special register, got {}", other.describe())),
+            }
+        }
+        "LDG" | "LDS" => {
+            arity(ops, 2, ctx, base)?;
+            let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
+            let addr = want_addr(&ops[1], ctx)?;
+            Ok(Op::Ld {
+                space: if base == "LDG" { MemSpace::Global } else { MemSpace::Shared },
+                width: mem_width(suffixes),
+                d,
+                addr,
+            })
+        }
+        "STG" | "STS" => {
+            arity(ops, 2, ctx, base)?;
+            let addr = want_addr(&ops[0], ctx)?;
+            let (src, _) = want_reg(&ops[1], ctx, reuse, None)?;
+            Ok(Op::St {
+                space: if base == "STG" { MemSpace::Global } else { MemSpace::Shared },
+                width: mem_width(suffixes),
+                addr,
+                src,
+            })
+        }
+        "BAR" => Ok(Op::BarSync),
+        "BRA" => {
+            arity(ops, 1, ctx, "BRA")?;
+            match &ops[0] {
+                Tok::Label(l) => {
+                    let target = *ctx.labels.get(l).ok_or(AsmError {
+                        line,
+                        msg: format!("undefined label {l}"),
+                    })?;
+                    Ok(Op::Bra { target })
+                }
+                Tok::Int { v, .. } => Ok(Op::Bra { target: *v as u32 }),
+                other => err(line, format!("expected label, got {}", other.describe())),
+            }
+        }
+        "EXIT" => Ok(Op::Exit),
+        "NOP" => Ok(Op::Nop),
+        other => err(line, format!("unknown mnemonic {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+
+    #[test]
+    fn assembles_minimal_kernel() {
+        let src = r#"
+.kernel axpy
+.smem 0
+.params 24
+    --:-:-:Y:1   S2R R0, SR_TID.X;
+    --:-:-:Y:6   MOV R2, c[0x0][0x160];
+    --:-:1:-:2   LDG.E R4, [R2+0x10];
+    01:-:-:Y:4   FFMA R4, R4, 2.0, RZ;
+    --:-:-:Y:5   EXIT;
+"#;
+        let m = assemble(src).unwrap();
+        assert_eq!(m.info.name, "axpy");
+        assert_eq!(m.insts.len(), 5);
+        assert_eq!(m.info.param_bytes, 24);
+        match m.insts[3].op {
+            Op::Ffma { b: SrcB::Imm(bits), .. } => assert_eq!(f32::from_bits(bits), 2.0),
+            ref other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(m.insts[2].ctrl.write_bar, Some(1));
+        assert_eq!(m.insts[3].ctrl.wait_mask, 0b01);
+    }
+
+    #[test]
+    fn guard_and_labels() {
+        let src = r#"
+LOOP:
+    --:-:-:Y:4   IADD3 R0, R0, -1, RZ;
+    --:-:-:Y:4   ISETP.GT.AND P0, PT, R0, 0, PT;
+    --:-:-:Y:5   @P0 BRA `(LOOP);
+    --:-:-:Y:5   EXIT;
+"#;
+        let m = assemble(src).unwrap();
+        assert_eq!(m.insts[2].guard, PredGuard::on(Pred(0)));
+        assert_eq!(m.insts[2].op, Op::Bra { target: 0 });
+        match m.insts[0].op {
+            Op::Iadd3 { b: SrcB::Imm(v), neg_b, .. } => {
+                // -1 parses as an integer immediate, not a negated operand.
+                assert!(v == 0xffff_ffff && !neg_b || v == 1 && neg_b);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_aliases() {
+        let src = r#"
+.def tid R7
+.def ptr R2
+    --:-:-:Y:1  S2R tid, SR_TID.X;
+    --:-:-:Y:1  LDG.E.128 R8, [ptr+0x40];
+    --:-:-:Y:1  STS [tid], R8;
+"#;
+        let m = assemble(src).unwrap();
+        assert_eq!(m.insts[0].op, Op::S2r { d: Reg(7), sr: SpecialReg::TidX });
+        match m.insts[1].op {
+            Op::Ld { addr, width, .. } => {
+                assert_eq!(addr.base, Reg(2));
+                assert_eq!(addr.offset, 0x40);
+                assert_eq!(width, MemWidth::B128);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reuse_suffix_sets_ctrl_bits() {
+        let m = assemble("--:-:-:Y:2  FFMA R1, R65, R80.reuse, R1;").unwrap();
+        assert_eq!(m.insts[0].ctrl.reuse, 0b010);
+        let m = assemble("FFMA R1, R65.reuse, R80.reuse, R1;").unwrap();
+        assert_eq!(m.insts[0].ctrl.reuse, 0b011);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("\n\n   FROB R1, R2;").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("FROB"));
+        let e = assemble("BRA `(NOWHERE);").unwrap_err();
+        assert!(e.msg.contains("NOWHERE"));
+        let e = assemble("FFMA R1, R2;").unwrap_err();
+        assert!(e.msg.contains("expects 4 operands"));
+    }
+
+    #[test]
+    fn disasm_asm_round_trip() {
+        let src = r#"
+.kernel rt
+    --:-:-:Y:1   S2R R0, SR_CTAID.Y;
+    --:-:0:-:2   LDG.E.128 R4, [R2+0x10];
+    01:-:-:Y:4   FFMA R8, R4, R5.reuse, R8;
+    --:-:-:Y:4   FADD R9, -R8, 1.5;
+    --:-:-:Y:4   IADD3 R1, R1, 0x20, RZ;
+    --:-:-:-:4   ISETP.LT.U32.AND P2, PT, R1, c[0x0][0x168], PT;
+    --:1:-:Y:2   STS.64 [R30+0x100], R8;
+    3f:-:-:Y:1   BAR.SYNC 0x0;
+    --:-:-:Y:1   P2R R10, PR, RZ, 0xffff;
+    --:-:-:Y:1   R2P PR, R10, 0xf;
+    --:-:-:Y:1   SEL R3, R4, R5, !P1;
+    --:-:-:Y:1   SHF.R.U32 R3, R3, 0x4, RZ;
+    --:-:-:Y:5   EXIT;
+"#;
+        let m = assemble(src).unwrap();
+        let text = disassemble(&m.insts);
+        let m2 = assemble(&text).unwrap();
+        assert_eq!(m2.insts, m.insts, "\n== disassembly ==\n{text}");
+    }
+
+    #[test]
+    fn const_operand_parses() {
+        let m = assemble("MOV R2, c[0x0][0x160];").unwrap();
+        assert_eq!(m.insts[0].op, Op::Mov { d: Reg(2), b: SrcB::Const(0x160) });
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let m = assemble("NOP; // trailing\n# full line\nEXIT;").unwrap();
+        assert_eq!(m.insts.len(), 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! Disassembly: render instructions back to the text syntax accepted by
+//! [`crate::asm::assemble`]. `asm(disasm(m)) == m` is property-tested.
+
+use crate::isa::*;
+use crate::reg::Reg;
+
+fn fmt_srcb(b: &SrcB, neg: bool) -> String {
+    let sign = if neg { "-" } else { "" };
+    match b {
+        SrcB::Reg(r) => format!("{sign}{r}"),
+        SrcB::Imm(v) => format!("{sign}{:#x}", v),
+        SrcB::Const(off) => format!("{sign}c[0x0][{:#x}]", off),
+    }
+}
+
+fn fmt_reg(r: Reg, neg: bool) -> String {
+    if neg {
+        format!("-{r}")
+    } else {
+        r.to_string()
+    }
+}
+
+fn fmt_addr(a: &Addr) -> String {
+    if a.offset == 0 {
+        format!("[{}]", a.base)
+    } else if a.offset > 0 {
+        format!("[{}+{:#x}]", a.base, a.offset)
+    } else {
+        format!("[{}-{:#x}]", a.base, -a.offset)
+    }
+}
+
+fn fmt_pred_src(p: &PredSrc) -> String {
+    if p.neg {
+        format!("!{}", p.pred)
+    } else {
+        p.pred.to_string()
+    }
+}
+
+/// Render the operation body (mnemonic + operands, no guard/ctrl/semicolon).
+pub fn op_text(op: &Op) -> String {
+    match op {
+        Op::Ffma { d, a, b, c, neg_b, neg_c } => {
+            format!("FFMA {d}, {a}, {}, {}", fmt_srcb(b, *neg_b), fmt_reg(*c, *neg_c))
+        }
+        Op::Fadd { d, a, neg_a, b, neg_b } => {
+            format!("FADD {d}, {}, {}", fmt_reg(*a, *neg_a), fmt_srcb(b, *neg_b))
+        }
+        Op::Fmul { d, a, b, neg_b } => {
+            format!("FMUL {d}, {a}, {}", fmt_srcb(b, *neg_b))
+        }
+        Op::Hfma2 { d, a, b, c } => {
+            format!("HFMA2 {d}, {a}, {}, {c}", fmt_srcb(b, false))
+        }
+        Op::Hadd2 { d, a, neg_a, b, neg_b } => {
+            format!("HADD2 {d}, {}, {}", fmt_reg(*a, *neg_a), fmt_srcb(b, *neg_b))
+        }
+        Op::Hmul2 { d, a, b } => {
+            format!("HMUL2 {d}, {a}, {}", fmt_srcb(b, false))
+        }
+        Op::Fsetp { p, cmp, a, b, combine } => {
+            format!(
+                "FSETP.{}.AND {p}, PT, {a}, {}, {}",
+                cmp.name(),
+                fmt_srcb(b, false),
+                fmt_pred_src(combine)
+            )
+        }
+        Op::Iadd3 { d, a, neg_a, b, neg_b, c, neg_c } => {
+            format!(
+                "IADD3 {d}, {}, {}, {}",
+                fmt_reg(*a, *neg_a),
+                fmt_srcb(b, *neg_b),
+                fmt_reg(*c, *neg_c)
+            )
+        }
+        Op::Imad { d, a, b, c } => format!("IMAD {d}, {a}, {}, {c}", fmt_srcb(b, false)),
+        Op::ImadHi { d, a, b, c } => {
+            format!("IMAD.HI.U32 {d}, {a}, {}, {c}", fmt_srcb(b, false))
+        }
+        Op::ImadWide { d, a, b, c } => {
+            format!("IMAD.WIDE.U32 {d}, {a}, {}, {c}", fmt_srcb(b, false))
+        }
+        Op::Lea { d, a, b, shift } => {
+            format!("LEA {d}, {a}, {}, {:#x}", fmt_srcb(b, false), shift)
+        }
+        Op::Lop3 { d, a, b, c, lut } => {
+            format!("LOP3.LUT {d}, {a}, {}, {c}, {:#x}", fmt_srcb(b, false), lut)
+        }
+        Op::Shf { d, lo, shift, hi, right, u32_mode } => {
+            let dir = if *right { "R" } else { "L" };
+            let mode = if *u32_mode { ".U32" } else { "" };
+            format!("SHF.{dir}{mode} {d}, {lo}, {}, {hi}", fmt_srcb(shift, false))
+        }
+        Op::Mov { d, b } => format!("MOV {d}, {}", fmt_srcb(b, false)),
+        Op::Sel { d, a, b, p } => {
+            format!("SEL {d}, {a}, {}, {}", fmt_srcb(b, false), fmt_pred_src(p))
+        }
+        Op::Isetp { p, cmp, u32, a, b, combine } => {
+            let u = if *u32 { ".U32" } else { "" };
+            format!(
+                "ISETP.{}{u}.AND {p}, PT, {a}, {}, {}",
+                cmp.name(),
+                fmt_srcb(b, false),
+                fmt_pred_src(combine)
+            )
+        }
+        Op::P2r { d, a, mask } => format!("P2R {d}, PR, {a}, {:#x}", mask),
+        Op::R2p { a, mask } => format!("R2P PR, {a}, {:#x}", mask),
+        Op::S2r { d, sr } => format!("S2R {d}, {}", sr.name()),
+        Op::Ld { space, width, d, addr } => {
+            let (name, e) = match space {
+                MemSpace::Global => ("LDG", ".E"),
+                MemSpace::Shared => ("LDS", ""),
+            };
+            let w = match width {
+                MemWidth::B32 => "",
+                MemWidth::B64 => ".64",
+                MemWidth::B128 => ".128",
+            };
+            format!("{name}{e}{w} {d}, {}", fmt_addr(addr))
+        }
+        Op::St { space, width, addr, src } => {
+            let (name, e) = match space {
+                MemSpace::Global => ("STG", ".E"),
+                MemSpace::Shared => ("STS", ""),
+            };
+            let w = match width {
+                MemWidth::B32 => "",
+                MemWidth::B64 => ".64",
+                MemWidth::B128 => ".128",
+            };
+            format!("{name}{e}{w} {}, {src}", fmt_addr(addr))
+        }
+        Op::BarSync => "BAR.SYNC 0x0".to_string(),
+        Op::Bra { target } => format!("BRA `(.L{target})"),
+        Op::Exit => "EXIT".to_string(),
+        Op::Nop => "NOP".to_string(),
+    }
+}
+
+/// Render one full instruction line: `ctrl  [@guard] OP ...;`.
+///
+/// Reuse flags are rendered as `.reuse` suffixes on the matching operand
+/// slots, like real SASS listings.
+pub fn inst_text(inst: &Instruction) -> String {
+    let mut body = op_text(&inst.op);
+    // Attach `.reuse` to register operands by slot, in slot order a,b,c.
+    if inst.ctrl.reuse != 0 {
+        body = attach_reuse(&body, &inst.op, inst.ctrl.reuse);
+    }
+    let guard = if inst.guard.is_always() {
+        String::new()
+    } else if inst.guard.neg {
+        format!("@!{} ", inst.guard.pred)
+    } else {
+        format!("@{} ", inst.guard.pred)
+    };
+    format!("{}  {guard}{body};", inst.ctrl.to_text())
+}
+
+fn attach_reuse(body: &str, op: &Op, reuse: u8) -> String {
+    // Find register operands by slot and suffix them with `.reuse`.
+    // We re-render operand by operand: split at commas after the mnemonic.
+    let (mnemonic, rest) = match body.split_once(' ') {
+        Some(x) => x,
+        None => return body.to_string(),
+    };
+    let mut parts: Vec<String> = rest.split(", ").map(str::to_string).collect();
+    // Map operand text position -> slot. Slot layout depends on the op shape:
+    // for 3-src ALU ops the operand list is d, a, b, c -> slots -, 0, 1, 2.
+    let slot_of_part: Vec<Option<u8>> = match op {
+        Op::Ffma { .. } | Op::Hfma2 { .. } | Op::Iadd3 { .. } | Op::Imad { .. }
+        | Op::ImadHi { .. } | Op::ImadWide { .. } | Op::Lop3 { .. } => {
+            vec![None, Some(0), Some(1), Some(2)]
+        }
+        Op::Fadd { .. } | Op::Fmul { .. } | Op::Hadd2 { .. } | Op::Hmul2 { .. } | Op::Lea { .. } => {
+            vec![None, Some(0), Some(1)]
+        }
+        Op::Shf { .. } => vec![None, Some(0), Some(1), Some(2)],
+        _ => vec![],
+    };
+    for (i, slot) in slot_of_part.iter().enumerate() {
+        if let Some(s) = slot {
+            if reuse & (1 << s) != 0 && i < parts.len() && parts[i].contains('R') {
+                parts[i] = format!("{}.reuse", parts[i]);
+            }
+        }
+    }
+    format!("{mnemonic} {}", parts.join(", "))
+}
+
+/// Disassemble a whole instruction sequence with labels for branch targets.
+pub fn disassemble(insts: &[Instruction]) -> String {
+    use std::collections::BTreeSet;
+    let targets: BTreeSet<u32> = insts
+        .iter()
+        .filter_map(|i| match i.op {
+            Op::Bra { target } => Some(target),
+            _ => None,
+        })
+        .collect();
+    let mut out = String::new();
+    for (idx, inst) in insts.iter().enumerate() {
+        if targets.contains(&(idx as u32)) {
+            out.push_str(&format!(".L{idx}:\n"));
+        }
+        out.push_str(&format!("    {}\n", inst_text(inst)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctrl::Ctrl;
+    use crate::isa::build::*;
+    use crate::reg::{Pred, Reg, RZ};
+
+    #[test]
+    fn basic_rendering() {
+        let i = Instruction::new(ffma(Reg(1), Reg(65), Reg(80), Reg(1)))
+            .with_ctrl(Ctrl::new().with_stall(4).reuse_slot(1));
+        let t = inst_text(&i);
+        assert_eq!(t, "--:-:-:Y:4  FFMA R1, R65, R80.reuse, R1;");
+    }
+
+    #[test]
+    fn guarded_load() {
+        let i = Instruction::new(ldg(MemWidth::B32, Reg(0), Reg(2), 16))
+            .with_guard(PredGuard::on(Pred(1)))
+            .with_ctrl(Ctrl::new().with_write_bar(0).with_stall(2));
+        assert_eq!(inst_text(&i), "--:-:0:Y:2  @P1 LDG.E R0, [R2+0x10];");
+    }
+
+    #[test]
+    fn negative_offset_and_neg_operands() {
+        let i = Instruction::new(lds(MemWidth::B128, Reg(80), Reg(30), -32));
+        assert!(inst_text(&i).contains("LDS.128 R80, [R30-0x20]"));
+        let i = Instruction::new(fsub(Reg(0), Reg(1), Reg(2)));
+        assert!(inst_text(&i).contains("FADD R0, R1, -R2"));
+    }
+
+    #[test]
+    fn labels_emitted_for_branch_targets() {
+        let prog = vec![
+            Instruction::new(mov(Reg(0), 0u32)),
+            Instruction::new(Op::Bra { target: 1 }),
+            Instruction::new(Op::Exit),
+        ];
+        let text = disassemble(&prog);
+        assert!(text.contains(".L1:"), "{text}");
+        assert!(text.contains("BRA `(.L1)"), "{text}");
+    }
+
+    #[test]
+    fn sts_renders_src_after_addr() {
+        let i = Instruction::new(sts(MemWidth::B32, Reg(5), 4, Reg(9)));
+        assert!(inst_text(&i).contains("STS [R5+0x4], R9"));
+    }
+
+    #[test]
+    fn p2r_r2p_render() {
+        let i = Instruction::new(Op::P2r { d: Reg(3), a: RZ, mask: 0xf });
+        assert!(inst_text(&i).contains("P2R R3, PR, RZ, 0xf"));
+        let i = Instruction::new(Op::R2p { a: Reg(3), mask: 0xf0 });
+        assert!(inst_text(&i).contains("R2P PR, R3, 0xf0"));
+    }
+}

@@ -1,0 +1,159 @@
+//! IEEE-754 binary16 conversion helpers, used by the fp16 (`H*2`) paired
+//! instructions (§8.3: the kernel "can be ported to the fp16 version").
+//! Implemented from scratch (no external crates): handles normals,
+//! subnormals, zeros, infinities and NaNs, with round-to-nearest-even on
+//! the f32→f16 direction.
+
+/// Convert a binary16 bit pattern to f32.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = (h as u32 & 0x8000) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let frac = h as u32 & 0x3ff;
+    let bits = match exp {
+        0 => {
+            if frac == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: value = frac × 2⁻²⁴.
+                let v = frac as f32 * (1.0 / (1 << 24) as f32);
+                v.to_bits() | sign
+            }
+        }
+        0x1f => {
+            if frac == 0 {
+                sign | 0x7f80_0000 // infinity
+            } else {
+                sign | 0x7fc0_0000 | (frac << 13) // NaN (payload preserved-ish)
+            }
+        }
+        e => sign | (((e as u32) + 127 - 15) << 23) | (frac << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Convert an f32 to the nearest binary16 bit pattern (round to nearest,
+/// ties to even).
+pub fn f32_to_f16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x7f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN.
+        return if frac == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00 | ((frac >> 13) as u16 & 0x3ff) | 1
+        };
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → infinity
+    }
+    if unbiased >= -14 {
+        // Normal half. Round the 13 dropped bits to nearest-even.
+        let mut mant = frac >> 13;
+        let rest = frac & 0x1fff;
+        if rest > 0x1000 || (rest == 0x1000 && mant & 1 == 1) {
+            mant += 1;
+        }
+        let mut e16 = (unbiased + 15) as u32;
+        if mant == 0x400 {
+            mant = 0;
+            e16 += 1;
+            if e16 >= 0x1f {
+                return sign | 0x7c00;
+            }
+        }
+        return sign | ((e16 as u16) << 10) | mant as u16;
+    }
+    if unbiased >= -24 {
+        // Subnormal half.
+        let shift = (-14 - unbiased) as u32; // 0..=10
+        let full = frac | 0x80_0000; // implicit leading 1
+        // value = full·2^(unbiased-23); subnormal mant = value·2^24
+        //       = full >> (23 - unbiased - 24) = full >> (13 + shift).
+        let drop = 13 + shift;
+        let mut mant = full >> drop;
+        let rest = full & ((1 << drop) - 1);
+        let half_ulp = 1u32 << (drop - 1);
+        if rest > half_ulp || (rest == half_ulp && mant & 1 == 1) {
+            mant += 1;
+        }
+        return sign | mant as u16; // may carry into the exponent: still valid
+    }
+    sign // underflow → signed zero
+}
+
+/// Unpack a `half2` register word into two f32 lanes (lo, hi).
+pub fn unpack_half2(w: u32) -> (f32, f32) {
+    (f16_to_f32(w as u16), f16_to_f32((w >> 16) as u16))
+}
+
+/// Pack two f32 values into a `half2` register word.
+pub fn pack_half2(lo: f32, hi: f32) -> u32 {
+    f32_to_f16(lo) as u32 | ((f32_to_f16(hi) as u32) << 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 1.0 / 1024.0] {
+            let h = f32_to_f16(v);
+            assert_eq!(f16_to_f32(h), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn specials() {
+        assert_eq!(f32_to_f16(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16(f32::NEG_INFINITY), 0xfc00);
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        assert_eq!(f32_to_f16(1e10), 0x7c00, "overflow saturates to inf");
+        assert_eq!(f32_to_f16(1e-10), 0x0000, "underflow flushes to zero");
+    }
+
+    #[test]
+    fn subnormals() {
+        // Smallest positive half subnormal: 2^-24.
+        let tiny = (2.0f32).powi(-24);
+        assert_eq!(f32_to_f16(tiny), 1);
+        assert_eq!(f16_to_f32(1), tiny);
+        // Largest subnormal: (1023/1024)·2^-14.
+        let big_sub = f16_to_f32(0x3ff);
+        assert!((big_sub - 1023.0 / 1024.0 * (2.0f32).powi(-14)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next half: ties
+        // to even keep 1.0.
+        let h = f32_to_f16(1.0 + (2.0f32).powi(-11));
+        assert_eq!(f16_to_f32(h), 1.0);
+        // 1 + 3·2^-11 is halfway between two halves; even neighbour is the
+        // upper one here.
+        let h = f32_to_f16(1.0 + 3.0 * (2.0f32).powi(-11));
+        assert_eq!(f16_to_f32(h), 1.0 + (2.0f32).powi(-9));
+    }
+
+    #[test]
+    fn round_trip_within_half_precision() {
+        let mut x = 0.9137f32;
+        for _ in 0..200 {
+            let back = f16_to_f32(f32_to_f16(x));
+            assert!((back - x).abs() <= x.abs() * (1.0 / 1024.0) + 1e-7, "{x} -> {back}");
+            x = (x * 1.137).rem_euclid(60000.0) + 1e-4;
+        }
+    }
+
+    #[test]
+    fn half2_packing() {
+        let w = pack_half2(1.5, -2.25);
+        let (lo, hi) = unpack_half2(w);
+        assert_eq!((lo, hi), (1.5, -2.25));
+    }
+}

@@ -1,0 +1,621 @@
+//! Scheduling-hazard lint.
+//!
+//! On Volta/Turing "it is the programmer's/compiler's responsibility to
+//! prevent data hazards" (§5.1.4): fixed-latency producers must be covered
+//! by stall counts, variable-latency producers by scoreboard wait barriers.
+//! The functional simulator is forgiving (results are architecturally
+//! visible at issue), so a kernel can pass every correctness test while
+//! carrying schedules that would corrupt data on silicon. This linter finds
+//! those spots statically.
+//!
+//! Analysis model: a conservative straight-line walk per basic block
+//! (blocks end at branches and at branch targets). Within a block it tracks
+//!
+//! * when each register's pending fixed-latency write lands (in issue-time
+//!   cycles accumulated from stall counts),
+//! * which scoreboard each register's pending variable-latency write will
+//!   signal, and
+//! * which scoreboard protects the *sources* of in-flight stores (WAR).
+//!
+//! Block boundaries reset the tracked state — cross-block hazards are out
+//! of scope, matching how hand-written SASS places barriers around loops.
+
+use crate::isa::{Instruction, MemSpace, Op};
+use crate::reg::Reg;
+
+/// Severity of a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Reading a register before a fixed-latency producer lands.
+    RawHazard,
+    /// Reading a register written by an in-flight memory op without waiting
+    /// on its scoreboard.
+    MissingWait,
+    /// Overwriting a register an in-flight store still has to read, without
+    /// waiting on its read barrier.
+    WarHazard,
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Instruction index in the stream.
+    pub index: usize,
+    pub severity: Severity,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {:?}: {}", self.index, self.severity, self.message)
+    }
+}
+
+/// Fixed result latencies, cycles (Jia et al. 2018 measurements, rounded).
+fn fixed_latency(op: &Op) -> Option<u64> {
+    match op {
+        Op::Ffma { .. } | Op::Fadd { .. } | Op::Fmul { .. } => Some(4),
+        Op::Hfma2 { .. } | Op::Hadd2 { .. } | Op::Hmul2 { .. } => Some(4),
+        Op::Iadd3 { .. }
+        | Op::Lea { .. }
+        | Op::Lop3 { .. }
+        | Op::Shf { .. }
+        | Op::Mov { .. }
+        | Op::Sel { .. }
+        | Op::Imad { .. }
+        | Op::ImadHi { .. }
+        | Op::ImadWide { .. } => Some(5),
+        Op::P2r { .. } => Some(13),
+        // S2R is variable on hardware; 25 cycles is a safe static bound.
+        Op::S2r { .. } => Some(25),
+        _ => None,
+    }
+}
+
+/// Lint an instruction stream. Returns all findings, in program order.
+pub fn lint(insts: &[Instruction]) -> Vec<Diagnostic> {
+    use std::collections::{BTreeSet, HashMap};
+
+    // Block leaders: entry, branch targets, and instructions after branches.
+    let mut leaders: BTreeSet<usize> = BTreeSet::new();
+    leaders.insert(0);
+    for (i, inst) in insts.iter().enumerate() {
+        if let Op::Bra { target } = inst.op {
+            leaders.insert(target as usize);
+            leaders.insert(i + 1);
+        }
+    }
+
+    let mut diags = Vec::new();
+    // Pending fixed-latency writes: reg -> cycle when the value lands.
+    let mut pending_fixed: HashMap<u8, u64> = HashMap::new();
+    // Pending memory writes: reg -> write scoreboard.
+    let mut pending_mem: HashMap<u8, u8> = HashMap::new();
+    // Store-source registers: reg -> read scoreboard (None = unprotected).
+    let mut store_srcs: HashMap<u8, Option<u8>> = HashMap::new();
+    let mut now: u64 = 0;
+
+    for (i, inst) in insts.iter().enumerate() {
+        if leaders.contains(&i) {
+            pending_fixed.clear();
+            pending_mem.clear();
+            store_srcs.clear();
+            now = 0;
+        }
+
+        // A wait mask retires every pending producer signalling those bars.
+        if inst.ctrl.wait_mask != 0 {
+            pending_mem.retain(|_, b| inst.ctrl.wait_mask & (1 << *b) == 0);
+            store_srcs.retain(|_, b| match b {
+                Some(b) => inst.ctrl.wait_mask & (1 << *b) == 0,
+                None => true,
+            });
+        }
+
+        // Check sources.
+        let mut srcs: Vec<Reg> = inst.op.src_regs().into_iter().map(|(_, r)| r).collect();
+        if !inst.guard.pred.is_pt() {
+            // Guard predicates come from ISETP/R2P; out of scope here.
+        }
+        srcs.dedup();
+        for r in &srcs {
+            if let Some(&lands) = pending_fixed.get(&r.0) {
+                if now < lands {
+                    diags.push(Diagnostic {
+                        index: i,
+                        severity: Severity::RawHazard,
+                        message: format!(
+                            "{} reads {} {} cycle(s) before its producer lands (needs {} more stall)",
+                            inst.op.mnemonic(),
+                            r,
+                            lands - now,
+                            lands - now
+                        ),
+                    });
+                }
+            }
+            if let Some(&bar) = pending_mem.get(&r.0) {
+                diags.push(Diagnostic {
+                    index: i,
+                    severity: Severity::MissingWait,
+                    message: format!(
+                        "{} reads {} loaded by an in-flight memory op; add wait on scoreboard {}",
+                        inst.op.mnemonic(),
+                        r,
+                        bar
+                    ),
+                });
+            }
+        }
+
+        // Check destinations for WAR against in-flight store sources, and
+        // WAW against in-flight loads.
+        if let Some((d, n)) = inst.op.dst_regs() {
+            for j in 0..n {
+                let reg = d.offset(j);
+                if reg.is_rz() {
+                    continue;
+                }
+                match store_srcs.get(&reg.0) {
+                    Some(Some(bar)) => {
+                        diags.push(Diagnostic {
+                            index: i,
+                            severity: Severity::WarHazard,
+                            message: format!(
+                                "{} overwrites {} while an in-flight store reads it; wait on scoreboard {}",
+                                inst.op.mnemonic(),
+                                reg,
+                                bar
+                            ),
+                        });
+                    }
+                    Some(None) => {
+                        diags.push(Diagnostic {
+                            index: i,
+                            severity: Severity::WarHazard,
+                            message: format!(
+                                "{} overwrites {} while an unprotected in-flight store reads it (no read barrier set)",
+                                inst.op.mnemonic(),
+                                reg
+                            ),
+                        });
+                    }
+                    None => {}
+                }
+                if let Some(&bar) = pending_mem.get(&reg.0) {
+                    diags.push(Diagnostic {
+                        index: i,
+                        severity: Severity::MissingWait,
+                        message: format!(
+                            "{} overwrites {} before the prior load completes; wait on scoreboard {}",
+                            inst.op.mnemonic(),
+                            reg,
+                            bar
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Record this instruction's effects.
+        match inst.op {
+            Op::Ld { d, width, .. } => {
+                for j in 0..width.regs() {
+                    let reg = d.offset(j);
+                    if !reg.is_rz() {
+                        match inst.ctrl.write_bar {
+                            Some(b) => {
+                                pending_mem.insert(reg.0, b);
+                            }
+                            None => diags.push(Diagnostic {
+                                index: i,
+                                severity: Severity::MissingWait,
+                                message: format!(
+                                    "{} has no write scoreboard; its result in {} is never synchronized",
+                                    inst.op.mnemonic(),
+                                    reg
+                                ),
+                            }),
+                        }
+                        pending_fixed.remove(&reg.0);
+                    }
+                }
+            }
+            Op::St { src, width, space, .. } => {
+                let _ = space;
+                for j in 0..width.regs() {
+                    let reg = src.offset(j);
+                    if !reg.is_rz() {
+                        store_srcs.insert(reg.0, inst.ctrl.read_bar);
+                    }
+                }
+            }
+            Op::BarSync => {
+                // BAR.SYNC orders shared memory, not register scoreboards:
+                // keep the register state.
+            }
+            _ => {
+                if let (Some(lat), Some((d, n))) = (fixed_latency(&inst.op), inst.op.dst_regs()) {
+                    for j in 0..n {
+                        let reg = d.offset(j);
+                        if !reg.is_rz() {
+                            pending_fixed.insert(reg.0, now + lat);
+                            pending_mem.remove(&reg.0);
+                            store_srcs.remove(&reg.0);
+                        }
+                    }
+                }
+            }
+        }
+
+        now += inst.ctrl.stall.max(1) as u64;
+    }
+    diags
+}
+
+/// Memory-space import kept local to the lint signature.
+#[allow(unused)]
+fn _space(_: MemSpace) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn lint_src(src: &str) -> Vec<Diagnostic> {
+        lint(&assemble(src).unwrap().insts)
+    }
+
+    #[test]
+    fn clean_code_has_no_findings() {
+        let d = lint_src(
+            r#"
+    --:-:-:Y:1  MOV R1, 0x3f800000;
+    --:-:-:Y:5  MOV R2, 0x40000000;
+    --:-:-:Y:4  FADD R3, R1, R2;
+    --:-:-:Y:4  FADD R4, R3, R3;
+    --:-:-:Y:5  EXIT;
+"#,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn detects_underfilled_stall() {
+        let d = lint_src(
+            r#"
+    --:-:-:Y:1  FADD R3, R1, R2;
+    --:-:-:Y:4  FADD R4, R3, R3;
+    --:-:-:Y:5  EXIT;
+"#,
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].severity, Severity::RawHazard);
+        assert_eq!(d[0].index, 1);
+        assert!(d[0].message.contains("3 more stall"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn detects_missing_scoreboard_wait() {
+        let d = lint_src(
+            r#"
+    --:-:0:-:2  LDG.E R4, [R2];
+    --:-:-:Y:4  FADD R5, R4, R4;
+    --:-:-:Y:5  EXIT;
+"#,
+        );
+        assert!(d.iter().any(|x| x.severity == Severity::MissingWait), "{d:?}");
+        // And the fixed version is clean.
+        let d = lint_src(
+            r#"
+    --:-:0:-:2  LDG.E R4, [R2];
+    01:-:-:Y:4  FADD R5, R4, R4;
+    --:-:-:Y:5  EXIT;
+"#,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn detects_load_without_write_barrier() {
+        let d = lint_src("--:-:-:Y:2  LDG.E R4, [R2];\nEXIT;");
+        assert!(d.iter().any(|x| matches!(x.severity, Severity::MissingWait)));
+    }
+
+    #[test]
+    fn detects_war_on_store_sources() {
+        // The store reads R4; the MOV overwrites it with no read barrier.
+        let d = lint_src(
+            r#"
+    --:-:-:Y:1  STG.E [R2], R4;
+    --:-:-:Y:1  MOV R4, 0x0;
+    --:-:-:Y:5  EXIT;
+"#,
+        );
+        assert!(d.iter().any(|x| x.severity == Severity::WarHazard), "{d:?}");
+        // Protected version: read barrier + wait.
+        let d = lint_src(
+            r#"
+    --:4:-:Y:1  STG.E [R2], R4;
+    10:-:-:Y:1  MOV R4, 0x0;
+    --:-:-:Y:5  EXIT;
+"#,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn wide_destinations_are_tracked() {
+        // LDG.128 writes R4..R7; touching R6 without a wait must trip.
+        let d = lint_src(
+            r#"
+    --:-:0:-:2  LDG.E.128 R4, [R2];
+    --:-:-:Y:4  FADD R8, R6, R6;
+    --:-:-:Y:5  EXIT;
+"#,
+        );
+        assert!(d.iter().any(|x| x.severity == Severity::MissingWait && x.message.contains("R6")), "{d:?}");
+    }
+
+    #[test]
+    fn block_boundaries_reset_state() {
+        // The hazard spans a branch target, which the per-block analysis
+        // conservatively ignores — no finding.
+        let d = lint_src(
+            r#"
+    --:-:-:Y:1  FADD R3, R1, R2;
+TOP:
+    --:-:-:Y:4  FADD R4, R3, R3;
+    --:-:-:Y:4  ISETP.GT.AND P0, PT, R5, 0, PT;
+    --:-:-:Y:5  @P0 BRA `(TOP);
+    --:-:-:Y:5  EXIT;
+"#,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn generated_kernels_main_loops_are_hazard_aware() {
+        // The emitted kernels must not contain *unprotected* memory reads:
+        // every LDG/LDS result is consumed behind a scoreboard wait.
+        // (Full kernel linting lives in the kernels crate's tests; here we
+        // check a representative hand excerpt of the main loop schedule.)
+        let d = lint_src(
+            r#"
+    --:-:0:-:1  LDS.128 R32, [R70];
+    --:-:1:-:1  LDS.128 R36, [R71];
+    03:-:-:Y:1  FFMA R0, R32, R36, R0;
+    --:-:-:Y:1  FFMA R1, R32, R37, R1;
+    --:-:-:Y:5  EXIT;
+"#,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}
+
+/// Automatically repair schedule hazards in place (maxas-style
+/// auto-scheduling): raise stall counts to cover fixed-latency producers
+/// and OR missing scoreboard waits into consumers. Returns the number of
+/// adjustments applied. Branch targets are never moved (no insertion), so
+/// deficits are absorbed by the instructions *preceding* each consumer.
+///
+/// The emitters run this at build time: hand-scheduled streams stay
+/// untouched when already clean, and the repaired stream lints clean.
+pub fn fix_schedule(insts: &mut Vec<Instruction>) -> u32 {
+    fix_schedule_marked(insts, &mut [])
+}
+
+/// [`fix_schedule`] variant that keeps a set of instruction-index markers
+/// (e.g. region boundaries for timing accounting) consistent across NOP
+/// insertions: any marker at or after an insertion point shifts with it.
+pub fn fix_schedule_marked(insts: &mut Vec<Instruction>, markers: &mut [u32]) -> u32 {
+    use std::collections::{BTreeSet, HashMap};
+
+    let mut total = 0u32;
+    // Fixpoint: each round re-walks with updated stalls/waits. A round that
+    // absorbs a stall deficit restarts the walk, so allow one round per
+    // potential deficit.
+    let rounds = insts.len() * 4 + 64;
+    for _ in 0..rounds {
+        let mut leaders: BTreeSet<usize> = BTreeSet::new();
+        leaders.insert(0);
+        for (i, inst) in insts.iter().enumerate() {
+            if let Op::Bra { target } = inst.op {
+                leaders.insert(target as usize);
+                leaders.insert(i + 1);
+            }
+        }
+        let mut changed = false;
+        let mut pending_fixed: HashMap<u8, u64> = HashMap::new();
+        let mut pending_mem: HashMap<u8, u8> = HashMap::new();
+        let mut store_srcs: HashMap<u8, u8> = HashMap::new();
+        let mut block_start = 0usize;
+        let mut now: u64 = 0;
+
+        for i in 0..insts.len() {
+            if leaders.contains(&i) {
+                pending_fixed.clear();
+                pending_mem.clear();
+                store_srcs.clear();
+                block_start = i;
+                now = 0;
+            }
+            let wait = insts[i].ctrl.wait_mask;
+            if wait != 0 {
+                pending_mem.retain(|_, b| wait & (1 << *b) == 0);
+                store_srcs.retain(|_, b| wait & (1 << *b) == 0);
+            }
+
+            // RAW deficits on sources → absorb in preceding stalls.
+            let mut deficit: u64 = 0;
+            let mut wait_bits: u8 = 0;
+            for (_, r) in insts[i].op.src_regs() {
+                if let Some(&lands) = pending_fixed.get(&r.0) {
+                    if now < lands {
+                        deficit = deficit.max(lands - now);
+                    }
+                }
+                if let Some(&b) = pending_mem.get(&r.0) {
+                    wait_bits |= 1 << b;
+                }
+            }
+            if let Some((d, n)) = insts[i].op.dst_regs() {
+                for j in 0..n {
+                    let reg = d.offset(j);
+                    if let Some(&b) = store_srcs.get(&reg.0) {
+                        wait_bits |= 1 << b;
+                    }
+                    if let Some(&b) = pending_mem.get(&reg.0) {
+                        wait_bits |= 1 << b;
+                    }
+                }
+            }
+            if wait_bits & !insts[i].ctrl.wait_mask != 0 {
+                insts[i].ctrl.wait_mask |= wait_bits;
+                pending_mem.retain(|_, b| wait_bits & (1 << *b) == 0);
+                store_srcs.retain(|_, b| wait_bits & (1 << *b) == 0);
+                total += 1;
+                changed = true;
+            }
+            if deficit > 0 {
+                // Distribute the deficit over predecessors in this block.
+                let mut need = deficit;
+                let mut j = i;
+                while need > 0 && j > block_start {
+                    j -= 1;
+                    let cur = insts[j].ctrl.stall.max(1) as u64;
+                    let room = 15u64.saturating_sub(cur);
+                    let take = room.min(need);
+                    if take > 0 {
+                        insts[j].ctrl.stall = (cur + take) as u8;
+                        need -= take;
+                        total += 1;
+                        changed = true;
+                    }
+                }
+                if need > 0 {
+                    // Predecessor stalls are saturated: insert a stalling
+                    // NOP before the consumer and retarget branches across
+                    // the insertion point.
+                    let mut nop = Instruction::new(Op::Nop);
+                    nop.ctrl.stall = need.min(15) as u8;
+                    insts.insert(i, nop);
+                    for inst in insts.iter_mut() {
+                        if let Op::Bra { target } = &mut inst.op {
+                            if *target as usize >= i {
+                                *target += 1;
+                            }
+                        }
+                    }
+                    for m in markers.iter_mut() {
+                        if *m as usize >= i {
+                            *m += 1;
+                        }
+                    }
+                    total += 1;
+                    changed = true;
+                }
+                // Re-walk from scratch with the new stalls.
+                break;
+            }
+
+            // Record effects.
+            match insts[i].op {
+                Op::Ld { d, width, .. } => {
+                    for j in 0..width.regs() {
+                        let reg = d.offset(j);
+                        if !reg.is_rz() {
+                            if let Some(b) = insts[i].ctrl.write_bar {
+                                pending_mem.insert(reg.0, b);
+                            }
+                            pending_fixed.remove(&reg.0);
+                        }
+                    }
+                }
+                Op::St { src, width, .. } => {
+                    if let Some(b) = insts[i].ctrl.read_bar {
+                        for j in 0..width.regs() {
+                            let reg = src.offset(j);
+                            if !reg.is_rz() {
+                                store_srcs.insert(reg.0, b);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    if let (Some(lat), Some((d, n))) = (fixed_latency(&insts[i].op), insts[i].op.dst_regs()) {
+                        for j in 0..n {
+                            let reg = d.offset(j);
+                            if !reg.is_rz() {
+                                pending_fixed.insert(reg.0, now + lat);
+                                pending_mem.remove(&reg.0);
+                                store_srcs.remove(&reg.0);
+                            }
+                        }
+                    }
+                }
+            }
+            now += insts[i].ctrl.stall.max(1) as u64;
+        }
+        if !changed {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod fix_tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn fix_makes_hazardous_code_clean() {
+        let mut m = assemble(
+            r#"
+    --:-:-:Y:1  S2R R0, SR_TID.X;
+    --:-:-:Y:1  SHF.L.U32 R1, R0, 0x2, RZ;
+    --:-:0:-:1  LDG.E R4, [R2];
+    --:-:-:Y:1  FADD R5, R4, R4;
+    --:-:-:Y:1  FADD R6, R5, R5;
+    --:-:-:Y:1  STG.E [R2], R6;
+    --:-:-:Y:1  MOV R6, 0x0;
+    --:-:-:Y:5  EXIT;
+"#,
+        )
+        .unwrap();
+        assert!(!lint(&m.insts).is_empty());
+        let fixes = fix_schedule(&mut m.insts);
+        assert!(fixes > 0);
+        // The unprotected-store WAR (no read barrier on the STG) cannot be
+        // auto-fixed without allocating a scoreboard; everything else must
+        // be clean.
+        let rest = lint(&m.insts);
+        assert!(
+            rest.iter().all(|d| matches!(d.severity, Severity::WarHazard)),
+            "{rest:?}"
+        );
+        // The SHF consumer now sits ≥25 cycles after the S2R (saturated
+        // stall plus an inserted NOP).
+        assert_eq!(m.insts[0].ctrl.stall, 15);
+        assert!(matches!(m.insts[1].op, Op::Nop));
+        // A wait on the load's scoreboard was added to its consumer.
+        assert!(m.insts.iter().any(|i| matches!(i.op, Op::Fadd { .. }) && i.ctrl.wait_mask & 1 == 1));
+    }
+
+    #[test]
+    fn fix_is_idempotent_on_clean_code() {
+        let mut m = assemble(
+            r#"
+    --:-:-:Y:1  MOV R1, 0x3f800000;
+    --:-:-:Y:5  MOV R2, 0x40000000;
+    --:-:-:Y:4  FADD R3, R1, R2;
+    --:-:-:Y:5  EXIT;
+"#,
+        )
+        .unwrap();
+        let before = m.insts.clone();
+        assert_eq!(fix_schedule(&mut m.insts), 0);
+        assert_eq!(m.insts, before);
+    }
+}

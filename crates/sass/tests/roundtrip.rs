@@ -1,0 +1,187 @@
+//! Property tests: encode/decode and assemble/disassemble round-trips over
+//! randomly generated instructions.
+
+use proptest::prelude::*;
+use sass::isa::{Addr, CmpOp, Instruction, MemSpace, MemWidth, Op, PredGuard, PredSrc, SpecialReg, SrcB};
+use sass::{assemble, decode, disassemble, encode, Ctrl, Module, Pred, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    prop_oneof![(0u8..=254).prop_map(Reg), Just(sass::RZ)]
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    (0u8..=7).prop_map(|i| if i == 7 { sass::PT } else { Pred(i) })
+}
+
+fn arb_pred_src() -> impl Strategy<Value = PredSrc> {
+    (arb_pred(), any::<bool>()).prop_map(|(pred, neg)| PredSrc { pred, neg })
+}
+
+fn arb_srcb() -> impl Strategy<Value = SrcB> {
+    prop_oneof![
+        arb_reg().prop_map(SrcB::Reg),
+        any::<u32>().prop_map(SrcB::Imm),
+        (0u16..0x400).prop_map(SrcB::Const),
+    ]
+}
+
+fn arb_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![Just(MemWidth::B32), Just(MemWidth::B64), Just(MemWidth::B128)]
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    (arb_reg(), -(1i32 << 23)..(1i32 << 23)).prop_map(|(base, offset)| Addr { base, offset })
+}
+
+fn arb_space() -> impl Strategy<Value = MemSpace> {
+    prop_oneof![Just(MemSpace::Global), Just(MemSpace::Shared)]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_reg(), arb_reg(), arb_srcb(), arb_reg(), any::<bool>(), any::<bool>())
+            .prop_map(|(d, a, b, c, neg_b, neg_c)| Op::Ffma { d, a, b, c, neg_b, neg_c }),
+        (arb_reg(), arb_reg(), any::<bool>(), arb_srcb(), any::<bool>())
+            .prop_map(|(d, a, neg_a, b, neg_b)| Op::Fadd { d, a, neg_a, b, neg_b }),
+        (arb_reg(), arb_reg(), arb_srcb(), any::<bool>())
+            .prop_map(|(d, a, b, neg_b)| Op::Fmul { d, a, b, neg_b }),
+        (arb_reg(), arb_reg(), arb_srcb(), arb_reg()).prop_map(|(d, a, b, c)| Op::Hfma2 { d, a, b, c }),
+        (arb_reg(), arb_reg(), any::<bool>(), arb_srcb(), any::<bool>())
+            .prop_map(|(d, a, neg_a, b, neg_b)| Op::Hadd2 { d, a, neg_a, b, neg_b }),
+        (arb_reg(), arb_reg(), arb_srcb()).prop_map(|(d, a, b)| Op::Hmul2 { d, a, b }),
+        (arb_pred(), arb_cmp(), arb_reg(), arb_srcb(), arb_pred_src())
+            .prop_map(|(p, cmp, a, b, combine)| Op::Fsetp { p, cmp, a, b, combine }),
+        (
+            arb_reg(),
+            arb_reg(),
+            any::<bool>(),
+            arb_srcb(),
+            any::<bool>(),
+            arb_reg(),
+            any::<bool>()
+        )
+            .prop_map(|(d, a, neg_a, b, neg_b, c, neg_c)| Op::Iadd3 { d, a, neg_a, b, neg_b, c, neg_c }),
+        (arb_reg(), arb_reg(), arb_srcb(), arb_reg()).prop_map(|(d, a, b, c)| Op::Imad { d, a, b, c }),
+        (arb_reg(), arb_reg(), arb_srcb(), arb_reg()).prop_map(|(d, a, b, c)| Op::ImadHi { d, a, b, c }),
+        (arb_reg(), arb_reg(), arb_srcb(), arb_reg()).prop_map(|(d, a, b, c)| Op::ImadWide { d, a, b, c }),
+        (arb_reg(), arb_reg(), arb_srcb(), 0u8..32).prop_map(|(d, a, b, shift)| Op::Lea { d, a, b, shift }),
+        (arb_reg(), arb_reg(), arb_srcb(), arb_reg(), any::<u8>())
+            .prop_map(|(d, a, b, c, lut)| Op::Lop3 { d, a, b, c, lut }),
+        (arb_reg(), arb_reg(), arb_srcb(), arb_reg(), any::<bool>(), any::<bool>())
+            .prop_map(|(d, lo, shift, hi, right, u32_mode)| Op::Shf { d, lo, shift, hi, right, u32_mode }),
+        (arb_reg(), arb_srcb()).prop_map(|(d, b)| Op::Mov { d, b }),
+        (arb_reg(), arb_reg(), arb_srcb(), arb_pred_src()).prop_map(|(d, a, b, p)| Op::Sel { d, a, b, p }),
+        (arb_pred(), arb_cmp(), any::<bool>(), arb_reg(), arb_srcb(), arb_pred_src())
+            .prop_map(|(p, cmp, u32, a, b, combine)| Op::Isetp { p, cmp, u32, a, b, combine }),
+        (arb_reg(), arb_reg(), any::<u32>()).prop_map(|(d, a, mask)| Op::P2r { d, a, mask }),
+        (arb_reg(), any::<u32>()).prop_map(|(a, mask)| Op::R2p { a, mask }),
+        (arb_reg(), prop::sample::select(&SpecialReg::ALL[..])).prop_map(|(d, sr)| Op::S2r { d, sr }),
+        (arb_space(), arb_width(), arb_reg(), arb_addr())
+            .prop_map(|(space, width, d, addr)| Op::Ld { space, width, d, addr }),
+        (arb_space(), arb_width(), arb_addr(), arb_reg())
+            .prop_map(|(space, width, addr, src)| Op::St { space, width, addr, src }),
+        Just(Op::BarSync),
+        (0u32..10_000).prop_map(|target| Op::Bra { target }),
+        Just(Op::Exit),
+        Just(Op::Nop),
+    ]
+}
+
+fn arb_ctrl() -> impl Strategy<Value = Ctrl> {
+    (
+        0u8..16,
+        any::<bool>(),
+        prop::option::of(0u8..6),
+        prop::option::of(0u8..6),
+        0u8..64,
+        0u8..16,
+    )
+        .prop_map(|(stall, yield_flag, write_bar, read_bar, wait_mask, reuse)| Ctrl {
+            stall,
+            yield_flag,
+            write_bar,
+            read_bar,
+            wait_mask,
+            reuse,
+        })
+}
+
+fn arb_guard() -> impl Strategy<Value = PredGuard> {
+    (arb_pred(), any::<bool>()).prop_map(|(pred, neg)| PredGuard { pred, neg })
+}
+
+fn arb_inst() -> impl Strategy<Value = Instruction> {
+    (arb_guard(), arb_op(), arb_ctrl()).prop_map(|(guard, op, ctrl)| Instruction { guard, op, ctrl })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_round_trip(inst in arb_inst()) {
+        let w = encode(&inst);
+        let back = decode(w).expect("decode must succeed on encoder output");
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn cubin_round_trip(insts in prop::collection::vec(arb_inst(), 0..64), smem in 0u32..65536) {
+        let m = Module::new("prop", smem, 64, insts);
+        let back = Module::from_cubin(&m.to_cubin()).expect("container round-trip");
+        prop_assert_eq!(back, m);
+    }
+}
+
+/// Instructions whose textual form is unambiguous enough to survive an
+/// assemble→disassemble→assemble loop (reuse flags on non-register operands
+/// are dropped by design, and `.reuse` is only printed for ALU shapes).
+fn arb_textual_inst() -> impl Strategy<Value = Instruction> {
+    (arb_guard(), arb_op(), 0u8..16, any::<bool>()).prop_map(|(guard, op, stall, y)| Instruction {
+        guard,
+        op,
+        ctrl: Ctrl::new().with_stall(stall).then_yield(y),
+    })
+}
+
+trait CtrlExt {
+    fn then_yield(self, y: bool) -> Ctrl;
+}
+impl CtrlExt for Ctrl {
+    fn then_yield(mut self, y: bool) -> Ctrl {
+        self.yield_flag = y;
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn disasm_asm_round_trip(insts in prop::collection::vec(arb_textual_inst(), 1..32)) {
+        // Clamp branch targets into range so labels resolve.
+        let n = insts.len() as u32;
+        let insts: Vec<Instruction> = insts
+            .into_iter()
+            .map(|mut i| {
+                if let Op::Bra { target } = i.op {
+                    i.op = Op::Bra { target: target % n };
+                }
+                i
+            })
+            .collect();
+        let text = disassemble(&insts);
+        let m = assemble(&text).unwrap_or_else(|e| panic!("assemble failed: {e}\n{text}"));
+        prop_assert_eq!(m.insts, insts, "\n{}", text);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: run the paper's fused Winograd convolution on the simulated
+//! V100, check it against a direct-convolution reference, and report the
+//! simulated performance.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use winograd_gpu::gpusim::DeviceSpec;
+use winograd_gpu::tensor::{allclose, LayoutKind, Tensor4};
+use winograd_gpu::wino_core::{conv2d_direct, Algo, Conv, ConvProblem};
+
+fn main() {
+    // ResNet Conv3 at batch 32 (Table 1): 3×3 filters, pad 1.
+    let problem = ConvProblem::resnet3x3(/*n=*/ 32, /*c=*/ 128, /*hw=*/ 28, /*k=*/ 128);
+    println!(
+        "problem: N={} C={} H=W={} K={} (3x3, pad 1)",
+        problem.n, problem.c, problem.h, problem.k
+    );
+
+    let input = Tensor4::random(LayoutKind::Nchw, [problem.n, problem.c, problem.h, problem.w], -1.0, 1.0, 1);
+    let filter = Tensor4::random(LayoutKind::Kcrs, [problem.k, problem.c, 3, 3], -1.0, 1.0, 2);
+
+    let conv = Conv::new(problem, DeviceSpec::v100());
+
+    // 1. Functional run: the SASS kernel executes instruction-by-instruction
+    //    on the simulator.
+    println!("\nrunning the fused Winograd SASS kernel on the simulated V100...");
+    let out = conv.run(Algo::OursFused, &input, &filter);
+
+    // 2. Verify against the host direct convolution.
+    let reference = conv2d_direct(&problem, &input, &filter);
+    let ok = allclose(reference.as_slice(), out.output.as_slice(), 1e-3, 1e-3);
+    println!(
+        "correctness vs direct convolution: {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+    assert!(ok);
+
+    // 3. Time it with the cycle-level model, next to the baselines.
+    println!("\nsimulated timings:");
+    for algo in [Algo::OursFused, Algo::CudnnWinograd, Algo::ImplicitPrecompGemm] {
+        let t = conv.time(algo);
+        println!(
+            "  {:<24} {:>8.1} us   {:>6.2} effective TFLOPS",
+            algo.name(),
+            t.time_s * 1e6,
+            t.tflops_effective
+        );
+    }
+    let ours = conv.time(Algo::OursFused);
+    let cudnn = conv.time(Algo::CudnnWinograd);
+    println!(
+        "\nspeedup over the cuDNN-like fused Winograd: {:.2}x (paper Table 6: 1.2x-2.7x)",
+        cudnn.time_s / ours.time_s
+    );
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the whole workspace, used by `examples/` and
+//! the cross-crate integration tests in `tests/`.
+pub use gpusim;
+pub use kernels;
+pub use perfmodel;
+pub use sass;
+pub use tensor;
+pub use wino_core;
