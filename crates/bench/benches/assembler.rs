@@ -1,34 +1,36 @@
-//! Criterion micro-benchmarks of the assembler: emit, encode, decode,
-//! assemble and disassemble rates over the flagship generated kernel.
+//! Micro-benchmarks of the assembler: emit, encode, decode, assemble and
+//! disassemble rates over the flagship generated kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::harness::Harness;
 use kernels::{FusedConfig, FusedKernel};
 use sass::{assemble, decode, disassemble, encode};
 
-fn assembler(c: &mut Criterion) {
+fn main() {
+    let h = Harness::from_args();
     let kern = FusedKernel::emit(FusedConfig::ours(64, 28, 28, 32, 64));
     let n = kern.module.insts.len() as u64;
     let words: Vec<u128> = kern.module.insts.iter().map(encode).collect();
     let text = disassemble(&kern.module.insts);
 
-    let mut g = c.benchmark_group("assembler");
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("emit_fused_kernel", |b| {
-        b.iter(|| FusedKernel::emit(FusedConfig::ours(64, 28, 28, 32, 64)))
+    h.bench("assembler/emit_fused_kernel", Some(n), || {
+        FusedKernel::emit(FusedConfig::ours(64, 28, 28, 32, 64))
     });
-    g.bench_function("encode", |b| {
-        b.iter(|| kern.module.insts.iter().map(encode).collect::<Vec<_>>())
+    h.bench("assembler/encode", Some(n), || {
+        kern.module.insts.iter().map(encode).collect::<Vec<_>>()
     });
-    g.bench_function("decode", |b| {
-        b.iter(|| words.iter().map(|&w| decode(w).unwrap()).collect::<Vec<_>>())
+    h.bench("assembler/decode", Some(n), || {
+        words
+            .iter()
+            .map(|&w| decode(w).unwrap())
+            .collect::<Vec<_>>()
     });
-    g.bench_function("disassemble", |b| b.iter(|| disassemble(&kern.module.insts)));
-    g.bench_function("assemble_text", |b| b.iter(|| assemble(&text).unwrap()));
-    g.bench_function("cubin_round_trip", |b| {
-        b.iter(|| sass::Module::from_cubin(&kern.module.to_cubin()).unwrap())
+    h.bench("assembler/disassemble", Some(n), || {
+        disassemble(&kern.module.insts)
     });
-    g.finish();
+    h.bench("assembler/assemble_text", Some(n), || {
+        assemble(&text).unwrap()
+    });
+    h.bench("assembler/cubin_round_trip", Some(n), || {
+        sass::Module::from_cubin(&kern.module.to_cubin()).unwrap()
+    });
 }
-
-criterion_group!(benches, assembler);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks of the host-side (CPU) algorithm
-//! implementations: the Winograd transforms and each reference convolution.
+//! Micro-benchmarks of the host-side (CPU) algorithm implementations: the
+//! Winograd transforms and each reference convolution.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::Harness;
 use tensor::{LayoutKind, Tensor4};
 use wino_core::fft::{conv2d_fft, fft2d, Cpx};
 use wino_core::im2col::conv2d_gemm;
@@ -9,53 +9,65 @@ use wino_core::transforms::{Mat, Variant};
 use wino_core::winograd_host::conv2d_winograd;
 use wino_core::{conv2d_direct, ConvProblem};
 
-fn transforms(c: &mut Criterion) {
-    let mut g = c.benchmark_group("winograd_tile_transforms");
+fn transforms(h: &Harness) {
     for v in [Variant::F2x2, Variant::F4x4, Variant::F6x6] {
         let tr = v.transform();
-        let tile = Mat::new(tr.t, tr.t, (0..tr.t * tr.t).map(|i| i as f32 * 0.1).collect());
+        let tile = Mat::new(
+            tr.t,
+            tr.t,
+            (0..tr.t * tr.t).map(|i| i as f32 * 0.1).collect(),
+        );
         let filt = Mat::new(3, 3, (0..9).map(|i| i as f32 * 0.2).collect());
-        g.bench_with_input(BenchmarkId::new("input_tile", format!("{v:?}")), &tile, |b, t| {
-            b.iter(|| tr.input_tile(std::hint::black_box(t)))
-        });
-        g.bench_with_input(BenchmarkId::new("filter_tile", format!("{v:?}")), &filt, |b, f| {
-            b.iter(|| tr.filter_tile(std::hint::black_box(f)))
-        });
+        h.bench(
+            &format!("winograd_tile_transforms/input_tile/{v:?}"),
+            None,
+            || tr.input_tile(std::hint::black_box(&tile)),
+        );
+        h.bench(
+            &format!("winograd_tile_transforms/filter_tile/{v:?}"),
+            None,
+            || tr.filter_tile(std::hint::black_box(&filt)),
+        );
     }
-    g.finish();
 }
 
-fn host_convolutions(c: &mut Criterion) {
+fn host_convolutions(h: &Harness) {
     let p = ConvProblem::resnet3x3(1, 16, 16, 16);
     let input = Tensor4::random(LayoutKind::Nchw, [p.n, p.c, p.h, p.w], -1.0, 1.0, 1);
     let filter = Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, 2);
-    let mut g = c.benchmark_group("host_convolution_16c_16x16");
-    g.bench_function("direct", |b| b.iter(|| conv2d_direct(&p, &input, &filter)));
-    g.bench_function("winograd_f2", |b| {
-        b.iter(|| conv2d_winograd(&p, &input, &filter, Variant::F2x2))
+    h.bench("host_convolution_16c_16x16/direct", None, || {
+        conv2d_direct(&p, &input, &filter)
     });
-    g.bench_function("winograd_f4", |b| {
-        b.iter(|| conv2d_winograd(&p, &input, &filter, Variant::F4x4))
+    h.bench("host_convolution_16c_16x16/winograd_f2", None, || {
+        conv2d_winograd(&p, &input, &filter, Variant::F2x2)
     });
-    g.bench_function("im2col_gemm", |b| b.iter(|| conv2d_gemm(&p, &input, &filter)));
-    g.bench_function("fft", |b| b.iter(|| conv2d_fft(&p, &input, &filter)));
-    g.finish();
+    h.bench("host_convolution_16c_16x16/winograd_f4", None, || {
+        conv2d_winograd(&p, &input, &filter, Variant::F4x4)
+    });
+    h.bench("host_convolution_16c_16x16/im2col_gemm", None, || {
+        conv2d_gemm(&p, &input, &filter)
+    });
+    h.bench("host_convolution_16c_16x16/fft", None, || {
+        conv2d_fft(&p, &input, &filter)
+    });
 }
 
-fn fft_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft2d");
+fn fft_kernels(h: &Harness) {
     for size in [16usize, 32, 64] {
-        let data: Vec<Cpx> = (0..size * size).map(|i| Cpx::new((i as f32).sin(), 0.0)).collect();
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
-            b.iter(|| {
-                let mut buf = d.clone();
-                fft2d(&mut buf, size, false);
-                buf
-            })
+        let data: Vec<Cpx> = (0..size * size)
+            .map(|i| Cpx::new((i as f32).sin(), 0.0))
+            .collect();
+        h.bench(&format!("fft2d/{size}"), None, || {
+            let mut buf = data.clone();
+            fft2d(&mut buf, size, false);
+            buf
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, transforms, host_convolutions, fft_kernels);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_args();
+    transforms(&h);
+    host_convolutions(&h);
+    fft_kernels(&h);
+}

@@ -1,55 +1,56 @@
-//! Criterion micro-benchmarks of the simulator itself: functional execution
-//! throughput and the cycle-level timing model.
+//! Micro-benchmarks of the simulator itself: functional execution throughput
+//! and the cycle-level timing model.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::harness::Harness;
 use gpusim::{DeviceSpec, Gpu, LaunchDims, ParamBuilder, TimingOptions};
 use kernels::{FusedConfig, FusedKernel};
 
-fn functional_block_throughput(c: &mut Criterion) {
+fn functional_block_throughput(h: &Harness) {
     // One block of the fused kernel, C=32: ~45k simulated warp-instructions.
     let cfg = FusedConfig::ours(32, 4, 4, 32, 64);
     let kern = FusedKernel::emit(cfg);
     let insts_per_launch = 4u64 * 8 * 6000; // rough, for ops/sec display
-    let mut g = c.benchmark_group("functional_simulation");
-    g.throughput(Throughput::Elements(insts_per_launch));
-    g.bench_function("fused_block_c32", |b| {
-        b.iter(|| {
+    h.bench(
+        "functional_simulation/fused_block_c32",
+        Some(insts_per_launch),
+        || {
             let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 22);
             let d_in = gpu.alloc((32 * 4 * 4 * 32) as u64 * 4);
             let d_tf = gpu.alloc((32 * 16 * 64) as u64 * 4);
             let d_out = gpu.alloc((64 * 4 * 4 * 32) as u64 * 4);
             let params = kern.params(d_in, d_tf, d_out);
-            gpu.launch(&kern.module, kern.launch_dims(), &params).unwrap();
+            gpu.launch(&kern.module, kern.launch_dims(), &params)
+                .unwrap();
             gpu
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-fn timing_model_wave(c: &mut Criterion) {
+fn timing_model_wave(h: &Harness) {
     let mut cfg = FusedConfig::ours(64, 28, 28, 32, 64);
     cfg.main_loop_only = true;
     let kern = FusedKernel::emit(cfg);
-    c.bench_function("timing_model_one_wave_c64", |b| {
-        b.iter(|| {
-            let mut gpu = Gpu::new(DeviceSpec::rtx2070(), 1 << 26);
-            let d_in = gpu.alloc((64 * 28 * 28 * 32) as u64 * 4);
-            let d_tf = gpu.alloc((64 * 16 * 64) as u64 * 4);
-            let d_out = gpu.alloc((64 * 28 * 28 * 32) as u64 * 4);
-            let params = kern.params(d_in, d_tf, d_out);
-            gpusim::timing::time_kernel(
-                &mut gpu,
-                &kern.module,
-                kern.launch_dims(),
-                &params,
-                TimingOptions { region: Some(kern.region), ..Default::default() },
-            )
-            .unwrap()
-        })
+    h.bench("timing_model_one_wave_c64", None, || {
+        let mut gpu = Gpu::new(DeviceSpec::rtx2070(), 1 << 26);
+        let d_in = gpu.alloc((64 * 28 * 28 * 32) as u64 * 4);
+        let d_tf = gpu.alloc((64 * 16 * 64) as u64 * 4);
+        let d_out = gpu.alloc((64 * 28 * 28 * 32) as u64 * 4);
+        let params = kern.params(d_in, d_tf, d_out);
+        gpusim::timing::time_kernel(
+            &mut gpu,
+            &kern.module,
+            kern.launch_dims(),
+            &params,
+            TimingOptions {
+                region: Some(kern.region),
+                ..Default::default()
+            },
+        )
+        .unwrap()
     });
 }
 
-fn block_runner(c: &mut Criterion) {
+fn block_runner(h: &Harness) {
     // A tight synthetic loop: measures raw interpreter speed.
     let m = sass::assemble(
         r#"
@@ -65,17 +66,17 @@ LOOP:
 "#,
     )
     .unwrap();
-    let mut g = c.benchmark_group("interpreter");
-    g.throughput(Throughput::Elements(1024 * 5 * 8)); // warp-insts per block
-    g.bench_function("alu_loop_block", |b| {
-        b.iter(|| {
-            let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 16);
-            gpu.launch(&m, LaunchDims::linear(1, 256), &ParamBuilder::new().build()).unwrap();
-            gpu
-        })
+    h.bench("interpreter/alu_loop_block", Some(1024 * 5 * 8), || {
+        let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 16);
+        gpu.launch(&m, LaunchDims::linear(1, 256), &ParamBuilder::new().build())
+            .unwrap();
+        gpu
     });
-    g.finish();
 }
 
-criterion_group!(benches, functional_block_throughput, timing_model_wave, block_runner);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_args();
+    functional_block_throughput(&h);
+    timing_model_wave(&h);
+    block_runner(&h);
+}

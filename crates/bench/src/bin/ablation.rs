@@ -3,59 +3,125 @@
 //!  * cache block size bk=64 vs bk=32 with everything else equal (§3.3);
 //!  * yield/LDG/STS strategy deltas on V100 (complementing Figs. 7-9).
 
-use bench::{Table};
+use bench::report::Report;
+use bench::Table;
 use gpusim::DeviceSpec;
 use kernels::{LdgStrategy, StsStrategy, YieldStrategy};
 use wino_core::{Conv, ConvProblem};
 
 fn main() {
     let dev = DeviceSpec::rtx2070();
-    println!("Ablation study (simulated {}, Conv3N64: C=K=128, 28x28, N=64)\n", dev.name);
+    println!(
+        "Ablation study (simulated {}, Conv3N64: C=K=128, 28x28, N=64)\n",
+        dev.name
+    );
     let p = ConvProblem::resnet3x3(64, 128, 28, 128);
     let conv = Conv::new(p, dev.clone());
 
+    let mut report = Report::from_args("ablation");
     let base = conv.ours_config();
     let mut t = Table::new(&["variant", "main-loop TFLOPS", "vs base"]);
     let (_, base_tf) = conv.time_fused_mainloop(base);
-    t.row(vec!["base (bk=64, P2R, Natural, LDG8, STS6)".into(), format!("{base_tf:.2}"), "1.000x".into()]);
+    t.row(vec![
+        "base (bk=64, P2R, Natural, LDG8, STS6)".into(),
+        format!("{base_tf:.2}"),
+        "1.000x".into(),
+    ]);
+    let mut record = |variant: &str, tf: f64| {
+        report.add(
+            dev.name,
+            &[
+                ("layer", "Conv3".into()),
+                ("n", 64usize.into()),
+                ("variant", variant.into()),
+            ],
+            &[
+                ("mainloop_tflops", tf.into()),
+                ("vs_base", (tf / base_tf).into()),
+            ],
+        );
+    };
+    record("base", base_tf);
 
     let mut v = base;
     v.use_p2r = false;
     let (_, tf) = conv.time_fused_mainloop(v);
-    t.row(vec!["no P2R (recompute masks in loop)".into(), format!("{tf:.2}"), format!("{:.3}x", tf / base_tf)]);
+    t.row(vec![
+        "no P2R (recompute masks in loop)".into(),
+        format!("{tf:.2}"),
+        format!("{:.3}x", tf / base_tf),
+    ]);
+    record("no_p2r", tf);
 
     let mut v = base;
     v.bk = 32;
     v.smem_override = Some(48 * 1024);
     let (_, tf) = conv.time_fused_mainloop(v);
-    t.row(vec!["bk=32 (halved cache block)".into(), format!("{tf:.2}"), format!("{:.3}x", tf / base_tf)]);
+    t.row(vec![
+        "bk=32 (halved cache block)".into(),
+        format!("{tf:.2}"),
+        format!("{:.3}x", tf / base_tf),
+    ]);
+    record("bk32", tf);
 
     let mut v = base;
     v.yield_strategy = YieldStrategy::Cudnn;
     let (_, tf) = conv.time_fused_mainloop(v);
-    t.row(vec!["yield every 7 (cuDNN)".into(), format!("{tf:.2}"), format!("{:.3}x", tf / base_tf)]);
+    t.row(vec![
+        "yield every 7 (cuDNN)".into(),
+        format!("{tf:.2}"),
+        format!("{:.3}x", tf / base_tf),
+    ]);
+    record("yield_cudnn", tf);
 
     let mut v = base;
     v.ldg = LdgStrategy::Ldg2;
     let (_, tf) = conv.time_fused_mainloop(v);
-    t.row(vec!["LDG2".into(), format!("{tf:.2}"), format!("{:.3}x", tf / base_tf)]);
+    t.row(vec![
+        "LDG2".into(),
+        format!("{tf:.2}"),
+        format!("{:.3}x", tf / base_tf),
+    ]);
+    record("ldg2", tf);
 
     let mut v = base;
     v.sts = StsStrategy::Sts2;
     let (_, tf) = conv.time_fused_mainloop(v);
-    t.row(vec!["STS2".into(), format!("{tf:.2}"), format!("{:.3}x", tf / base_tf)]);
+    t.row(vec![
+        "STS2".into(),
+        format!("{tf:.2}"),
+        format!("{:.3}x", tf / base_tf),
+    ]);
+    record("sts2", tf);
 
     // §8.4 port: same kernel, NCHW input partitioning — quantifies what the
     // §4.2 CHWN layout choice buys.
     let v = kernels::FusedConfig::ours_nchw(128, 28, 28, 64, 128);
-    let (_, tf) = conv.time_fused_mainloop(kernels::FusedConfig { main_loop_only: true, ..v });
-    t.row(vec!["NCHW input port (§8.4)".into(), format!("{tf:.2}"), format!("{:.3}x", tf / base_tf)]);
+    let (_, tf) = conv.time_fused_mainloop(kernels::FusedConfig {
+        main_loop_only: true,
+        ..v
+    });
+    t.row(vec![
+        "NCHW input port (§8.4)".into(),
+        format!("{tf:.2}"),
+        format!("{:.3}x", tf / base_tf),
+    ]);
+    record("nchw_port", tf);
 
     // §8.3 fp16 port: bn = 64, half2 arithmetic — two element-FLOPs per
     // lane-instruction on the same FP32 pipe.
     let v = kernels::FusedConfig::ours_fp16(128, 28, 28, 128, 128);
-    let (_, tf) = conv.time_fused_mainloop(kernels::FusedConfig { main_loop_only: true, ..v });
-    t.row(vec!["fp16 port, bn=64 (§8.3)".into(), format!("{tf:.2}"), format!("{:.3}x", tf / base_tf)]);
+    let (_, tf) = conv.time_fused_mainloop(kernels::FusedConfig {
+        main_loop_only: true,
+        ..v
+    });
+    t.row(vec![
+        "fp16 port, bn=64 (§8.3)".into(),
+        format!("{tf:.2}"),
+        format!("{:.3}x", tf / base_tf),
+    ]);
+    record("fp16_port", tf);
 
     t.print();
+    report.finish();
 }

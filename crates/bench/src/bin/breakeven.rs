@@ -1,21 +1,48 @@
 //! §8.1: the fused-F(2×2) vs non-fused-F(4×4) break-even analysis.
 //! Paper: crossover at K = 129 (V100) and K = 127 (RTX 2070).
 
+use bench::report::Report;
 use gpusim::DeviceSpec;
 use perfmodel::{break_even_k, fused_f2_time, nonfused_f4_time};
 
 fn main() {
     println!("Section 8.1: fused F(2x2,3x3) vs non-fused F(4x4,3x3) break-even\n");
+    let mut report = Report::from_args("breakeven");
     for dev in [DeviceSpec::v100(), DeviceSpec::rtx2070()] {
         let k = break_even_k(&dev);
-        println!("{:8}: break-even K = {:.0}  (paper: {})", dev.name, k,
-            if dev.name == "V100" { 129 } else { 127 });
+        println!(
+            "{:8}: break-even K = {:.0}  (paper: {})",
+            dev.name,
+            k,
+            if dev.name == "V100" { 129 } else { 127 }
+        );
+        report.add(
+            dev.name,
+            &[("aggregate", "break_even".into())],
+            &[("k", k.into())],
+        );
         println!("  K       fused(us)  nonfused(us)  winner");
         for kk in [64u32, 128, 256, 512] {
             let f = fused_f2_time(&dev, 32.0, kk as f64, 28.0, 28.0, kk as f64) * 1e6;
             let nf = nonfused_f4_time(&dev, 32.0, kk as f64, 28.0, 28.0, kk as f64) * 1e6;
-            println!("  {:<7} {:>9.1} {:>13.1}  {}", kk, f, nf, if f < nf { "fused" } else { "non-fused" });
+            println!(
+                "  {:<7} {:>9.1} {:>13.1}  {}",
+                kk,
+                f,
+                nf,
+                if f < nf { "fused" } else { "non-fused" }
+            );
+            report.add(
+                dev.name,
+                &[("k", kk.into())],
+                &[
+                    ("fused_us", f.into()),
+                    ("nonfused_us", nf.into()),
+                    ("winner", if f < nf { "fused" } else { "non-fused" }.into()),
+                ],
+            );
         }
         println!();
     }
+    report.finish();
 }

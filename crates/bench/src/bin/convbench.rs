@@ -5,22 +5,46 @@
 //! convbench [--device v100|rtx2070] [--algo ours|winograd|gemm|implicit|
 //!            precomp|nonfused|fft|fft-tiling|all] [--n N] [--c C] [--hw HW]
 //!            [--k K] [--layer Conv2|Conv3|Conv4|Conv5] [--verify]
+//!            [--profile] [--json PATH] [--trace PATH]
 //! ```
+//!
+//! `--profile` runs the fused kernel through the cycle simulator with
+//! per-instruction stall attribution on, and prints the top hot lines with
+//! their stall breakdown plus per-region totals. `--trace PATH` writes one
+//! wave's warp schedule as Chrome trace-event JSON (load in Perfetto or
+//! `chrome://tracing`). `--json PATH` writes the measured numbers as JSON
+//! records.
 
-use gpusim::DeviceSpec;
+use bench::report::Report;
+use gpusim::{DeviceSpec, KernelProfile, StallCause};
 use tensor::{allclose, LayoutKind, Tensor4};
 use wino_core::resnet::layer_by_name;
 use wino_core::{conv2d_direct, Algo, Conv, ConvProblem};
 
-fn parse_args() -> Result<(DeviceSpec, Vec<Algo>, ConvProblem, bool), String> {
+struct Args {
+    device: DeviceSpec,
+    algos: Vec<Algo>,
+    problem: ConvProblem,
+    verify: bool,
+    profile: bool,
+    json: Option<String>,
+    trace: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut device = DeviceSpec::rtx2070();
     let mut algos = vec![Algo::OursFused];
     let (mut n, mut c, mut hw, mut k) = (32usize, 64usize, 56usize, 64usize);
     let mut verify = false;
+    let mut profile = false;
+    let mut json = None;
+    let mut trace = None;
     let mut i = 0;
     let value = |args: &[String], i: usize| -> Result<String, String> {
-        args.get(i + 1).cloned().ok_or_else(|| format!("{} needs a value", args[i]))
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", args[i]))
     };
     while i < args.len() {
         match args[i].as_str() {
@@ -74,6 +98,18 @@ fn parse_args() -> Result<(DeviceSpec, Vec<Algo>, ConvProblem, bool), String> {
                 verify = true;
                 i += 1;
             }
+            "--profile" => {
+                profile = true;
+                i += 1;
+            }
+            "--json" => {
+                json = Some(value(&args, i)?);
+                i += 2;
+            }
+            "--trace" => {
+                trace = Some(value(&args, i)?);
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -86,19 +122,51 @@ fn parse_args() -> Result<(DeviceSpec, Vec<Algo>, ConvProblem, bool), String> {
         return Err(format!("--c must be a multiple of 8 (got {c})"));
     }
     let needs_k64 = algos.iter().any(|a| {
-        matches!(a, Algo::OursFused | Algo::Gemm | Algo::ImplicitGemm | Algo::ImplicitPrecompGemm | Algo::WinogradNonfused)
+        matches!(
+            a,
+            Algo::OursFused
+                | Algo::Gemm
+                | Algo::ImplicitGemm
+                | Algo::ImplicitPrecompGemm
+                | Algo::WinogradNonfused
+        )
     });
     if needs_k64 && k % 64 != 0 {
-        return Err(format!("--k must be a multiple of 64 for this algorithm set (got {k})"));
+        return Err(format!(
+            "--k must be a multiple of 64 for this algorithm set (got {k})"
+        ));
     }
     if k % 32 != 0 {
         return Err(format!("--k must be a multiple of 32 (got {k})"));
     }
-    Ok((device, algos, ConvProblem::resnet3x3(n, c, hw, k), verify))
+    if (profile || trace.is_some())
+        && !algos
+            .iter()
+            .any(|a| matches!(a, Algo::OursFused | Algo::CudnnWinograd))
+    {
+        return Err("--profile/--trace need a fused kernel algo (ours or winograd)".into());
+    }
+    Ok(Args {
+        device,
+        algos,
+        problem: ConvProblem::resnet3x3(n, c, hw, k),
+        verify,
+        profile,
+        json,
+        trace,
+    })
 }
 
 fn main() {
-    let (device, algos, problem, verify) = match parse_args() {
+    let Args {
+        device,
+        algos,
+        problem,
+        verify,
+        profile,
+        json,
+        trace,
+    } = match parse_args() {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
@@ -106,6 +174,8 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let mut report = Report::to_path("convbench", json);
+    let dev_name = device.name;
     println!(
         "{}  N={} C={} HxW={}x{} K={}",
         device.name, problem.n, problem.c, problem.h, problem.w, problem.k
@@ -113,7 +183,13 @@ fn main() {
     let conv = Conv::new(problem, device);
 
     let reference = if verify {
-        let input = Tensor4::random(LayoutKind::Nchw, [problem.n, problem.c, problem.h, problem.w], -1.0, 1.0, 1);
+        let input = Tensor4::random(
+            LayoutKind::Nchw,
+            [problem.n, problem.c, problem.h, problem.w],
+            -1.0,
+            1.0,
+            1,
+        );
         let filter = Tensor4::random(LayoutKind::Kcrs, [problem.k, problem.c, 3, 3], -1.0, 1.0, 2);
         let want = conv2d_direct(&problem, &input, &filter);
         Some((input, filter, want))
@@ -125,7 +201,7 @@ fn main() {
         "{:<24} {:>10} {:>9} {:>11} {:>9}",
         "algorithm", "time (us)", "eff TF", "wkspc (MB)", "verify"
     );
-    for algo in algos {
+    for &algo in &algos {
         let t = conv.time(algo);
         let v = match &reference {
             Some((input, filter, want)) => {
@@ -138,13 +214,184 @@ fn main() {
             }
             None => "-",
         };
+        let workspace_mb = conv.workspace_bytes(algo) as f64 / 1e6;
         println!(
             "{:<24} {:>10.1} {:>9.2} {:>11.2} {:>9}",
             algo.name(),
             t.time_s * 1e6,
             t.tflops_effective,
-            conv.workspace_bytes(algo) as f64 / 1e6,
+            workspace_mb,
             v
         );
+        report.add(
+            dev_name,
+            &[
+                ("algo", algo.name().into()),
+                ("n", problem.n.into()),
+                ("c", problem.c.into()),
+                ("hw", problem.h.into()),
+                ("k", problem.k.into()),
+            ],
+            &[
+                ("time_us", (t.time_s * 1e6).into()),
+                ("tflops_effective", t.tflops_effective.into()),
+                ("workspace_mb", workspace_mb.into()),
+                ("verify", v.into()),
+            ],
+        );
     }
+
+    if profile || trace.is_some() {
+        let algo = algos
+            .iter()
+            .copied()
+            .find(|a| matches!(a, Algo::OursFused | Algo::CudnnWinograd))
+            .unwrap();
+        let t = conv.time_fused_profiled(algo);
+        let p = t.profile.as_ref().expect("profiled run carries a profile");
+        if profile {
+            print_profile(algo, p, &mut report, dev_name, &problem);
+        }
+        if let Some(path) = &trace {
+            std::fs::write(path, p.to_chrome_trace())
+                .unwrap_or_else(|e| panic!("failed to write --trace {path}: {e}"));
+            println!(
+                "\n[trace] wrote {} issue events to {path}{}",
+                p.issue_events.len(),
+                if p.issue_events_truncated {
+                    " (truncated)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+    report.finish();
+}
+
+/// Print per-region totals and the top hot lines with stall attribution,
+/// ending with the reconciliation identity against `wave_cycles`.
+fn print_profile(
+    algo: Algo,
+    p: &KernelProfile,
+    report: &mut Report,
+    dev_name: &str,
+    problem: &ConvProblem,
+) {
+    let slots = p.schedulers as u64 * p.wave_cycles;
+    let issue: u64 = p.lines.iter().map(|l| l.issue_cycles).sum();
+    let stalls: u64 = p.lines.iter().map(|l| l.stalls.total()).sum();
+    println!("\n== stall-attribution profile: {} ==", algo.name());
+    println!(
+        "wave_cycles {}  schedulers {}  issue slots {} ({:.1}%)  stall slots {}  empty {}",
+        p.wave_cycles,
+        p.schedulers,
+        issue,
+        100.0 * issue as f64 / slots as f64,
+        stalls,
+        p.empty_cycles
+    );
+
+    println!("\nper-region slot cycles:");
+    println!(
+        "{:<20} {:>12} {:>14} {:>7}",
+        "region", "executed", "slot cycles", "share"
+    );
+    for (name, executed, cycles) in p.region_totals() {
+        println!(
+            "{:<20} {:>12} {:>14} {:>6.1}%",
+            name,
+            executed,
+            cycles,
+            100.0 * cycles as f64 / slots as f64
+        );
+    }
+
+    const TOP_N: usize = 20;
+    println!("\ntop {TOP_N} hot lines (slot cycles = issue + attributed stalls):");
+    println!(
+        "{:>5} {:<16} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}  instruction",
+        "line",
+        "region",
+        "executed",
+        "issue",
+        "barrier",
+        "scbrd",
+        "mio",
+        "stallct",
+        "pipe",
+        "yield",
+        "bankcf"
+    );
+    for pc in p.hot_lines(TOP_N) {
+        let l = &p.lines[pc];
+        let region = p
+            .region_of(pc as u32)
+            .map(|r| r.name.as_str())
+            .unwrap_or("-");
+        let mut text = l.text.clone();
+        if text.len() > 44 {
+            text.truncate(41);
+            text.push_str("...");
+        }
+        println!(
+            "{:>5} {:<16} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}  {}",
+            pc,
+            region,
+            l.executed,
+            l.issue_cycles,
+            l.stalls.by_cause[StallCause::Barrier as usize],
+            l.stalls.by_cause[StallCause::Scoreboard as usize],
+            l.stalls.by_cause[StallCause::MioQueue as usize],
+            l.stalls.by_cause[StallCause::StallCount as usize],
+            l.stalls.by_cause[StallCause::PipeBusy as usize],
+            l.stalls.yield_switch,
+            l.bank_conflict_cycles,
+            text
+        );
+    }
+
+    let attributed = p.attributed_cycles();
+    println!(
+        "\nreconciliation: issue {} + stalls {} + empty {} = {}  vs  {} schedulers x {} wave_cycles = {}  [{}]",
+        issue,
+        stalls,
+        p.empty_cycles,
+        attributed,
+        p.schedulers,
+        p.wave_cycles,
+        slots,
+        if attributed == slots { "OK" } else { "MISMATCH" }
+    );
+
+    let mut by_cause: [u64; 5] = [0; 5];
+    let mut yield_switch = 0u64;
+    for l in &p.lines {
+        for c in StallCause::ALL {
+            by_cause[c as usize] += l.stalls.by_cause[c as usize];
+        }
+        yield_switch += l.stalls.yield_switch;
+    }
+    let mut metrics: Vec<(&str, bench::json::Json)> = vec![
+        ("wave_cycles", p.wave_cycles.into()),
+        ("schedulers", p.schedulers.into()),
+        ("issue_slots", issue.into()),
+        ("empty_slots", p.empty_cycles.into()),
+        ("yield_switch_slots", yield_switch.into()),
+    ];
+    for c in StallCause::ALL {
+        metrics.push((c.name(), by_cause[c as usize].into()));
+    }
+    report.add(
+        dev_name,
+        &[
+            ("algo", algo.name().into()),
+            ("n", problem.n.into()),
+            ("c", problem.c.into()),
+            ("hw", problem.h.into()),
+            ("k", problem.k.into()),
+            ("kind", "profile".into()),
+        ],
+        &metrics,
+    );
 }

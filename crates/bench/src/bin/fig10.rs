@@ -1,17 +1,19 @@
 //! Figure 10: Speed-of-Light (FP32-pipe utilization) on RTX 2070, whole
 //! kernel ("Total") and main loop. Paper: main loop 87.5-93%, total ≥ ~80%.
 
+use bench::report::Report;
 use bench::{configs, label, Table};
 use gpusim::DeviceSpec;
 use wino_core::{Algo, Conv};
 
 fn main() {
-    run(DeviceSpec::rtx2070(), "Figure 10", "RTX 2070");
+    run(DeviceSpec::rtx2070(), "Figure 10", "RTX 2070", "fig10");
 }
 
-pub fn run(dev: DeviceSpec, fig: &str, name: &str) {
+pub fn run(dev: DeviceSpec, fig: &str, name: &str, experiment: &str) {
     println!("{fig}: Speed of Light (simulated {name})");
     println!("Paper: main loop up to ~93%, total above ~80% for large batch\n");
+    let mut report = Report::from_args(experiment);
     let mut t = Table::new(&["layer", "Total %", "Main loop %"]);
     for (layer, n) in configs() {
         let conv = Conv::new(layer.problem(n), dev.clone());
@@ -22,6 +24,15 @@ pub fn run(dev: DeviceSpec, fig: &str, name: &str) {
             format!("{:.1}", k.sol_total_pct),
             format!("{:.1}", k.sol_pct),
         ]);
+        report.add(
+            dev.name,
+            &[("layer", layer.name.into()), ("n", n.into())],
+            &[
+                ("sol_total_pct", k.sol_total_pct.into()),
+                ("sol_mainloop_pct", k.sol_pct.into()),
+            ],
+        );
     }
     t.print();
+    report.finish();
 }

@@ -1,5 +1,6 @@
 //! Figure 11: Speed-of-Light on V100 (see fig10).
 
+use bench::report::Report;
 use bench::{configs, label, Table};
 use gpusim::DeviceSpec;
 use wino_core::{Algo, Conv};
@@ -8,6 +9,7 @@ fn main() {
     let dev = DeviceSpec::v100();
     println!("Figure 11: Speed of Light (simulated V100)");
     println!("Paper: main loop up to ~93%, total ~75-95%\n");
+    let mut report = Report::from_args("fig11");
     let mut t = Table::new(&["layer", "Total %", "Main loop %"]);
     for (layer, n) in configs() {
         let conv = Conv::new(layer.problem(n), dev.clone());
@@ -18,6 +20,15 @@ fn main() {
             format!("{:.1}", k.sol_total_pct),
             format!("{:.1}", k.sol_pct),
         ]);
+        report.add(
+            dev.name,
+            &[("layer", layer.name.into()), ("n", n.into())],
+            &[
+                ("sol_total_pct", k.sol_total_pct.into()),
+                ("sol_mainloop_pct", k.sol_pct.into()),
+            ],
+        );
     }
     t.print();
+    report.finish();
 }

@@ -2,17 +2,22 @@
 //! RTX 2070. Paper highlights: ≥1.56× over everything on Conv2; faster than
 //! all but WINOGRAD_NONFUSED on Conv5 (where F(4×4)'s 4× reduction wins).
 
+use bench::report::Report;
 use bench::{configs, label, x, Table};
 use gpusim::DeviceSpec;
 use wino_core::{Algo, Conv};
 
 fn main() {
-    run(DeviceSpec::rtx2070(), "Figure 12");
+    run(DeviceSpec::rtx2070(), "Figure 12", "fig12");
 }
 
 #[allow(dead_code)] // `main` above is unused when included from fig13.rs
-pub fn run(dev: DeviceSpec, fig: &str) {
-    println!("{fig}: speedup of ours over all other algorithms (simulated {})\n", dev.name);
+pub fn run(dev: DeviceSpec, fig: &str, experiment: &str) {
+    println!(
+        "{fig}: speedup of ours over all other algorithms (simulated {})\n",
+        dev.name
+    );
+    let mut report = Report::from_args(experiment);
     let algos = [
         Algo::Fft,
         Algo::FftTiling,
@@ -33,8 +38,22 @@ pub fn run(dev: DeviceSpec, fig: &str) {
         for a in algos {
             let other = conv.time(a).time_s;
             row.push(x(other / ours));
+            report.add(
+                dev.name,
+                &[
+                    ("layer", layer.name.into()),
+                    ("n", n.into()),
+                    ("algo", a.name().into()),
+                ],
+                &[
+                    ("ours_us", (ours * 1e6).into()),
+                    ("other_us", (other * 1e6).into()),
+                    ("speedup", (other / ours).into()),
+                ],
+            );
         }
         t.row(row);
     }
     t.print();
+    report.finish();
 }

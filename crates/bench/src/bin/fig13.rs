@@ -8,5 +8,5 @@ use gpusim::DeviceSpec;
 mod fig12;
 
 fn main() {
-    fig12::run(DeviceSpec::v100(), "Figure 13");
+    fig12::run(DeviceSpec::v100(), "Figure 13", "fig13");
 }

@@ -2,12 +2,14 @@
 //! Paper highlights: ours needs 0.25-16 MB (transformed filter only); FFT
 //! variants need hundreds of MB to > 1.6 GB on Conv5.
 
+use bench::report::Report;
 use bench::{configs, label, Table};
 use gpusim::DeviceSpec;
 use wino_core::{Algo, Conv};
 
 fn main() {
     println!("Figure 14: workspace (MB) per algorithm\n");
+    let mut report = Report::from_args("fig14");
     let algos = [
         Algo::Fft,
         Algo::FftTiling,
@@ -26,9 +28,20 @@ fn main() {
         let conv = Conv::new(layer.problem(n), DeviceSpec::v100());
         let mut row = vec![label(&layer, n)];
         for a in algos {
-            row.push(format!("{:.1}", conv.workspace_bytes(a) as f64 / 1e6));
+            let mb = conv.workspace_bytes(a) as f64 / 1e6;
+            row.push(format!("{mb:.1}"));
+            report.add(
+                "V100",
+                &[
+                    ("layer", layer.name.into()),
+                    ("n", n.into()),
+                    ("algo", a.name().into()),
+                ],
+                &[("workspace_mb", mb.into())],
+            );
         }
         t.row(row);
     }
     t.print();
+    report.finish();
 }

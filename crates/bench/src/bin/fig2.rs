@@ -1,5 +1,6 @@
 //! Figure 2: roofline model of the Winograd steps on V100.
 
+use bench::report::Report;
 use gpusim::DeviceSpec;
 use perfmodel::roofline::{
     attainable_tflops, attainable_tflops_vs, direct_conv_intensity, gemm_intensity, l2_bandwidth,
@@ -8,35 +9,49 @@ use perfmodel::roofline::{
 
 fn main() {
     let dev = DeviceSpec::v100();
-    println!("Figure 2: V100 global-memory roofline (peak {:.1} TFLOPS, DRAM {:.0} GB/s, L2 {:.1} TB/s)",
-        dev.peak_fp32_flops() / 1e12, dev.dram_bw / 1e9, l2_bandwidth(&dev) / 1e12);
+    let mut report = Report::from_args("fig2");
+    println!(
+        "Figure 2: V100 global-memory roofline (peak {:.1} TFLOPS, DRAM {:.0} GB/s, L2 {:.1} TB/s)",
+        dev.peak_fp32_flops() / 1e12,
+        dev.dram_bw / 1e9,
+        l2_bandwidth(&dev) / 1e12
+    );
     println!("ridge point: {:.1} ops/byte\n", ridge_intensity(&dev));
 
-    println!("{:<28} {:>10} {:>14} {:>14}", "kernel/step", "ops:byte", "DRAM-roof TF", "L2-roof TF");
-    for p in WINOGRAD_STEPS {
-        println!(
-            "{:<28} {:>10.3} {:>14.2} {:>14.2}",
-            p.name,
-            p.intensity,
-            attainable_tflops(&dev, p.intensity),
-            attainable_tflops_vs(&dev, p.intensity, l2_bandwidth(&dev))
-        );
-    }
-    for (name, i) in [
+    println!(
+        "{:<28} {:>10} {:>14} {:>14}",
+        "kernel/step", "ops:byte", "DRAM-roof TF", "L2-roof TF"
+    );
+    let mut steps: Vec<(&str, f64)> = WINOGRAD_STEPS
+        .iter()
+        .map(|p| (p.name, p.intensity))
+        .collect();
+    steps.extend([
         ("batched GEMM (bk=32)", gemm_intensity(32.0)),
         ("batched GEMM (bk=64)", gemm_intensity(64.0)),
         ("direct conv (bk=64)", direct_conv_intensity(64.0)),
-    ] {
+    ]);
+    for (name, i) in steps {
+        let dram_roof = attainable_tflops(&dev, i);
+        let l2_roof = attainable_tflops_vs(&dev, i, l2_bandwidth(&dev));
         println!(
             "{:<28} {:>10.3} {:>14.2} {:>14.2}",
-            name,
-            i,
-            attainable_tflops(&dev, i),
-            attainable_tflops_vs(&dev, i, l2_bandwidth(&dev))
+            name, i, dram_roof, l2_roof
+        );
+        report.add(
+            dev.name,
+            &[("step", name.into())],
+            &[
+                ("intensity_ops_per_byte", i.into()),
+                ("dram_roof_tflops", dram_roof.into()),
+                ("l2_roof_tflops", l2_roof.into()),
+            ],
         );
     }
-    println!("\nbk=64 raises the GEMM step's intensity by {:.0}% over bk=32 (paper: +33%)",
-        100.0 * (gemm_intensity(64.0) / gemm_intensity(32.0) - 1.0));
+    println!(
+        "\nbk=64 raises the GEMM step's intensity by {:.0}% over bk=32 (paper: +33%)",
+        100.0 * (gemm_intensity(64.0) / gemm_intensity(32.0) - 1.0)
+    );
 
     // Roofline curve samples (for replotting).
     println!("\nintensity_ops_per_byte, dram_roof_tflops, l2_roof_tflops");
@@ -50,4 +65,5 @@ fn main() {
         );
         i *= 2.0;
     }
+    report.finish();
 }

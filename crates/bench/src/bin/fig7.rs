@@ -2,6 +2,7 @@
 //! (RTX 2070). Paper: "Natural" (never clearing the yield flag) achieves
 //! 1.09× over NVCC's every-8 and 1.11× over cuDNN's every-7 heuristic.
 
+use bench::report::Report;
 use bench::{configs, label, Table};
 use gpusim::DeviceSpec;
 use kernels::YieldStrategy;
@@ -11,23 +12,42 @@ fn main() {
     println!("Figure 7: main-loop TFLOPS by yield strategy (simulated RTX 2070)");
     println!("Paper: Natural ~1.09-1.11x over NVCC/cuDNN heuristics\n");
     let dev = DeviceSpec::rtx2070();
+    let mut report = Report::from_args("fig7");
     let mut t = Table::new(&["layer", "cuDNN", "NVCC", "Natural"]);
     let mut sums = [0.0f64; 3];
     for (layer, n) in configs() {
         let conv = Conv::new(layer.problem(n), dev.clone());
         let mut row = vec![label(&layer, n)];
-        for (i, strat) in [YieldStrategy::Cudnn, YieldStrategy::Nvcc, YieldStrategy::Natural]
-            .iter()
-            .enumerate()
+        for (i, (name, strat)) in [
+            ("cudnn", YieldStrategy::Cudnn),
+            ("nvcc", YieldStrategy::Nvcc),
+            ("natural", YieldStrategy::Natural),
+        ]
+        .iter()
+        .enumerate()
         {
             let mut cfg = conv.ours_config();
             cfg.yield_strategy = *strat;
             let (_, tflops) = conv.time_fused_mainloop(cfg);
             sums[i] += tflops;
             row.push(format!("{tflops:.2}"));
+            report.add(
+                dev.name,
+                &[
+                    ("layer", layer.name.into()),
+                    ("n", n.into()),
+                    ("yield", (*name).into()),
+                ],
+                &[("mainloop_tflops", tflops.into())],
+            );
         }
         t.row(row);
     }
     t.print();
-    println!("\nNatural/cuDNN = {:.3}x, Natural/NVCC = {:.3}x", sums[2] / sums[0], sums[2] / sums[1]);
+    println!(
+        "\nNatural/cuDNN = {:.3}x, Natural/NVCC = {:.3}x",
+        sums[2] / sums[0],
+        sums[2] / sums[1]
+    );
+    report.finish();
 }

@@ -2,6 +2,7 @@
 //! (RTX 2070). Paper: LDG8 (one LDG per 8 FFMAs) beats cuDNN's LDG2 by up
 //! to 1.24×.
 
+use bench::report::Report;
 use bench::{configs, label, Table};
 use gpusim::DeviceSpec;
 use kernels::LdgStrategy;
@@ -11,20 +12,38 @@ fn main() {
     println!("Figure 8: main-loop TFLOPS by LDG interleave (simulated RTX 2070)");
     println!("Paper: LDG8 up to 1.24x over LDG2\n");
     let dev = DeviceSpec::rtx2070();
+    let mut report = Report::from_args("fig8");
     let mut t = Table::new(&["layer", "LDG2", "LDG4", "LDG8"]);
     let mut sums = [0.0f64; 3];
     for (layer, n) in configs() {
         let conv = Conv::new(layer.problem(n), dev.clone());
         let mut row = vec![label(&layer, n)];
-        for (i, strat) in [LdgStrategy::Ldg2, LdgStrategy::Ldg4, LdgStrategy::Ldg8].iter().enumerate() {
+        for (i, (name, strat)) in [
+            ("ldg2", LdgStrategy::Ldg2),
+            ("ldg4", LdgStrategy::Ldg4),
+            ("ldg8", LdgStrategy::Ldg8),
+        ]
+        .iter()
+        .enumerate()
+        {
             let mut cfg = conv.ours_config();
             cfg.ldg = *strat;
             let (_, tflops) = conv.time_fused_mainloop(cfg);
             sums[i] += tflops;
             row.push(format!("{tflops:.2}"));
+            report.add(
+                dev.name,
+                &[
+                    ("layer", layer.name.into()),
+                    ("n", n.into()),
+                    ("ldg", (*name).into()),
+                ],
+                &[("mainloop_tflops", tflops.into())],
+            );
         }
         t.row(row);
     }
     t.print();
     println!("\nLDG8/LDG2 = {:.3}x", sums[2] / sums[0]);
+    report.finish();
 }

@@ -1,6 +1,7 @@
 //! Figure 9: main-loop throughput under different STS scheduling strategies
 //! (RTX 2070). Paper: STS6 is ~2% over STS2.
 
+use bench::report::Report;
 use bench::{configs, label, Table};
 use gpusim::DeviceSpec;
 use kernels::StsStrategy;
@@ -10,20 +11,38 @@ fn main() {
     println!("Figure 9: main-loop TFLOPS by STS interleave (simulated RTX 2070)");
     println!("Paper: STS6 ~2% over STS2\n");
     let dev = DeviceSpec::rtx2070();
+    let mut report = Report::from_args("fig9");
     let mut t = Table::new(&["layer", "STS2", "STS4", "STS6"]);
     let mut sums = [0.0f64; 3];
     for (layer, n) in configs() {
         let conv = Conv::new(layer.problem(n), dev.clone());
         let mut row = vec![label(&layer, n)];
-        for (i, strat) in [StsStrategy::Sts2, StsStrategy::Sts4, StsStrategy::Sts6].iter().enumerate() {
+        for (i, (name, strat)) in [
+            ("sts2", StsStrategy::Sts2),
+            ("sts4", StsStrategy::Sts4),
+            ("sts6", StsStrategy::Sts6),
+        ]
+        .iter()
+        .enumerate()
+        {
             let mut cfg = conv.ours_config();
             cfg.sts = *strat;
             let (_, tflops) = conv.time_fused_mainloop(cfg);
             sums[i] += tflops;
             row.push(format!("{tflops:.2}"));
+            report.add(
+                dev.name,
+                &[
+                    ("layer", layer.name.into()),
+                    ("n", n.into()),
+                    ("sts", (*name).into()),
+                ],
+                &[("mainloop_tflops", tflops.into())],
+            );
         }
         t.row(row);
     }
     t.print();
     println!("\nSTS6/STS2 = {:.3}x", sums[2] / sums[0]);
+    report.finish();
 }

@@ -4,6 +4,7 @@
 //! Paper values: 0.81×–1.67×, average 1.4× — far below the theoretical
 //! 2.25× multiplication reduction.
 
+use bench::report::Report;
 use bench::{conv_for, x, Table};
 use gpusim::DeviceSpec;
 use wino_core::resnet::{BATCH_SIZES, RESNET_LAYERS};
@@ -13,6 +14,7 @@ fn main() {
     println!("Table 2: cuDNN-like Winograd vs GEMM-based convolution (simulated V100)");
     println!("Paper: 0.81x-1.67x, average 1.4x\n");
     let dev = DeviceSpec::v100();
+    let mut report = Report::from_args("table2");
     let mut t = Table::new(&["N", "Conv2", "Conv3", "Conv4", "Conv5"]);
     let mut all = Vec::new();
     for n in BATCH_SIZES {
@@ -24,9 +26,25 @@ fn main() {
             let sp = gemm / wino;
             all.push(sp);
             row.push(x(sp));
+            report.add(
+                dev.name,
+                &[("layer", layer.name.into()), ("n", n.into())],
+                &[
+                    ("winograd_us", (wino * 1e6).into()),
+                    ("gemm_us", (gemm * 1e6).into()),
+                    ("speedup", sp.into()),
+                ],
+            );
         }
         t.row(row);
     }
     t.print();
-    println!("\naverage speedup: {}", x(bench::mean(&all)));
+    let avg = bench::mean(&all);
+    println!("\naverage speedup: {}", x(avg));
+    report.add(
+        dev.name,
+        &[("aggregate", "average".into())],
+        &[("speedup", avg.into())],
+    );
+    report.finish();
 }

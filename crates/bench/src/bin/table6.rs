@@ -5,6 +5,7 @@
 //! Conv5 speedups are the largest (bk=64 halves input overfetch, §7.1), and
 //! RTX2070 speedups exceed V100's (cuDNN gets 2 blocks/SM on V100 only).
 
+use bench::report::Report;
 use bench::{conv_for, x, Table};
 use gpusim::DeviceSpec;
 use wino_core::resnet::{BATCH_SIZES, RESNET_LAYERS};
@@ -13,6 +14,7 @@ use wino_core::Algo;
 fn main() {
     println!("Table 6: speedup over the cuDNN-like fused Winograd convolution");
     println!("Paper: RTX2070 1.65x-2.65x (avg 1.95x); V100 1.23x-2.13x (avg 1.5x)\n");
+    let mut report = Report::from_args("table6");
     for dev in [DeviceSpec::rtx2070(), DeviceSpec::v100()] {
         println!("{}:", dev.name);
         let mut t = Table::new(&["N", "Conv2", "Conv3", "Conv4", "Conv5"]);
@@ -26,10 +28,26 @@ fn main() {
                 let sp = cudnn / ours;
                 all.push(sp);
                 row.push(x(sp));
+                report.add(
+                    dev.name,
+                    &[("layer", layer.name.into()), ("n", n.into())],
+                    &[
+                        ("ours_us", (ours * 1e6).into()),
+                        ("cudnn_us", (cudnn * 1e6).into()),
+                        ("speedup", sp.into()),
+                    ],
+                );
             }
             t.row(row);
         }
         t.print();
-        println!("average: {}\n", x(bench::mean(&all)));
+        let avg = bench::mean(&all);
+        println!("average: {}\n", x(avg));
+        report.add(
+            dev.name,
+            &[("aggregate", "average".into())],
+            &[("speedup", avg.into())],
+        );
     }
+    report.finish();
 }

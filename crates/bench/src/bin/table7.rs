@@ -1,22 +1,42 @@
 //! Table 7: parameters of our implementation vs cuDNN 7.6.1's Winograd,
 //! with the §7.1 occupancy consequence on both devices.
 
+use bench::report::Report;
 use bench::Table;
 use gpusim::DeviceSpec;
-use perfmodel::kernel_table;
 use kernels::{FusedConfig, FusedKernel};
+use perfmodel::kernel_table;
 
 fn main() {
     println!("Table 7: kernel parameters\n");
-    let mut t = Table::new(&[
-        "Parameters", "Ours", "cuDNN's",
-    ]);
+    let mut report = Report::from_args("table7");
+    let mut t = Table::new(&["Parameters", "Ours", "cuDNN's"]);
     let [ours, cudnn] = kernel_table();
-    t.row(vec!["(bk, bn, bc)".into(), format!("({},{},{})", ours.bk, ours.bn, ours.bc), format!("({},{},{})", cudnn.bk, cudnn.bn, cudnn.bc)]);
-    t.row(vec!["Threads per block".into(), ours.threads_per_block.to_string(), cudnn.threads_per_block.to_string()]);
-    t.row(vec!["SMEM per block".into(), format!("{}KB", ours.smem_per_block / 1024), format!("{}KB", cudnn.smem_per_block / 1024)]);
-    t.row(vec!["Registers per thread".into(), ours.regs_per_thread.to_string(), cudnn.regs_per_thread.to_string()]);
-    t.row(vec!["Registers per block".into(), ours.regs_per_block().to_string(), cudnn.regs_per_block().to_string()]);
+    t.row(vec![
+        "(bk, bn, bc)".into(),
+        format!("({},{},{})", ours.bk, ours.bn, ours.bc),
+        format!("({},{},{})", cudnn.bk, cudnn.bn, cudnn.bc),
+    ]);
+    t.row(vec![
+        "Threads per block".into(),
+        ours.threads_per_block.to_string(),
+        cudnn.threads_per_block.to_string(),
+    ]);
+    t.row(vec![
+        "SMEM per block".into(),
+        format!("{}KB", ours.smem_per_block / 1024),
+        format!("{}KB", cudnn.smem_per_block / 1024),
+    ]);
+    t.row(vec![
+        "Registers per thread".into(),
+        ours.regs_per_thread.to_string(),
+        cudnn.regs_per_thread.to_string(),
+    ]);
+    t.row(vec![
+        "Registers per block".into(),
+        ours.regs_per_block().to_string(),
+        cudnn.regs_per_block().to_string(),
+    ]);
     for dev in [DeviceSpec::v100(), DeviceSpec::rtx2070()] {
         t.row(vec![
             format!("Blocks/SM on {}", dev.name),
@@ -25,6 +45,26 @@ fn main() {
         ]);
     }
     t.print();
+
+    for (which, p) in [("ours", &ours), ("cudnn", &cudnn)] {
+        for dev in [DeviceSpec::v100(), DeviceSpec::rtx2070()] {
+            report.add(
+                dev.name,
+                &[("kernel", which.into())],
+                &[
+                    ("bk", p.bk.into()),
+                    ("bn", p.bn.into()),
+                    ("bc", p.bc.into()),
+                    ("threads_per_block", p.threads_per_block.into()),
+                    ("smem_per_block", p.smem_per_block.into()),
+                    ("regs_per_thread", p.regs_per_thread.into()),
+                    ("regs_per_block", p.regs_per_block().into()),
+                    ("blocks_per_sm", p.blocks_per_sm(&dev).into()),
+                ],
+            );
+        }
+    }
+    report.finish();
 
     // Cross-check the emitted kernels against the table.
     let k_ours = FusedKernel::emit(FusedConfig::ours(64, 56, 56, 32, 64));

@@ -1,0 +1,128 @@
+//! A minimal micro-benchmark harness (the build environment cannot fetch
+//! Criterion, so the `benches/` targets hand-roll their measurement loop).
+//!
+//! Protocol per benchmark: warm up for a fixed fraction of the measurement
+//! budget, then run batches until the time budget is spent, recording
+//! per-iteration wall time per batch. The median batch is reported, which is
+//! robust to scheduler noise in the tails. Respects a substring filter from
+//! the command line (`cargo bench -p bench -- fused` runs only matching
+//! benchmarks), like the Criterion CLI it replaces.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(900);
+/// Warm-up budget preceding measurement.
+const WARMUP_BUDGET: Duration = Duration::from_millis(200);
+
+/// Top-level harness; owns the CLI filter.
+pub struct Harness {
+    filter: Vec<String>,
+}
+
+impl Harness {
+    /// Build from `std::env::args`, treating every non-flag argument as a
+    /// name filter (match = substring). Cargo's `--bench` flag is ignored.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Harness { filter }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.is_empty() || self.filter.iter().any(|f| name.contains(f))
+    }
+
+    /// Run one benchmark. `elements` (optional) adds an elements/sec rate to
+    /// the report, like Criterion's `Throughput::Elements`.
+    pub fn bench<T>(&self, name: &str, elements: Option<u64>, mut f: impl FnMut() -> T) {
+        if !self.selected(name) {
+            return;
+        }
+        // Warm-up: establishes caches/allocator state and a per-iter estimate.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters as f64;
+        // Batch size targeting ~30 batches within the measurement budget.
+        let batch = ((MEASURE_BUDGET.as_secs_f64() / 30.0 / per_iter).ceil() as u64).max(1);
+        let mut samples: Vec<f64> = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let lo = samples[samples.len() / 10];
+        let hi = samples[samples.len() - 1 - samples.len() / 10];
+        let rate = match elements {
+            Some(n) => format!("  {:>12}/s", human_rate(n as f64 / median)),
+            None => String::new(),
+        };
+        println!(
+            "{name:<44} {:>12}  [{} .. {}]{rate}",
+            human_time(median),
+            human_time(lo),
+            human_time(hi),
+        );
+    }
+}
+
+/// `1234.5 ns` / `12.3 us` / ... with 4 significant-ish digits.
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.3} s", secs)
+    }
+}
+
+fn human_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(human_time(2.5e-9), "2.5 ns");
+        assert_eq!(human_time(2.5e-6), "2.50 us");
+        assert_eq!(human_time(2.5e-3), "2.50 ms");
+        assert_eq!(human_time(2.5), "2.500 s");
+        assert_eq!(human_rate(2.5e9), "2.50 G");
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let h = Harness {
+            filter: vec!["fused".into()],
+        };
+        assert!(h.selected("emit_fused_kernel"));
+        assert!(!h.selected("fft2d/16"));
+        let all = Harness { filter: vec![] };
+        assert!(all.selected("anything"));
+    }
+}

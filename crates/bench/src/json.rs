@@ -1,0 +1,395 @@
+//! Hand-rolled JSON: a value tree, a renderer, and a small parser (used by
+//! the tests to validate what the experiment binaries emit). No external
+//! dependencies, by design — the container builds offline.
+//!
+//! Every experiment binary accepts `--json <path>` and writes an array of
+//! records `{experiment, device, config, metrics}` via [`Report`], so
+//! downstream tooling can consume the same numbers the printed tables show.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects keep insertion order (readable diffs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Build an object from `(key, value)` pairs.
+pub fn obj(pairs: &[(&str, Json)]) -> Json {
+    Json::Obj(
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    )
+}
+
+impl Json {
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s);
+        s
+    }
+
+    fn render_into(&self, s: &mut String) {
+        match self {
+            Json::Null => s.push_str("null"),
+            Json::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => render_num(*n, s),
+            Json::Str(v) => render_str(v, s),
+            Json::Arr(items) => {
+                s.push('[');
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    it.render_into(s);
+                }
+                s.push(']');
+            }
+            Json::Obj(pairs) => {
+                s.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    render_str(k, s);
+                    s.push(':');
+                    v.render_into(s);
+                }
+                s.push('}');
+            }
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn render_num(n: f64, s: &mut String) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        s.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        let _ = write!(s, "{}", n as i64);
+    } else {
+        // `{:?}` prints the shortest string that round-trips the f64.
+        let _ = write!(s, "{n:?}");
+    }
+}
+
+fn render_str(v: &str, s: &mut String) {
+    s.push('"');
+    for ch in v.chars() {
+        match ch {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Parse a JSON document (full grammar minus `\uXXXX` surrogate pairs —
+/// enough to validate our own output in tests).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.b.get(self.i) {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.ws();
+                    items.push(self.value()?);
+                    self.ws();
+                    if self.b.get(self.i) == Some(&b',') {
+                        self.i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.eat(b']')?;
+                Ok(Json::Arr(items))
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut pairs = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.ws();
+                    let k = self.string()?;
+                    self.ws();
+                    self.eat(b':')?;
+                    self.ws();
+                    pairs.push((k, self.value()?));
+                    self.ws();
+                    if self.b.get(self.i) == Some(&b',') {
+                        self.i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.eat(b'}')?;
+                Ok(Json::Obj(pairs))
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| *c as char),
+                self.i
+            )),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.b[self.i..]).map_err(|e| e.to_string())?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_reparses() {
+        let v = obj(&[
+            ("experiment", "table2".into()),
+            ("speedup", 1.4000000000000001f64.into()),
+            ("n", 128u64.into()),
+            ("tags", vec!["a", "b\"c"].into()),
+            ("nested", obj(&[("ok", true.into()), ("none", Json::Null)])),
+        ]);
+        let text = v.render();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.get("n").unwrap().as_f64(), Some(128.0));
+        assert_eq!(
+            back.get("tags").unwrap().as_arr().unwrap()[1].as_str(),
+            Some("b\"c")
+        );
+    }
+
+    #[test]
+    fn integers_render_clean() {
+        assert_eq!(Json::from(3u64).render(), "3");
+        assert_eq!(Json::from(0.5f64).render(), "0.5");
+        assert_eq!(Json::from(f64::NAN).render(), "null");
+        assert_eq!(Json::from(-2i64).render(), "-2");
+    }
+
+    #[test]
+    fn escapes_control_chars() {
+        let s = Json::from("a\nb\t\"q\"\\\u{1}").render();
+        assert_eq!(s, "\"a\\nb\\t\\\"q\\\"\\\\\\u0001\"");
+        assert_eq!(parse(&s).unwrap().as_str(), Some("a\nb\t\"q\"\\\u{1}"));
+    }
+
+    #[test]
+    fn parses_whitespace_and_empty() {
+        assert_eq!(parse(" [ ] ").unwrap(), Json::Arr(vec![]));
+        assert_eq!(parse("{ }").unwrap(), Json::Obj(vec![]));
+        assert_eq!(parse("[1, 2,3]").unwrap().as_arr().unwrap().len(), 3);
+        assert!(parse("[1,]2").is_err());
+    }
+}

@@ -1,10 +1,16 @@
 //! `bench` — the experiment harness: one binary per table and figure of the
-//! paper's evaluation (see DESIGN.md §2.6 for the index), plus Criterion
+//! paper's evaluation (see DESIGN.md §2.6 for the index), plus
 //! micro-benchmarks of the host-side hot paths.
 //!
 //! Every binary prints the same rows/series the paper reports, with the
 //! published values alongside for comparison; EXPERIMENTS.md records the
-//! paper-vs-measured discussion.
+//! paper-vs-measured discussion. Passing `--json <path>` to any experiment
+//! binary additionally writes the measured numbers as JSON records (see
+//! [`report::Report`]).
+
+pub mod harness;
+pub mod json;
+pub mod report;
 
 use gpusim::DeviceSpec;
 use wino_core::resnet::{eval_grid, ResnetLayer};
@@ -64,7 +70,10 @@ impl Table {
             println!("{}", s.trim_end());
         };
         line(&self.headers);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             line(row);
         }

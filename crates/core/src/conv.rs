@@ -108,7 +108,11 @@ pub struct Conv {
 
 impl Conv {
     pub fn new(problem: ConvProblem, device: DeviceSpec) -> Self {
-        assert_eq!((problem.r, problem.s, problem.pad), (3, 3, 1), "the GPU paths cover 3×3 pad-1 stride-1");
+        assert_eq!(
+            (problem.r, problem.s, problem.pad),
+            (3, 3, 1),
+            "the GPU paths cover 3×3 pad-1 stride-1"
+        );
         Conv { problem, device }
     }
 
@@ -124,9 +128,7 @@ impl Conv {
             Algo::Gemm => c * 9 * n * h * w * 4,
             Algo::ImplicitGemm => 0,
             Algo::ImplicitPrecompGemm => c * 9 * 4, // offset table only
-            Algo::WinogradNonfused => {
-                NonFusedPipeline::plan(p, Variant::F4x4).workspace_bytes()
-            }
+            Algo::WinogradNonfused => NonFusedPipeline::plan(p, Variant::F4x4).workspace_bytes(),
             Algo::Fft => {
                 let s = fft_size_full(p) as u64;
                 (n * c + k * c + n * k) * s * s * 8
@@ -150,7 +152,9 @@ impl Conv {
             Algo::Gemm | Algo::ImplicitGemm | Algo::ImplicitPrecompGemm => {
                 self.run_gemm_based(algo, input, filter)
             }
-            Algo::WinogradNonfused => NonFusedPipeline::plan(p, Variant::F4x4).run(p, input, filter),
+            Algo::WinogradNonfused => {
+                NonFusedPipeline::plan(p, Variant::F4x4).run(p, input, filter)
+            }
             Algo::Fft => conv2d_fft(p, input, filter),
             Algo::FftTiling => conv2d_fft_tiled(p, input, filter, 32),
         };
@@ -194,7 +198,10 @@ impl Conv {
                 phases.push(("input_transform".into(), itf_bytes / bw + LAUNCH_OVERHEAD_S));
                 // Filter transform (usually amortized; charged anyway).
                 let ftf_bytes = (p.filter_len() + plan.transformed_filter_len) as f64 * 4.0;
-                phases.push(("filter_transform".into(), ftf_bytes / bw + LAUNCH_OVERHEAD_S));
+                phases.push((
+                    "filter_transform".into(),
+                    ftf_bytes / bw + LAUNCH_OVERHEAD_S,
+                ));
                 // 36-batched GEMM on the simulator.
                 let t = self.time_nonfused_gemm();
                 phases.push(("batched_gemm".into(), t.time_s + LAUNCH_OVERHEAD_S));
@@ -230,7 +237,9 @@ impl Conv {
     fn fused_config(&self, algo: Algo) -> FusedConfig {
         let p = &self.problem;
         match algo {
-            Algo::OursFused => FusedConfig::ours(p.c as u32, p.h as u32, p.w as u32, p.n as u32, p.k as u32),
+            Algo::OursFused => {
+                FusedConfig::ours(p.c as u32, p.h as u32, p.w as u32, p.n as u32, p.k as u32)
+            }
             Algo::CudnnWinograd => {
                 FusedConfig::cudnn_like(p.c as u32, p.h as u32, p.w as u32, p.n as u32, p.k as u32)
             }
@@ -249,7 +258,8 @@ impl Conv {
         };
         let crsk = filter.to_layout(LayoutKind::Crsk);
         let mut gpu = self.gpu_for(
-            (chwn.len() + crsk.len() + 16 * p.c * p.k + p.k * p.h * p.w * p.n) as u64 * 4 + (1 << 20),
+            (chwn.len() + crsk.len() + 16 * p.c * p.k + p.k * p.h * p.w * p.n) as u64 * 4
+                + (1 << 20),
         );
         let d_in = gpu.alloc_upload_f32(chwn.as_slice());
         let d_filt = gpu.alloc_upload_f32(crsk.as_slice());
@@ -258,8 +268,12 @@ impl Conv {
 
         let fx = emit_filter_transform(p.c as u32, p.k as u32);
         let fx_params = ParamBuilder::new().push_ptr(d_filt).push_ptr(d_tf).build();
-        gpu.launch_parallel(&fx, LaunchDims::linear((p.c * p.k / 256) as u32, 256), &fx_params)
-            .expect("filter transform kernel");
+        gpu.launch_parallel(
+            &fx,
+            LaunchDims::linear((p.c * p.k / 256) as u32, 256),
+            &fx_params,
+        )
+        .expect("filter transform kernel");
 
         let kern = FusedKernel::emit(cfg);
         let params = kern.params(d_in, d_tf, d_out);
@@ -287,10 +301,25 @@ impl Conv {
     }
 
     fn time_fused(&self, algo: Algo) -> (f64, KernelTiming) {
+        self.time_fused_opts(algo, false)
+    }
+
+    /// Fused-kernel timing with the `simprof` per-line stall profile
+    /// attached; the emitter's named regions (setup / prologue / main loop /
+    /// output transform) are copied into the profile so reports can fold
+    /// lines into kernel phases.
+    pub fn time_fused_profiled(&self, algo: Algo) -> KernelTiming {
+        self.time_fused_opts(algo, true).1
+    }
+
+    fn time_fused_opts(&self, algo: Algo, profile: bool) -> (f64, KernelTiming) {
         let p = &self.problem;
         let cfg = self.fused_config(algo);
         let kern = FusedKernel::emit(cfg);
-        let mut gpu = self.gpu_for(((p.c * p.h * p.w * p.n + 16 * p.c * p.k + p.k * p.h * p.w * p.n) * 4) as u64 + (1 << 20));
+        let mut gpu = self.gpu_for(
+            ((p.c * p.h * p.w * p.n + 16 * p.c * p.k + p.k * p.h * p.w * p.n) * 4) as u64
+                + (1 << 20),
+        );
         let d_in = gpu.alloc((p.c * p.h * p.w * p.n) as u64 * 4);
         let d_filt = gpu.alloc((p.c * 9 * p.k) as u64 * 4);
         let d_tf = gpu.alloc((p.c * 16 * p.k) as u64 * 4);
@@ -308,14 +337,21 @@ impl Conv {
         .expect("filter transform timing");
 
         let params = kern.params(d_in, d_tf, d_out);
-        let t = gpusim::timing::time_kernel(
+        let mut t = gpusim::timing::time_kernel(
             &mut gpu,
             &kern.module,
             kern.launch_dims(),
             &params,
-            TimingOptions { region: Some(kern.region), ..Default::default() },
+            TimingOptions {
+                region: Some(kern.region),
+                profile,
+                ..Default::default()
+            },
         )
         .expect("fused kernel timing");
+        if let Some(prof) = t.profile.as_mut() {
+            prof.regions = kern.regions.clone();
+        }
         (fxt.time_s, t)
     }
 
@@ -324,7 +360,10 @@ impl Conv {
         let p = &self.problem;
         cfg.main_loop_only = true;
         let kern = FusedKernel::emit(cfg);
-        let mut gpu = self.gpu_for(((p.c * p.h * p.w * p.n + 16 * p.c * p.k + p.k * p.h * p.w * p.n) * 4) as u64 + (1 << 20));
+        let mut gpu = self.gpu_for(
+            ((p.c * p.h * p.w * p.n + 16 * p.c * p.k + p.k * p.h * p.w * p.n) * 4) as u64
+                + (1 << 20),
+        );
         let d_in = gpu.alloc((p.c * p.h * p.w * p.n) as u64 * 4);
         let d_tf = gpu.alloc((p.c * 16 * p.k) as u64 * 4);
         let d_out = gpu.alloc((p.k * p.h * p.w * p.n) as u64 * 4);
@@ -334,7 +373,10 @@ impl Conv {
             &kern.module,
             kern.launch_dims(),
             &params,
-            TimingOptions { region: Some(kern.region), ..Default::default() },
+            TimingOptions {
+                region: Some(kern.region),
+                ..Default::default()
+            },
         )
         .expect("main loop timing");
         let tflops = t.region_tflops(&self.device, cfg.mainloop_flops_per_block());
@@ -379,7 +421,7 @@ impl Conv {
         let ncols = p.n * p.h * p.w;
         // A (transposed, Kd×M): filter as CRS×K.
         let crsk = filter.to_layout(LayoutKind::Crsk); // (C,R,S,K) == CRS×K
-        // B (Kd×N): im2col, padded to n_pad columns.
+                                                       // B (Kd×N): im2col, padded to n_pad columns.
         let cols = im2col(p, input);
         let mut b = vec![0.0f32; (kd * n_pad) as usize];
         for row in 0..kd as usize {
@@ -400,7 +442,10 @@ impl Conv {
             for n in 0..p.n {
                 for y in 0..p.h {
                     for x in 0..p.w {
-                        out.set([n, k, y, x], c[k * n_pad as usize + (n * p.h + y) * p.w + x]);
+                        out.set(
+                            [n, k, y, x],
+                            c[k * n_pad as usize + (n * p.h + y) * p.w + x],
+                        );
                     }
                 }
             }
@@ -432,7 +477,9 @@ impl Conv {
         let n_pad = tiles.div_ceil(128) * 128;
         let cfg = GemmConfig::new(p.k as u32, n_pad, p.c as u32).batched(36);
         let kern = GemmKernel::emit(cfg);
-        let bytes = 36u64 * ((p.k * p.c) as u64 + (p.c as u64 * n_pad as u64) + (p.k as u64 * n_pad as u64)) * 4;
+        let bytes = 36u64
+            * ((p.k * p.c) as u64 + (p.c as u64 * n_pad as u64) + (p.k as u64 * n_pad as u64))
+            * 4;
         let mut gpu = self.gpu_for(bytes + (1 << 20));
         let da = gpu.alloc(36 * (p.c * p.k) as u64 * 4);
         let db = gpu.alloc(36 * p.c as u64 * n_pad as u64 * 4);
@@ -459,8 +506,9 @@ impl Conv {
         // One 2-D complex FFT: 2·S rows/cols × 5·S·log2 S ≈ 10·S²·log2 S.
         let fft2d_flops = 10.0 * s2 * lg;
         let cplx = 8.0; // bytes per complex f32
-        let roof =
-            |flops: f64, bytes: f64| (flops / dev.peak_fp32_flops()).max(bytes / (dev.dram_bw * MEM_EFF));
+        let roof = |flops: f64, bytes: f64| {
+            (flops / dev.peak_fp32_flops()).max(bytes / (dev.dram_bw * MEM_EFF))
+        };
 
         let n_in = (p.n * p.c * tiles) as f64;
         let n_f = (p.k * p.c) as f64;
@@ -479,7 +527,10 @@ impl Conv {
         // O(1) times; charge two passes (read + accumulate round trips).
         let macs = (p.n * p.k * p.c * tiles) as f64 * s2;
         let traffic = (n_in + n_f + n_out) * s2 * cplx * 2.0;
-        phases.push(("cgemm_pointwise".into(), roof(macs * 8.0, traffic) + LAUNCH_OVERHEAD_S));
+        phases.push((
+            "cgemm_pointwise".into(),
+            roof(macs * 8.0, traffic) + LAUNCH_OVERHEAD_S,
+        ));
         phases.push((
             "ifft_output".into(),
             roof(n_out * fft2d_flops, n_out * s2 * (cplx + 4.0)) + LAUNCH_OVERHEAD_S,

@@ -17,14 +17,28 @@ pub struct Cpx {
     pub im: f32,
 }
 
+impl std::ops::Mul for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn mul(self, o: Cpx) -> Cpx {
+        Cpx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl std::ops::Add for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn add(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re + o.re, self.im + o.im)
+    }
+}
+
 impl Cpx {
     pub fn new(re: f32, im: f32) -> Self {
         Cpx { re, im }
-    }
-
-    #[inline]
-    pub fn mul(self, o: Cpx) -> Cpx {
-        Cpx::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
     }
 
     #[inline]
@@ -33,12 +47,7 @@ impl Cpx {
     }
 
     #[inline]
-    pub fn add(self, o: Cpx) -> Cpx {
-        Cpx::new(self.re + o.re, self.im + o.im)
-    }
-
-    #[inline]
-    fn sub(self, o: Cpx) -> Cpx {
+    fn sub_c(self, o: Cpx) -> Cpx {
         Cpx::new(self.re - o.re, self.im - o.im)
     }
 }
@@ -69,10 +78,10 @@ pub fn fft_inplace(data: &mut [Cpx], inverse: bool) {
             let mut w = Cpx::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let u = data[start + k];
-                let v = data[start + k + len / 2].mul(w);
-                data[start + k] = u.add(v);
-                data[start + k + len / 2] = u.sub(v);
-                w = w.mul(wlen);
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u.sub_c(v);
+                w = w * wlen;
             }
         }
         len <<= 1;
@@ -116,7 +125,12 @@ pub fn conv2d_fft(p: &ConvProblem, input: &Tensor4, filter: &Tensor4) -> Tensor4
 /// FFT convolution with `tile`-sized transforms (cuDNN `FFT_TILING` uses
 /// 32×32 tiles). `tile` must be a power of two ≥ `r`; the usable output per
 /// tile is `tile - r + 1` (overlap-save).
-pub fn conv2d_fft_tiled(p: &ConvProblem, input: &Tensor4, filter: &Tensor4, tile: usize) -> Tensor4 {
+pub fn conv2d_fft_tiled(
+    p: &ConvProblem,
+    input: &Tensor4,
+    filter: &Tensor4,
+    tile: usize,
+) -> Tensor4 {
     assert!(tile.is_power_of_two() && tile >= p.r);
     let (oh, ow) = (p.out_h(), p.out_w());
     let step = tile - p.r + 1; // valid outputs per tile
@@ -154,11 +168,13 @@ pub fn conv2d_fft_tiled(p: &ConvProblem, input: &Tensor4, filter: &Tensor4, tile
                         for dx in 0..tile {
                             let iy = (ty + dy) as isize - p.pad as isize;
                             let ix = (tx + dx) as isize - p.pad as isize;
-                            let v = if iy >= 0 && (iy as usize) < p.h && ix >= 0 && (ix as usize) < p.w {
-                                input.get([n, c, iy as usize, ix as usize])
-                            } else {
-                                0.0
-                            };
+                            let v =
+                                if iy >= 0 && (iy as usize) < p.h && ix >= 0 && (ix as usize) < p.w
+                                {
+                                    input.get([n, c, iy as usize, ix as usize])
+                                } else {
+                                    0.0
+                                };
                             ispec[dy * tile + dx] = Cpx::new(v, 0.0);
                         }
                     }
@@ -167,7 +183,7 @@ pub fn conv2d_fft_tiled(p: &ConvProblem, input: &Tensor4, filter: &Tensor4, tile
                         let fs = &fspec[(k * p.c + c) * sz..(k * p.c + c + 1) * sz];
                         let a = &mut acc[k * sz..(k + 1) * sz];
                         for i in 0..sz {
-                            a[i] = a[i].add(ispec[i].mul(fs[i]));
+                            a[i] = a[i] + ispec[i] * fs[i];
                         }
                     }
                 }
@@ -194,7 +210,9 @@ mod tests {
 
     #[test]
     fn fft_round_trip() {
-        let mut data: Vec<Cpx> = (0..16).map(|i| Cpx::new((i as f32).sin(), (i as f32).cos())).collect();
+        let mut data: Vec<Cpx> = (0..16)
+            .map(|i| Cpx::new((i as f32).sin(), (i as f32).cos()))
+            .collect();
         let orig = data.clone();
         fft_inplace(&mut data, false);
         fft_inplace(&mut data, true);
@@ -217,7 +235,9 @@ mod tests {
     #[test]
     fn fft2d_parseval_sanity() {
         let size = 8;
-        let mut data: Vec<Cpx> = (0..size * size).map(|i| Cpx::new((i as f32 * 0.31).sin(), 0.0)).collect();
+        let mut data: Vec<Cpx> = (0..size * size)
+            .map(|i| Cpx::new((i as f32 * 0.31).sin(), 0.0))
+            .collect();
         let energy_t: f32 = data.iter().map(|c| c.re * c.re + c.im * c.im).sum();
         fft2d(&mut data, size, false);
         let energy_f: f32 = data.iter().map(|c| c.re * c.re + c.im * c.im).sum();

@@ -93,13 +93,25 @@ mod tests {
             let filter = Tensor4::random(LayoutKind::Kcrs, [k, c, 3, 3], -1.0, 1.0, 22);
             let want = conv2d_direct(&p, &input, &filter);
             let got = conv2d_gemm(&p, &input, &filter);
-            assert!(allclose(want.as_slice(), got.as_slice(), 1e-4, 1e-4), "({n},{c},{hw},{k})");
+            assert!(
+                allclose(want.as_slice(), got.as_slice(), 1e-4, 1e-4),
+                "({n},{c},{hw},{k})"
+            );
         }
     }
 
     #[test]
     fn gemm_conv_no_padding() {
-        let p = ConvProblem { n: 1, c: 2, h: 6, w: 6, k: 3, r: 3, s: 3, pad: 0 };
+        let p = ConvProblem {
+            n: 1,
+            c: 2,
+            h: 6,
+            w: 6,
+            k: 3,
+            r: 3,
+            s: 3,
+            pad: 0,
+        };
         let input = Tensor4::random(LayoutKind::Nchw, [1, 2, 6, 6], -1.0, 1.0, 31);
         let filter = Tensor4::random(LayoutKind::Kcrs, [3, 2, 3, 3], -1.0, 1.0, 32);
         let want = conv2d_direct(&p, &input, &filter);
@@ -110,7 +122,9 @@ mod tests {
     #[test]
     fn im2col_shape_and_padding() {
         let p = ConvProblem::resnet3x3(1, 1, 3, 1);
-        let input = Tensor4::from_fn(LayoutKind::Nchw, [1, 1, 3, 3], |_, _, h, w| (h * 3 + w + 1) as f32);
+        let input = Tensor4::from_fn(LayoutKind::Nchw, [1, 1, 3, 3], |_, _, h, w| {
+            (h * 3 + w + 1) as f32
+        });
         let cols = im2col(&p, &input);
         assert_eq!(cols.len(), 9 * 9);
         // Row (r=0,s=0) at output (0,0) reads input (-1,-1) → 0 (padding).

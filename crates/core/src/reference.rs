@@ -32,7 +32,16 @@ pub struct ConvProblem {
 impl ConvProblem {
     /// The common ResNet-style case: 3×3, pad 1, same-size output.
     pub fn resnet3x3(n: usize, c: usize, hw: usize, k: usize) -> Self {
-        ConvProblem { n, c, h: hw, w: hw, k, r: 3, s: 3, pad: 1 }
+        ConvProblem {
+            n,
+            c,
+            h: hw,
+            w: hw,
+            k,
+            r: 3,
+            s: 3,
+            pad: 1,
+        }
     }
 
     /// Output height.
@@ -98,7 +107,8 @@ pub fn conv2d_direct(p: &ConvProblem, input: &Tensor4, filter: &Tensor4) -> Tens
                                 if ix < p.pad || ix >= p.w + p.pad {
                                     continue;
                                 }
-                                acc += input.get([n, c, iy - p.pad, ix - p.pad]) * filter.get([k, c, r, s]);
+                                acc += input.get([n, c, iy - p.pad, ix - p.pad])
+                                    * filter.get([k, c, r, s]);
                             }
                         }
                     }
@@ -128,7 +138,9 @@ mod tests {
     #[test]
     fn box_filter_sums_neighbourhood() {
         let p = ConvProblem::resnet3x3(1, 1, 3, 1);
-        let input = Tensor4::from_fn(LayoutKind::Nchw, [1, 1, 3, 3], |_, _, h, w| (h * 3 + w) as f32);
+        let input = Tensor4::from_fn(LayoutKind::Nchw, [1, 1, 3, 3], |_, _, h, w| {
+            (h * 3 + w) as f32
+        });
         let filter = Tensor4::from_fn(LayoutKind::Kcrs, [1, 1, 3, 3], |_, _, _, _| 1.0);
         let out = conv2d_direct(&p, &input, &filter);
         // Center output = sum of all 9 inputs = 36.
@@ -139,7 +151,16 @@ mod tests {
 
     #[test]
     fn channels_accumulate() {
-        let p = ConvProblem { n: 1, c: 3, h: 2, w: 2, k: 1, r: 1, s: 1, pad: 0 };
+        let p = ConvProblem {
+            n: 1,
+            c: 3,
+            h: 2,
+            w: 2,
+            k: 1,
+            r: 1,
+            s: 1,
+            pad: 0,
+        };
         let input = Tensor4::from_fn(LayoutKind::Nchw, [1, 3, 2, 2], |_, c, _, _| c as f32 + 1.0);
         let filter = Tensor4::from_fn(LayoutKind::Kcrs, [1, 3, 1, 1], |_, _, _, _| 1.0);
         let out = conv2d_direct(&p, &input, &filter);
@@ -151,7 +172,16 @@ mod tests {
         let p = ConvProblem::resnet3x3(2, 3, 56, 64);
         assert_eq!(p.out_h(), 56);
         assert_eq!(p.out_w(), 56);
-        let p = ConvProblem { n: 1, c: 1, h: 7, w: 9, k: 1, r: 3, s: 3, pad: 0 };
+        let p = ConvProblem {
+            n: 1,
+            c: 1,
+            h: 7,
+            w: 9,
+            k: 1,
+            r: 3,
+            s: 3,
+            pad: 0,
+        };
         assert_eq!(p.out_h(), 5);
         assert_eq!(p.out_w(), 7);
     }

@@ -16,10 +16,26 @@ pub struct ResnetLayer {
 
 /// Table 1: all 3×3 convolutional layers in ResNet.
 pub const RESNET_LAYERS: [ResnetLayer; 4] = [
-    ResnetLayer { name: "Conv2", hw: 56, c: 64 },
-    ResnetLayer { name: "Conv3", hw: 28, c: 128 },
-    ResnetLayer { name: "Conv4", hw: 14, c: 256 },
-    ResnetLayer { name: "Conv5", hw: 7, c: 512 },
+    ResnetLayer {
+        name: "Conv2",
+        hw: 56,
+        c: 64,
+    },
+    ResnetLayer {
+        name: "Conv3",
+        hw: 28,
+        c: 128,
+    },
+    ResnetLayer {
+        name: "Conv4",
+        hw: 14,
+        c: 256,
+    },
+    ResnetLayer {
+        name: "Conv5",
+        hw: 7,
+        c: 512,
+    },
 ];
 
 /// Batch sizes used throughout the evaluation (Tables 2 & 6, Figs. 7–13).

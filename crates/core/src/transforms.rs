@@ -28,7 +28,11 @@ impl Mat {
     }
 
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     #[inline]
@@ -156,7 +160,14 @@ pub fn f2x2_3x3() -> WinogradTransform {
             0.0, 1.0, -1.0, -1.0,
         ],
     );
-    WinogradTransform { m: 2, r: 3, t: 4, bt, g, at }
+    WinogradTransform {
+        m: 2,
+        r: 3,
+        t: 4,
+        bt,
+        g,
+        at,
+    }
 }
 
 /// `F(4×4, 3×3)` with interpolation points `{0, ±1, ±2}` (Lavin & Gray).
@@ -207,7 +218,14 @@ pub fn f4x4_3x3() -> WinogradTransform {
             0.0, 1.0, -1.0, 8.0, -8.0, 1.0,
         ],
     );
-    WinogradTransform { m: 4, r: 3, t: 6, bt, g, at }
+    WinogradTransform {
+        m: 4,
+        r: 3,
+        t: 6,
+        bt,
+        g,
+        at,
+    }
 }
 
 /// `F(6×6, 3×3)` with points `{0, ±1, ±2, ±1/2}` (the NNPACK/cuDNN choice).
@@ -243,7 +261,14 @@ pub fn f6x6_3x3() -> WinogradTransform {
         0.0, 1.0,  1.0, 16.0, 16.0, 0.0625, 0.0625, 0.0,
         0.0, 1.0, -1.0, 32.0, -32.0, 0.03125, -0.03125, 1.0,
     ]);
-    WinogradTransform { m: 6, r: 3, t: 8, bt, g, at }
+    WinogradTransform {
+        m: 6,
+        r: 3,
+        t: 8,
+        bt,
+        g,
+        at,
+    }
 }
 
 impl WinogradTransform {
@@ -286,15 +311,19 @@ mod tests {
         let f = Mat::new(tr.r, 1, filter.clone());
         let gf = tr.g.matmul(&f);
         let btd = tr.bt.matmul(&d);
-        let prod = Mat::new(tr.t, 1, gf.data.iter().zip(&btd.data).map(|(a, b)| a * b).collect());
+        let prod = Mat::new(
+            tr.t,
+            1,
+            gf.data.iter().zip(&btd.data).map(|(a, b)| a * b).collect(),
+        );
         let out = tr.at.matmul(&prod);
         let want = direct_1d(&signal, &filter, tr.m);
-        for i in 0..tr.m {
+        for (i, &w) in want.iter().enumerate() {
             assert!(
-                (out.data[i] - want[i]).abs() < 1e-4,
+                (out.data[i] - w).abs() < 1e-4,
                 "{v:?} row {i}: {} vs {}",
                 out.data[i],
-                want[i]
+                w
             );
         }
     }
@@ -318,8 +347,18 @@ mod tests {
     fn check_2d(v: Variant) {
         let tr = v.transform();
         let t = tr.t;
-        let input = Mat::new(t, t, (0..t * t).map(|i| ((i * 37 % 11) as f32 - 5.0) / 3.0).collect());
-        let filt = Mat::new(3, 3, (0..9).map(|i| ((i * 53 % 7) as f32 - 3.0) / 4.0).collect());
+        let input = Mat::new(
+            t,
+            t,
+            (0..t * t)
+                .map(|i| ((i * 37 % 11) as f32 - 5.0) / 3.0)
+                .collect(),
+        );
+        let filt = Mat::new(
+            3,
+            3,
+            (0..9).map(|i| ((i * 53 % 7) as f32 - 3.0) / 4.0).collect(),
+        );
         let tf = tr.filter_tile(&filt);
         let ti = tr.bt.matmul(&input).matmul(&tr.bt.t());
         let mut prod = Mat::zeros(t, t);

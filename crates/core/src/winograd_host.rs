@@ -50,11 +50,13 @@ pub fn conv2d_winograd(p: &ConvProblem, input: &Tensor4, filter: &Tensor4, v: Va
                         for dx in 0..t {
                             let iy = (th * m + dy) as isize - p.pad as isize;
                             let ix = (twi * m + dx) as isize - p.pad as isize;
-                            let v = if iy >= 0 && (iy as usize) < p.h && ix >= 0 && (ix as usize) < p.w {
-                                input.get([n, c, iy as usize, ix as usize])
-                            } else {
-                                0.0
-                            };
+                            let v =
+                                if iy >= 0 && (iy as usize) < p.h && ix >= 0 && (ix as usize) < p.w
+                                {
+                                    input.get([n, c, iy as usize, ix as usize])
+                                } else {
+                                    0.0
+                                };
                             itile.set(dy, dx, v);
                         }
                     }
@@ -68,7 +70,8 @@ pub fn conv2d_winograd(p: &ConvProblem, input: &Tensor4, filter: &Tensor4, v: Va
                     }
                 }
                 for k in 0..p.k {
-                    let o = tr.output_tile(&Mat::new(t, t, acc[k * t * t..(k + 1) * t * t].to_vec()));
+                    let o =
+                        tr.output_tile(&Mat::new(t, t, acc[k * t * t..(k + 1) * t * t].to_vec()));
                     for dy in 0..m {
                         for dx in 0..m {
                             let oy = th * m + dy;
@@ -112,7 +115,8 @@ impl NonFusedPipeline {
 
     /// Workspace bytes (float32) for the intermediate arrays.
     pub fn workspace_bytes(&self) -> u64 {
-        4 * (self.transformed_input_len + self.transformed_filter_len + self.transformed_output_len) as u64
+        4 * (self.transformed_input_len + self.transformed_filter_len + self.transformed_output_len)
+            as u64
     }
 
     /// Run the three phases on the host. Returns the output and, as a check
@@ -155,7 +159,11 @@ impl NonFusedPipeline {
                             for dx in 0..t {
                                 let iy = (th * m + dy) as isize - p.pad as isize;
                                 let ix = (twi * m + dx) as isize - p.pad as isize;
-                                let v = if iy >= 0 && (iy as usize) < p.h && ix >= 0 && (ix as usize) < p.w {
+                                let v = if iy >= 0
+                                    && (iy as usize) < p.h
+                                    && ix >= 0
+                                    && (ix as usize) < p.w
+                                {
                                     input.get([n, c, iy as usize, ix as usize])
                                 } else {
                                     0.0
@@ -231,7 +239,11 @@ pub fn numerical_error(v: Variant, seed: u64) -> f32 {
     let filter = Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, seed + 1);
     let direct = crate::reference::conv2d_direct(&p, &input, &filter);
     let wino = conv2d_winograd(&p, &input, &filter, v);
-    let scale = direct.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs())).max(f32::EPSILON);
+    let scale = direct
+        .as_slice()
+        .iter()
+        .fold(0.0f32, |m, v| m.max(v.abs()))
+        .max(f32::EPSILON);
     tensor::max_abs_diff(direct.as_slice(), wino.as_slice()) / scale
 }
 

@@ -1,65 +1,96 @@
 //! Property tests on the algorithm layer: for random shapes and data, every
 //! convolution algorithm agrees with the direct reference; the Winograd
 //! transforms satisfy their algebraic identities.
+//!
+//! Randomized with the workspace's deterministic `XorShiftRng` (the registry
+//! is not reachable from the build environment, so `proptest` is off-limits);
+//! shapes print on failure for reproduction.
 
-use proptest::prelude::*;
-use tensor::{allclose, LayoutKind, Tensor4};
+use tensor::{allclose, LayoutKind, Tensor4, XorShiftRng};
 use wino_core::transforms::{Mat, Variant};
 use wino_core::winograd_host::conv2d_winograd;
 use wino_core::{conv2d_direct, ConvProblem};
 
-fn arb_problem() -> impl Strategy<Value = ConvProblem> {
+fn arb_problem(r: &mut XorShiftRng) -> ConvProblem {
     // Host-only shapes (no GPU-path alignment constraints).
-    (1usize..3, 1usize..6, 3usize..12, 3usize..12, 1usize..6).prop_map(|(n, c, h, w, k)| ConvProblem {
-        n,
-        c,
-        h,
-        w,
-        k,
+    ConvProblem {
+        n: 1 + r.gen_index(2),
+        c: 1 + r.gen_index(5),
+        h: 3 + r.gen_index(9),
+        w: 3 + r.gen_index(9),
+        k: 1 + r.gen_index(5),
         r: 3,
         s: 3,
         pad: 1,
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn random_pair(p: &ConvProblem, seed: u64) -> (Tensor4, Tensor4) {
+    (
+        Tensor4::random(LayoutKind::Nchw, [p.n, p.c, p.h, p.w], -1.0, 1.0, seed),
+        Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, seed + 1),
+    )
+}
 
-    #[test]
-    fn winograd_f2_matches_direct(p in arb_problem(), seed in 1u64..1000) {
-        let input = Tensor4::random(LayoutKind::Nchw, [p.n, p.c, p.h, p.w], -1.0, 1.0, seed);
-        let filter = Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, seed + 1);
+#[test]
+fn winograd_f2_matches_direct() {
+    let mut rng = XorShiftRng::new(0xF2F2_0001);
+    for case in 0..24 {
+        let p = arb_problem(&mut rng);
+        let seed = 1 + rng.next_u64() % 1000;
+        let (input, filter) = random_pair(&p, seed);
         let want = conv2d_direct(&p, &input, &filter);
         let got = conv2d_winograd(&p, &input, &filter, Variant::F2x2);
-        prop_assert!(allclose(want.as_slice(), got.as_slice(), 1e-3, 1e-3));
+        assert!(
+            allclose(want.as_slice(), got.as_slice(), 1e-3, 1e-3),
+            "case {case}: {p:?} seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn winograd_f4_matches_direct(p in arb_problem(), seed in 1u64..1000) {
-        let input = Tensor4::random(LayoutKind::Nchw, [p.n, p.c, p.h, p.w], -1.0, 1.0, seed);
-        let filter = Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, seed + 1);
+#[test]
+fn winograd_f4_matches_direct() {
+    let mut rng = XorShiftRng::new(0xF4F4_0002);
+    for case in 0..24 {
+        let p = arb_problem(&mut rng);
+        let seed = 1 + rng.next_u64() % 1000;
+        let (input, filter) = random_pair(&p, seed);
         let want = conv2d_direct(&p, &input, &filter);
         let got = conv2d_winograd(&p, &input, &filter, Variant::F4x4);
-        prop_assert!(allclose(want.as_slice(), got.as_slice(), 5e-3, 5e-3));
+        assert!(
+            allclose(want.as_slice(), got.as_slice(), 5e-3, 5e-3),
+            "case {case}: {p:?} seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn gemm_conv_matches_direct(p in arb_problem(), seed in 1u64..1000) {
-        let input = Tensor4::random(LayoutKind::Nchw, [p.n, p.c, p.h, p.w], -1.0, 1.0, seed);
-        let filter = Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, seed + 1);
+#[test]
+fn gemm_conv_matches_direct() {
+    let mut rng = XorShiftRng::new(0x6E77_0003);
+    for case in 0..24 {
+        let p = arb_problem(&mut rng);
+        let seed = 1 + rng.next_u64() % 1000;
+        let (input, filter) = random_pair(&p, seed);
         let want = conv2d_direct(&p, &input, &filter);
         let got = wino_core::im2col::conv2d_gemm(&p, &input, &filter);
-        prop_assert!(allclose(want.as_slice(), got.as_slice(), 1e-3, 1e-3));
+        assert!(
+            allclose(want.as_slice(), got.as_slice(), 1e-3, 1e-3),
+            "case {case}: {p:?} seed {seed}"
+        );
     }
+}
 
-    /// The defining Winograd identity on random single tiles:
-    /// `Aᵀ[(G f Gᵀ) ⊙ (Bᵀ d B)]A == direct 2-D correlation`, all variants.
-    #[test]
-    fn tile_identity_holds(seed in 1u64..10_000) {
+/// The defining Winograd identity on random single tiles:
+/// `Aᵀ[(G f Gᵀ) ⊙ (Bᵀ d B)]A == direct 2-D correlation`, all variants.
+#[test]
+fn tile_identity_holds() {
+    let mut seeds = XorShiftRng::new(0x71DE_0004);
+    for case in 0..24 {
+        let seed = 1 + seeds.next_u64() % 10_000;
         for v in [Variant::F2x2, Variant::F4x4, Variant::F6x6] {
             let tr = v.transform();
             let t = tr.t;
-            let mut rng = tensor::XorShiftRng::new(seed);
+            let mut rng = XorShiftRng::new(seed);
             let d = Mat::new(t, t, (0..t * t).map(|_| rng.gen_range(-1.0, 1.0)).collect());
             let f = Mat::new(3, 3, (0..9).map(|_| rng.gen_range(-1.0, 1.0)).collect());
             let tf = tr.filter_tile(&f);
@@ -78,46 +109,64 @@ proptest! {
                         }
                     }
                     let tol = 1e-2f32.max(want.abs() * 1e-2);
-                    prop_assert!(
+                    assert!(
                         (out.at(y, x) - want).abs() < tol,
-                        "{v:?} seed {seed} ({y},{x}): {} vs {want}",
+                        "case {case} {v:?} seed {seed} ({y},{x}): {} vs {want}",
                         out.at(y, x)
                     );
                 }
             }
         }
     }
+}
 
-    /// FFT convolution agrees with direct for random pow-2-friendly shapes.
-    #[test]
-    fn fft_conv_matches_direct(hw in 4usize..10, c in 1usize..4, seed in 1u64..1000) {
-        let p = ConvProblem { n: 1, c, h: hw, w: hw, k: 2, r: 3, s: 3, pad: 1 };
+/// FFT convolution agrees with direct for random pow-2-friendly shapes.
+#[test]
+fn fft_conv_matches_direct() {
+    let mut rng = XorShiftRng::new(0xFF70_0005);
+    for case in 0..24 {
+        let hw = 4 + rng.gen_index(6);
+        let c = 1 + rng.gen_index(3);
+        let seed = 1 + rng.next_u64() % 1000;
+        let p = ConvProblem {
+            n: 1,
+            c,
+            h: hw,
+            w: hw,
+            k: 2,
+            r: 3,
+            s: 3,
+            pad: 1,
+        };
         let input = Tensor4::random(LayoutKind::Nchw, [1, c, hw, hw], -1.0, 1.0, seed);
         let filter = Tensor4::random(LayoutKind::Kcrs, [2, c, 3, 3], -1.0, 1.0, seed + 1);
         let want = conv2d_direct(&p, &input, &filter);
         let got = wino_core::fft::conv2d_fft(&p, &input, &filter);
-        prop_assert!(allclose(want.as_slice(), got.as_slice(), 1e-3, 1e-3));
+        assert!(
+            allclose(want.as_slice(), got.as_slice(), 1e-3, 1e-3),
+            "case {case}: hw={hw} c={c} seed {seed}"
+        );
     }
 }
 
 /// The GPU fused kernel agrees with the reference over randomized *aligned*
 /// shapes (the kernel's documented constraints: C%8, N%32, K%bk).
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    #[test]
-    fn gpu_fused_kernel_matches_direct(
-        c8 in 1usize..3,
-        hw in 4usize..9,
-        kb in 1usize..3,
-        seed in 1u64..100,
-    ) {
+#[test]
+fn gpu_fused_kernel_matches_direct() {
+    let mut rng = XorShiftRng::new(0x6F05_0006);
+    for case in 0..6 {
+        let c8 = 1 + rng.gen_index(2);
+        let hw = 4 + rng.gen_index(5);
+        let kb = 1 + rng.gen_index(2);
+        let seed = 1 + rng.next_u64() % 100;
         let p = ConvProblem::resnet3x3(32, c8 * 8, hw, kb * 64);
-        let input = Tensor4::random(LayoutKind::Nchw, [p.n, p.c, p.h, p.w], -1.0, 1.0, seed);
-        let filter = Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, seed + 1);
+        let (input, filter) = random_pair(&p, seed);
         let want = conv2d_direct(&p, &input, &filter);
         let conv = wino_core::Conv::new(p, gpusim::DeviceSpec::v100());
         let got = conv.run(wino_core::Algo::OursFused, &input, &filter);
-        prop_assert!(allclose(want.as_slice(), got.output.as_slice(), 1e-3, 1e-3));
+        assert!(
+            allclose(want.as_slice(), got.output.as_slice(), 1e-3, 1e-3),
+            "case {case}: {p:?} seed {seed}"
+        );
     }
 }

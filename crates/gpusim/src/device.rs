@@ -116,7 +116,12 @@ impl DeviceSpec {
 
     /// Resident thread blocks per SM for a kernel footprint, per the CUDA
     /// occupancy rules. Returns 0 if the kernel cannot launch at all.
-    pub fn blocks_per_sm(&self, threads_per_block: u32, regs_per_thread: u32, smem_per_block: u32) -> u32 {
+    pub fn blocks_per_sm(
+        &self,
+        threads_per_block: u32,
+        regs_per_thread: u32,
+        smem_per_block: u32,
+    ) -> u32 {
         if threads_per_block == 0 || threads_per_block > self.max_threads_per_sm {
             return 0;
         }
@@ -132,12 +137,14 @@ impl DeviceSpec {
         let regs_rounded = regs_per_thread.div_ceil(8) * 8;
         let regs_per_block = regs_rounded.max(32) * threads_per_block;
         let by_regs = self.regs_per_sm / regs_per_block;
-        let by_smem = if smem_per_block == 0 {
-            self.max_blocks_per_sm
-        } else {
-            self.smem_per_sm / smem_per_block
-        };
-        by_threads.min(by_regs).min(by_smem).min(self.max_blocks_per_sm)
+        let by_smem = self
+            .smem_per_sm
+            .checked_div(smem_per_block)
+            .unwrap_or(self.max_blocks_per_sm);
+        by_threads
+            .min(by_regs)
+            .min(by_smem)
+            .min(self.max_blocks_per_sm)
     }
 }
 

@@ -47,8 +47,12 @@ pub struct Warp {
 impl Warp {
     /// Fresh warp: `num_regs` registers, all zero, one context at PC 0.
     pub fn new(num_regs: u16, base_tid: u32, lanes: u32) -> Self {
-        assert!(lanes >= 1 && lanes <= WARP_SIZE);
-        let mask = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+        assert!((1..=WARP_SIZE).contains(&lanes));
+        let mask = if lanes == 32 {
+            u32::MAX
+        } else {
+            (1u32 << lanes) - 1
+        };
         Warp {
             regs: vec![[0u32; 32]; num_regs as usize],
             preds: [[false; 32]; 7],
@@ -271,7 +275,13 @@ pub fn step(
             // Exit the executing lanes; the rest continue at pc+1.
             remove_ctx(warp, pc);
             if ctx.mask & !exec_mask != 0 {
-                push_ctx(warp, WarpCtx { mask: ctx.mask & !exec_mask, pc: pc + 1 });
+                push_ctx(
+                    warp,
+                    WarpCtx {
+                        mask: ctx.mask & !exec_mask,
+                        pc: pc + 1,
+                    },
+                );
             }
             if warp.ctxs.is_empty() {
                 warp.exited = true;
@@ -282,16 +292,30 @@ pub fn step(
         Op::Bra { target } => {
             remove_ctx(warp, pc);
             if exec_mask != 0 {
-                push_ctx(warp, WarpCtx { mask: exec_mask, pc: target });
+                push_ctx(
+                    warp,
+                    WarpCtx {
+                        mask: exec_mask,
+                        pc: target,
+                    },
+                );
             }
             if ctx.mask & !exec_mask != 0 {
-                push_ctx(warp, WarpCtx { mask: ctx.mask & !exec_mask, pc: pc + 1 });
+                push_ctx(
+                    warp,
+                    WarpCtx {
+                        mask: ctx.mask & !exec_mask,
+                        pc: pc + 1,
+                    },
+                );
             }
             return Ok((StepEvent::Executed, MemTrace::default()));
         }
         Op::BarSync => {
             if warp.ctxs.len() > 1 {
-                return Err(fail("BAR.SYNC in divergent control flow is not supported".into()));
+                return Err(fail(
+                    "BAR.SYNC in divergent control flow is not supported".into(),
+                ));
             }
             advance_ctx(warp, pc);
             return Ok((StepEvent::Barrier, MemTrace::default()));
@@ -300,7 +324,10 @@ pub fn step(
     }
 
     // Data instructions: execute lane-by-lane under exec_mask.
-    let mut trace = MemTrace { exec_mask, ..MemTrace::default() };
+    let mut trace = MemTrace {
+        exec_mask,
+        ..MemTrace::default()
+    };
     let cbank = env.cbank;
     let bd = env.block_dim;
     let ctaid = env.ctaid;
@@ -317,7 +344,14 @@ pub fn step(
     }
 
     match inst.op {
-        Op::Ffma { d, a, b, c, neg_b, neg_c } => {
+        Op::Ffma {
+            d,
+            a,
+            b,
+            c,
+            neg_b,
+            neg_c,
+        } => {
             for lane in lanes(exec_mask) {
                 let va = f(warp.read_reg(a, lane));
                 let vb = f(neg_f(srcb!(b, lane), neg_b));
@@ -325,7 +359,13 @@ pub fn step(
                 warp.write_reg(d, lane, va.mul_add(vb, vc).to_bits());
             }
         }
-        Op::Fadd { d, a, neg_a, b, neg_b } => {
+        Op::Fadd {
+            d,
+            a,
+            neg_a,
+            b,
+            neg_b,
+        } => {
             for lane in lanes(exec_mask) {
                 let va = f(neg_f(warp.read_reg(a, lane), neg_a));
                 let vb = f(neg_f(srcb!(b, lane), neg_b));
@@ -350,7 +390,13 @@ pub fn step(
                 warp.write_reg(d, lane, v);
             }
         }
-        Op::Hadd2 { d, a, neg_a, b, neg_b } => {
+        Op::Hadd2 {
+            d,
+            a,
+            neg_a,
+            b,
+            neg_b,
+        } => {
             for lane in lanes(exec_mask) {
                 let (a0, a1) = sass::half::unpack_half2(neg_f2(warp.read_reg(a, lane), neg_a));
                 let (b0, b1) = sass::half::unpack_half2(neg_f2(srcb!(b, lane), neg_b));
@@ -364,7 +410,13 @@ pub fn step(
                 warp.write_reg(d, lane, sass::half::pack_half2(a0 * b0, a1 * b1));
             }
         }
-        Op::Fsetp { p, cmp, a, b, combine } => {
+        Op::Fsetp {
+            p,
+            cmp,
+            a,
+            b,
+            combine,
+        } => {
             for lane in lanes(exec_mask) {
                 let va = f(warp.read_reg(a, lane));
                 let vb = f(srcb!(b, lane));
@@ -373,7 +425,15 @@ pub fn step(
                 warp.write_pred(p, lane, base && comb);
             }
         }
-        Op::Iadd3 { d, a, neg_a, b, neg_b, c, neg_c } => {
+        Op::Iadd3 {
+            d,
+            a,
+            neg_a,
+            b,
+            neg_b,
+            c,
+            neg_c,
+        } => {
             for lane in lanes(exec_mask) {
                 let va = neg_i(warp.read_reg(a, lane), neg_a);
                 let vb = neg_i(srcb!(b, lane), neg_b);
@@ -415,11 +475,23 @@ pub fn step(
         }
         Op::Lop3 { d, a, b, c, lut } => {
             for lane in lanes(exec_mask) {
-                let v = lop3(warp.read_reg(a, lane), srcb!(b, lane), warp.read_reg(c, lane), lut);
+                let v = lop3(
+                    warp.read_reg(a, lane),
+                    srcb!(b, lane),
+                    warp.read_reg(c, lane),
+                    lut,
+                );
                 warp.write_reg(d, lane, v);
             }
         }
-        Op::Shf { d, lo, shift, hi, right, u32_mode } => {
+        Op::Shf {
+            d,
+            lo,
+            shift,
+            hi,
+            right,
+            u32_mode,
+        } => {
             for lane in lanes(exec_mask) {
                 let n = srcb!(shift, lane) & 63;
                 let vlo = warp.read_reg(lo, lane);
@@ -451,11 +523,22 @@ pub fn step(
         Op::Sel { d, a, b, p } => {
             for lane in lanes(exec_mask) {
                 let sel = warp.read_pred(p.pred, lane) != p.neg;
-                let v = if sel { warp.read_reg(a, lane) } else { srcb!(b, lane) };
+                let v = if sel {
+                    warp.read_reg(a, lane)
+                } else {
+                    srcb!(b, lane)
+                };
                 warp.write_reg(d, lane, v);
             }
         }
-        Op::Isetp { p, cmp, u32: unsigned, a, b, combine } => {
+        Op::Isetp {
+            p,
+            cmp,
+            u32: unsigned,
+            a,
+            b,
+            combine,
+        } => {
             for lane in lanes(exec_mask) {
                 let va = warp.read_reg(a, lane);
                 let vb = srcb!(b, lane);
@@ -506,7 +589,12 @@ pub fn step(
                 warp.write_reg(d, lane, v);
             }
         }
-        Op::Ld { space, width, d, addr } => {
+        Op::Ld {
+            space,
+            width,
+            d,
+            addr,
+        } => {
             trace.width = width.bytes();
             trace.is_store = false;
             match space {
@@ -522,7 +610,11 @@ pub fn step(
                             .map_err(|e: MemError| fail(format!("lane {lane}: {e}")))?
                             .to_vec();
                         for (i, chunk) in bytes.chunks_exact(4).enumerate() {
-                            warp.write_reg(d.offset(i as u8), lane, u32::from_le_bytes(chunk.try_into().unwrap()));
+                            warp.write_reg(
+                                d.offset(i as u8),
+                                lane,
+                                u32::from_le_bytes(chunk.try_into().unwrap()),
+                            );
                         }
                     }
                 }
@@ -548,7 +640,12 @@ pub fn step(
                 }
             }
         }
-        Op::St { space, width, addr, src } => {
+        Op::St {
+            space,
+            width,
+            addr,
+            src,
+        } => {
             trace.width = width.bytes();
             trace.is_store = true;
             match space {
@@ -560,7 +657,9 @@ pub fn step(
                         trace.global_addrs.push(a);
                         let mut bytes = Vec::with_capacity(width.bytes() as usize);
                         for i in 0..width.regs() {
-                            bytes.extend_from_slice(&warp.read_reg(src.offset(i), lane).to_le_bytes());
+                            bytes.extend_from_slice(
+                                &warp.read_reg(src.offset(i), lane).to_le_bytes(),
+                            );
                         }
                         env.global
                             .write(a, &bytes)
@@ -627,7 +726,13 @@ fn advance_ctx(warp: &mut Warp, pc: u32) {
         }
     });
     if moved != 0 {
-        push_ctx(warp, WarpCtx { mask: moved, pc: pc + 1 });
+        push_ctx(
+            warp,
+            WarpCtx {
+                mask: moved,
+                pc: pc + 1,
+            },
+        );
     }
 }
 
@@ -638,7 +743,11 @@ mod tests {
     use sass::isa::build::*;
     use sass::reg::{Pred, Reg, RZ};
 
-    fn env_fixture<'a>(global: &'a mut GlobalMemory, smem: &'a mut [u8], cbank: &'a ConstBank) -> ExecEnv<'a> {
+    fn env_fixture<'a>(
+        global: &'a mut GlobalMemory,
+        smem: &'a mut [u8],
+        cbank: &'a ConstBank,
+    ) -> ExecEnv<'a> {
         // Lifetimes: caller holds the storage.
         ExecEnv {
             global,
@@ -649,12 +758,19 @@ mod tests {
         }
     }
 
-    fn run_insts(insts: Vec<Instruction>, setup: impl FnOnce(&mut Warp, &mut GlobalMemory)) -> (Warp, GlobalMemory) {
+    fn run_insts(
+        insts: Vec<Instruction>,
+        setup: impl FnOnce(&mut Warp, &mut GlobalMemory),
+    ) -> (Warp, GlobalMemory) {
         let mut insts = insts;
         insts.push(Instruction::new(Op::Exit));
         let mut global = GlobalMemory::new(1 << 20);
         let mut smem = vec![0u8; 48 * 1024];
-        let cbank = ConstBank::new([64, 1, 1], [8, 8, 8], &ParamBuilder::new().push_u32(42).push_u32(7).build());
+        let cbank = ConstBank::new(
+            [64, 1, 1],
+            [8, 8, 8],
+            &ParamBuilder::new().push_u32(42).push_u32(7).build(),
+        );
         let mut warp = Warp::new(64, 0, 32);
         setup(&mut warp, &mut global);
         let mut env = ExecEnv {
@@ -672,7 +788,6 @@ mod tests {
             }
         }
         assert!(warp.exited, "warp did not exit");
-        drop(env);
         (warp, global)
     }
 
@@ -714,7 +829,7 @@ mod tests {
                 Instruction::new(and(Reg(7), Reg(1), 0x6cu32)),         // 0x64 & 0x6c = 0x64
                 Instruction::new(or(Reg(8), Reg(1), 0x1u32)),
                 Instruction::new(xor(Reg(9), Reg(1), Reg(1))),
-                Instruction::new(lea(Reg(10), Reg(1), 5u32, 2)),        // 5 + 100*4 = 405
+                Instruction::new(lea(Reg(10), Reg(1), 5u32, 2)), // 5 + 100*4 = 405
             ],
             |_, _| {},
         );
@@ -753,7 +868,12 @@ mod tests {
             vec![
                 Instruction::new(mov(Reg(1), 1000u32)),
                 Instruction::new(mov(Reg(2), 613566757u32)),
-                Instruction::new(Op::ImadHi { d: Reg(3), a: Reg(1), b: SrcB::Reg(Reg(2)), c: RZ }),
+                Instruction::new(Op::ImadHi {
+                    d: Reg(3),
+                    a: Reg(1),
+                    b: SrcB::Reg(Reg(2)),
+                    c: RZ,
+                }),
                 Instruction::new(shr(Reg(4), Reg(3), 2)),
             ],
             |_, _| {},
@@ -810,15 +930,37 @@ mod tests {
                 Instruction::new(isetp(Pred(1), CmpOp::Eq, Reg(2), 0u32)),
                 Instruction::new(isetp(Pred(2), CmpOp::Ge, Reg(1), 30u32)),
                 // Pack into R3, clobber preds, unpack.
-                Instruction::new(Op::P2r { d: Reg(3), a: RZ, mask: 0x7f }),
+                Instruction::new(Op::P2r {
+                    d: Reg(3),
+                    a: RZ,
+                    mask: 0x7f,
+                }),
                 Instruction::new(isetp(Pred(0), CmpOp::Ge, Reg(1), 0u32)), // true
                 Instruction::new(isetp(Pred(1), CmpOp::Ge, Reg(1), 0u32)),
                 Instruction::new(isetp(Pred(2), CmpOp::Ge, Reg(1), 0u32)),
-                Instruction::new(Op::R2p { a: Reg(3), mask: 0x7 }),
+                Instruction::new(Op::R2p {
+                    a: Reg(3),
+                    mask: 0x7,
+                }),
                 // Read back via SEL.
-                Instruction::new(Op::Sel { d: Reg(4), a: Reg(1), b: SrcB::Imm(999), p: PredSrc::of(Pred(0)) }),
-                Instruction::new(Op::Sel { d: Reg(5), a: Reg(1), b: SrcB::Imm(999), p: PredSrc::of(Pred(1)) }),
-                Instruction::new(Op::Sel { d: Reg(6), a: Reg(1), b: SrcB::Imm(999), p: PredSrc::of(Pred(2)) }),
+                Instruction::new(Op::Sel {
+                    d: Reg(4),
+                    a: Reg(1),
+                    b: SrcB::Imm(999),
+                    p: PredSrc::of(Pred(0)),
+                }),
+                Instruction::new(Op::Sel {
+                    d: Reg(5),
+                    a: Reg(1),
+                    b: SrcB::Imm(999),
+                    p: PredSrc::of(Pred(1)),
+                }),
+                Instruction::new(Op::Sel {
+                    d: Reg(6),
+                    a: Reg(1),
+                    b: SrcB::Imm(999),
+                    p: PredSrc::of(Pred(2)),
+                }),
             ],
             |_, _| {},
         );
@@ -890,7 +1032,8 @@ mod tests {
         let insts = vec![
             /* 0 */ Instruction::new(s2r(Reg(1), SpecialReg::LaneId)),
             /* 1 */ Instruction::new(isetp(Pred(0), CmpOp::Ge, Reg(1), 4u32)),
-            /* 2 */ Instruction::new(Op::Bra { target: 5 }).with_guard(PredGuard::on(Pred(0))),
+            /* 2 */
+            Instruction::new(Op::Bra { target: 5 }).with_guard(PredGuard::on(Pred(0))),
             /* 3 */ Instruction::new(mov(Reg(2), 7u32)),
             /* 4 */ Instruction::new(Op::Bra { target: 6 }),
             /* 5 */ Instruction::new(mov(Reg(2), 9u32)),
@@ -912,7 +1055,8 @@ mod tests {
             /* 2 */ Instruction::new(iadd3(Reg(2), Reg(2), Reg(1), RZ)),
             /* 3 */ Instruction::new(iadd3(Reg(1), Reg(1), (-1i32) as u32, RZ)),
             /* 4 */ Instruction::new(isetp(Pred(0), CmpOp::Gt, Reg(1), 0u32)),
-            /* 5 */ Instruction::new(Op::Bra { target: 2 }).with_guard(PredGuard::on(Pred(0))),
+            /* 5 */
+            Instruction::new(Op::Bra { target: 2 }).with_guard(PredGuard::on(Pred(0))),
         ];
         let (w, _) = run_insts(insts, |_, _| {});
         assert_eq!(w.regs[2][0], 55);
@@ -975,9 +1119,8 @@ mod tests {
         ];
         let mut env = env_fixture(&mut global, &mut smem, &cbank);
         loop {
-            match step(&mut warp, &insts, &mut env, 0).unwrap().0 {
-                StepEvent::Exited => break,
-                _ => {}
+            if step(&mut warp, &insts, &mut env, 0).unwrap().0 == StepEvent::Exited {
+                break;
             }
         }
         assert_eq!(warp.regs[1][7], 5);

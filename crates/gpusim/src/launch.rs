@@ -2,7 +2,7 @@
 //!
 //! Blocks are independent (CUDA semantics); within a block, warps are
 //! co-scheduled cooperatively and `BAR.SYNC` is honoured. The parallel
-//! launcher distributes blocks across host threads with crossbeam.
+//! launcher distributes blocks across host threads with `std::thread::scope`.
 
 use sass::Module;
 
@@ -24,7 +24,10 @@ impl LaunchDims {
 
     /// 1-D helper.
     pub fn linear(grid: u32, block: u32) -> Self {
-        LaunchDims { grid: [grid, 1, 1], block: [block, 1, 1] }
+        LaunchDims {
+            grid: [grid, 1, 1],
+            block: [block, 1, 1],
+        }
     }
 
     pub fn threads_per_block(&self) -> u32 {
@@ -53,10 +56,16 @@ impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LaunchError::TooManyRegisters { used, limit } => {
-                write!(f, "kernel uses {used} registers/thread, device limit is {limit}")
+                write!(
+                    f,
+                    "kernel uses {used} registers/thread, device limit is {limit}"
+                )
             }
             LaunchError::TooMuchSharedMem { used, limit } => {
-                write!(f, "kernel uses {used} B shared memory, device limit is {limit}")
+                write!(
+                    f,
+                    "kernel uses {used} B shared memory, device limit is {limit}"
+                )
             }
             LaunchError::BadBlockShape(s) => write!(f, "bad block shape: {s}"),
             LaunchError::Exec(e) => write!(f, "execution fault: {e}"),
@@ -78,7 +87,10 @@ const STEP_LIMIT: u64 = 500_000_000;
 impl Gpu {
     /// A GPU with the given arena capacity.
     pub fn new(device: DeviceSpec, mem_capacity: usize) -> Self {
-        Gpu { device, mem: GlobalMemory::new(mem_capacity) }
+        Gpu {
+            device,
+            mem: GlobalMemory::new(mem_capacity),
+        }
     }
 
     /// Convenience: 1 GiB arena.
@@ -113,13 +125,21 @@ impl Gpu {
         }
         let tpb = dims.threads_per_block();
         if tpb == 0 || tpb > 1024 {
-            return Err(LaunchError::BadBlockShape(format!("{} threads per block", tpb)));
+            return Err(LaunchError::BadBlockShape(format!(
+                "{} threads per block",
+                tpb
+            )));
         }
         Ok(())
     }
 
     /// Run the kernel functionally, sequentially over blocks.
-    pub fn launch(&mut self, module: &Module, dims: LaunchDims, params: &[u8]) -> Result<(), LaunchError> {
+    pub fn launch(
+        &mut self,
+        module: &Module,
+        dims: LaunchDims,
+        params: &[u8],
+    ) -> Result<(), LaunchError> {
         self.validate(module, &dims)?;
         let cbank = ConstBank::new(dims.block, dims.grid, params);
         for bz in 0..dims.grid[2] {
@@ -151,7 +171,9 @@ impl Gpu {
         self.validate(module, &dims)?;
         let cbank = ConstBank::new(dims.block, dims.grid, params);
         let total = dims.num_blocks();
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         if total < 4 || threads < 2 {
             return self.launch(module, dims, params);
         }
@@ -162,13 +184,13 @@ impl Gpu {
         let mem_ptr = &MemPtr(&mut self.mem as *mut GlobalMemory);
 
         let next = std::sync::atomic::AtomicU64::new(0);
-        let err: parking_lot::Mutex<Option<ExecError>> = parking_lot::Mutex::new(None);
-        crossbeam::scope(|s| {
+        let err: std::sync::Mutex<Option<ExecError>> = std::sync::Mutex::new(None);
+        std::thread::scope(|s| {
             for _ in 0..threads {
-                s.spawn(|_| {
+                s.spawn(|| {
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= total || err.lock().is_some() {
+                        if i >= total || err.lock().unwrap().is_some() {
                             break;
                         }
                         let bx = (i % dims.grid[0] as u64) as u32;
@@ -178,15 +200,14 @@ impl Gpu {
                         // disjoint regions, matching device semantics.
                         let mem = unsafe { &mut *mem_ptr.0 };
                         if let Err(e) = run_block(module, mem, &cbank, [bx, by, bz], dims.block) {
-                            *err.lock() = Some(e);
+                            *err.lock().unwrap() = Some(e);
                             break;
                         }
                     }
                 });
             }
-        })
-        .expect("block worker panicked");
-        match err.into_inner() {
+        });
+        match err.into_inner().unwrap() {
             Some(e) => Err(LaunchError::Exec(e)),
             None => Ok(()),
         }
@@ -240,7 +261,9 @@ pub fn run_block(
                         warp: w as u32,
                         pc: warps[w].current_ctx().map_or(0, |c| c.pc),
                         inst: "<step limit>".into(),
-                        msg: format!("block exceeded {STEP_LIMIT} instruction steps (infinite loop?)"),
+                        msg: format!(
+                            "block exceeded {STEP_LIMIT} instruction steps (infinite loop?)"
+                        ),
                     });
                 }
                 match event {
@@ -305,11 +328,16 @@ mod tests {
         let y: Vec<f32> = (0..n).map(|i| 100.0 + i as f32).collect();
         let xp = gpu.alloc_upload_f32(&x);
         let yp = gpu.alloc_upload_f32(&y);
-        let params = ParamBuilder::new().push_ptr(xp).push_ptr(yp).push_f32(3.0).build();
-        gpu.launch(&axpy_module(), LaunchDims::linear(1, n as u32), &params).unwrap();
+        let params = ParamBuilder::new()
+            .push_ptr(xp)
+            .push_ptr(yp)
+            .push_f32(3.0)
+            .build();
+        gpu.launch(&axpy_module(), LaunchDims::linear(1, n as u32), &params)
+            .unwrap();
         let out = gpu.mem.download_f32(yp, n).unwrap();
-        for i in 0..n {
-            assert_eq!(out[i], 3.0 * i as f32 + 100.0 + i as f32, "i={i}");
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 3.0 * i as f32 + 100.0 + i as f32, "i={i}");
         }
     }
 
@@ -364,7 +392,8 @@ DONE:
         let xp = gpu.alloc_upload_f32(&x);
         let op = gpu.alloc(blocks as u64 * 4);
         let params = ParamBuilder::new().push_ptr(xp).push_ptr(op).build();
-        gpu.launch(&reduce_module(), LaunchDims::linear(blocks, 64), &params).unwrap();
+        gpu.launch(&reduce_module(), LaunchDims::linear(blocks, 64), &params)
+            .unwrap();
         let out = gpu.mem.download_f32(op, blocks as usize).unwrap();
         for b in 0..blocks as usize {
             let want: f32 = x[b * 64..(b + 1) * 64].iter().sum();
@@ -392,8 +421,20 @@ DONE:
             }
         }
         // Same allocation order → same addresses.
-        let a = gpu1.mem.download_f32(0x1000_0000 + ((n * 4 + 255) / 256 * 256) as u64, blocks as usize).unwrap();
-        let b = gpu2.mem.download_f32(0x1000_0000 + ((n * 4 + 255) / 256 * 256) as u64, blocks as usize).unwrap();
+        let a = gpu1
+            .mem
+            .download_f32(
+                0x1000_0000 + ((n * 4).div_ceil(256) * 256) as u64,
+                blocks as usize,
+            )
+            .unwrap();
+        let b = gpu2
+            .mem
+            .download_f32(
+                0x1000_0000 + ((n * 4).div_ceil(256) * 256) as u64,
+                blocks as usize,
+            )
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -402,7 +443,10 @@ DONE:
         let mut gpu = Gpu::new(DeviceSpec::rtx2070(), 1 << 16);
         let m = assemble("MOV R254, 0x1;\nEXIT;").unwrap();
         let err = gpu.launch(&m, LaunchDims::linear(1, 32), &[]).unwrap_err();
-        assert!(matches!(err, LaunchError::TooManyRegisters { used: 255, .. }), "{err}");
+        assert!(
+            matches!(err, LaunchError::TooManyRegisters { used: 255, .. }),
+            "{err}"
+        );
     }
 
     #[test]

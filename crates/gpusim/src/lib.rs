@@ -28,10 +28,12 @@ pub mod device;
 pub mod exec;
 pub mod launch;
 pub mod memory;
+pub mod simprof;
 pub mod timing;
 
 pub use device::{Arch, DeviceSpec};
 pub use exec::{ExecEnv, ExecError, StepEvent, Warp, WARP_SIZE};
 pub use launch::{Gpu, LaunchDims, LaunchError};
 pub use memory::{ConstBank, DevPtr, GlobalMemory, MemError, ParamBuilder, PARAM_BASE};
+pub use simprof::{IssueEvent, KernelProfile, LineProfile, Region, StallBreakdown, StallCause};
 pub use timing::{KernelTiming, TimingOptions};

@@ -94,7 +94,9 @@ impl GlobalMemory {
     pub fn download_f32(&self, addr: u64, len: usize) -> Result<Vec<f32>, MemError> {
         let off = self.index(addr, len * 4)?;
         Ok((0..len)
-            .map(|i| f32::from_le_bytes(self.data[off + i * 4..off + i * 4 + 4].try_into().unwrap()))
+            .map(|i| {
+                f32::from_le_bytes(self.data[off + i * 4..off + i * 4 + 4].try_into().unwrap())
+            })
             .collect())
     }
 
@@ -187,7 +189,7 @@ impl ParamBuilder {
 
     /// Append an 8-byte pointer, aligning to 8 first.
     pub fn push_ptr(mut self, p: DevPtr) -> Self {
-        while self.bytes.len() % 8 != 0 {
+        while !self.bytes.len().is_multiple_of(8) {
             self.bytes.push(0);
         }
         self.bytes.extend_from_slice(&p.to_le_bytes());

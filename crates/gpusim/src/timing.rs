@@ -35,6 +35,7 @@ use crate::device::DeviceSpec;
 use crate::exec::{step, ExecEnv, StepEvent, Warp, WARP_SIZE};
 use crate::launch::{Gpu, LaunchDims, LaunchError};
 use crate::memory::ConstBank;
+use crate::simprof::{Collector, KernelProfile, SchedClass, StallCause};
 
 /// Options for a timing run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -54,6 +55,10 @@ pub struct TimingOptions {
     /// a dynamic validator for the kernels' control codes, catching
     /// loop-carried hazards the static linter's per-block analysis cannot.
     pub strict_writeback: bool,
+    /// Collect a per-instruction stall-attribution profile of the simulated
+    /// wave (see [`crate::simprof`]). Off by default: the profiling path is
+    /// fully skipped and `KernelTiming` is unchanged except `profile: None`.
+    pub profile: bool,
 }
 
 /// Result of timing one kernel.
@@ -97,6 +102,9 @@ pub struct KernelTiming {
     /// Attribution of scheduler-idle cycles (FP pipe free, nothing issued):
     /// `[barrier, scoreboard-wait, mio-queue, stall, empty]`.
     pub idle_breakdown: [u64; 5],
+    /// Per-instruction stall-attribution profile of the simulated wave,
+    /// present when [`TimingOptions::profile`] was set.
+    pub profile: Option<KernelProfile>,
 }
 
 impl KernelTiming {
@@ -273,8 +281,13 @@ enum PipeKind {
 
 fn pipe_of(op: &Op) -> PipeKind {
     match op {
-        Op::Ffma { .. } | Op::Fadd { .. } | Op::Fmul { .. } | Op::Fsetp { .. }
-        | Op::Hfma2 { .. } | Op::Hadd2 { .. } | Op::Hmul2 { .. } => PipeKind::Fp32,
+        Op::Ffma { .. }
+        | Op::Fadd { .. }
+        | Op::Fmul { .. }
+        | Op::Fsetp { .. }
+        | Op::Hfma2 { .. }
+        | Op::Hadd2 { .. }
+        | Op::Hmul2 { .. } => PipeKind::Fp32,
         Op::Iadd3 { .. }
         | Op::Imad { .. }
         | Op::ImadHi { .. }
@@ -406,7 +419,9 @@ pub fn time_kernel(
     // L1: whatever the combined L1/shared capacity leaves after the resident
     // blocks' shared-memory allocations. Sectored, write-through/no-allocate.
     let smem_used = resident as u64 * module.info.smem_bytes as u64;
-    let l1_bytes = (device.l1_smem_combined as u64).saturating_sub(smem_used).max(4 * 1024);
+    let l1_bytes = (device.l1_smem_combined as u64)
+        .saturating_sub(smem_used)
+        .max(4 * 1024);
     let mut l1 = L2Cache::new(l1_bytes);
     if warm {
         warm_l2(gpu, module, &cbank, [0, 0, 0], dims.block, &mut l2)?;
@@ -438,6 +453,10 @@ pub fn time_kernel(
     let mut smem_conflict_cycles: u64 = 0;
     let mut yield_switches: u64 = 0;
     let mut idle_attr = [0u64; 5];
+    // Stall-attribution profile: every scheduler-cycle of the wave is
+    // charged to exactly one SASS line (or the empty bucket), so the
+    // per-line sums reconcile with `schedulers * wave_cycles`.
+    let mut prof: Option<Collector> = opts.profile.then(|| Collector::new(module, schedulers));
     // Region accounting.
     let region = opts.region;
     let mut region_first: Option<u64> = None;
@@ -451,7 +470,9 @@ pub fn time_kernel(
     while live(&slots) {
         guard_iter += 1;
         if cycle > max_cycles || guard_iter > max_cycles {
-            return Err(LaunchError::BadBlockShape("timing simulation did not converge".into()));
+            return Err(LaunchError::BadBlockShape(
+                "timing simulation did not converge".into(),
+            ));
         }
         // Deliver due scoreboard completions.
         while let Some(Reverse(ev)) = events.peek() {
@@ -476,6 +497,13 @@ pub fn time_kernel(
         let mut any_issue_possible_later = false;
         for s in 0..schedulers {
             if sched_free[s] > cycle {
+                // Recovering from a warp switch or cleared yield flag; the
+                // profile charges the slot to the line that caused it.
+                if let Some(p) = prof.as_mut() {
+                    if let Some(pc) = p.last_pc[s] {
+                        p.class[s] = SchedClass::YieldRecover(pc);
+                    }
+                }
                 any_issue_possible_later = true;
                 continue;
             }
@@ -483,6 +511,18 @@ pub fn time_kernel(
             // idle-attribution counters.
             let mut candidates: Vec<usize> = Vec::new();
             let mut blockers = [false; 5]; // barrier, sb, mio, stall, empty
+                                           // Profiling: the line each first-blocked warp would issue next,
+                                           // indexed by `StallCause`.
+            let mut first_blocked: [Option<u32>; 5] = [None; 5];
+            let profiling = prof.is_some();
+            let mut note_block = |cause: StallCause, pc: Option<u32>| {
+                if let Some(pc) = pc {
+                    let slot = &mut first_blocked[cause as usize];
+                    if slot.is_none() {
+                        *slot = Some(pc);
+                    }
+                }
+            };
             for w in (0..num_warps).filter(|&w| sched_of(w) == s) {
                 let slot = &slots[w];
                 if slot.warp.exited {
@@ -490,10 +530,19 @@ pub fn time_kernel(
                 }
                 if slot.at_barrier {
                     blockers[0] = true;
+                    if profiling {
+                        note_block(StallCause::Barrier, slot.warp.current_ctx().map(|c| c.pc));
+                    }
                     continue;
                 }
                 if slot.ready_at > cycle {
                     blockers[3] = true;
+                    if profiling {
+                        note_block(
+                            StallCause::StallCount,
+                            slot.warp.current_ctx().map(|c| c.pc),
+                        );
+                    }
                     continue;
                 }
                 let pc = match slot.warp.current_ctx() {
@@ -514,14 +563,30 @@ pub fn time_kernel(
                 }
                 if blocked {
                     blockers[1] = true;
+                    if profiling {
+                        note_block(StallCause::Scoreboard, Some(pc));
+                    }
                     continue;
                 }
                 // Structural hazards.
                 match pipe_of(&inst.op) {
-                    PipeKind::Fp32 if fp_busy[s] > cycle => continue,
-                    PipeKind::Int if int_busy[s] > cycle => continue,
+                    PipeKind::Fp32 if fp_busy[s] > cycle => {
+                        if profiling {
+                            note_block(StallCause::PipeBusy, Some(pc));
+                        }
+                        continue;
+                    }
+                    PipeKind::Int if int_busy[s] > cycle => {
+                        if profiling {
+                            note_block(StallCause::PipeBusy, Some(pc));
+                        }
+                        continue;
+                    }
                     PipeKind::Mio if mio_busy > cycle + 3 => {
                         blockers[2] = true;
+                        if profiling {
+                            note_block(StallCause::MioQueue, Some(pc));
+                        }
                         continue;
                     }
                     _ => {}
@@ -534,6 +599,17 @@ pub fn time_kernel(
                     // blocker observed.
                     let idx = blockers.iter().position(|&b| b).unwrap_or(4);
                     idle_attr[idx] += 1;
+                }
+                if let Some(p) = prof.as_mut() {
+                    // Charge the slot to the highest-priority blocked line;
+                    // no blocked warp at all leaves the slot `Empty`.
+                    if let Some(cause) = StallCause::ALL
+                        .into_iter()
+                        .find(|&c| first_blocked[c as usize].is_some())
+                    {
+                        p.class[s] =
+                            SchedClass::Blocked(cause, first_blocked[cause as usize].unwrap());
+                    }
                 }
                 continue;
             }
@@ -576,8 +652,8 @@ pub fn time_kernel(
                         continue;
                     }
                     let regs = &slots[chosen].warp.regs[r.0 as usize];
-                    for lane in 0..32 {
-                        if regs[lane] == 0x7fba_dbad {
+                    for (lane, &rv) in regs.iter().enumerate() {
+                        if rv == 0x7fba_dbad {
                             return Err(LaunchError::Exec(crate::exec::ExecError {
                                 ctaid,
                                 warp: (chosen % warps_per_block) as u32,
@@ -601,10 +677,18 @@ pub fn time_kernel(
                     ctaid,
                     block_dim: dims.block,
                 };
-                step(&mut slot.warp, &module.insts, &mut env, (chosen % warps_per_block) as u32)
-                    .map_err(LaunchError::Exec)?
+                step(
+                    &mut slot.warp,
+                    &module.insts,
+                    &mut env,
+                    (chosen % warps_per_block) as u32,
+                )
+                .map_err(LaunchError::Exec)?
             };
             issued += 1;
+            if let Some(p) = prof.as_mut() {
+                p.issued(s, chosen, pc, cycle);
+            }
 
             // Strict writeback: capture the freshly-loaded destination
             // registers, poison them, and defer the real values to the
@@ -630,7 +714,7 @@ pub fn time_kernel(
                 }
             }
 
-            let in_region = region.map_or(true, |(a, b)| pc >= a && pc < b);
+            let in_region = region.is_none_or(|(a, b)| pc >= a && pc < b);
             if in_region {
                 if region_first.is_none() {
                     region_first = Some(cycle);
@@ -647,6 +731,9 @@ pub fn time_kernel(
                     if reg_bank_conflict(&inst, &slots[chosen].reuse_cache) {
                         occ += 1;
                         reg_conflicts += 1;
+                        if let Some(p) = prof.as_mut() {
+                            p.bank_conflict(pc, 1);
+                        }
                     }
                     fp_busy[s] = cycle + occ;
                     fp_active += 2; // useful cycles only
@@ -662,22 +749,53 @@ pub fn time_kernel(
                 PipeKind::Mio => {
                     let start = mio_busy.max(cycle);
                     match inst.op {
-                        Op::Ld { space: MemSpace::Shared, .. } | Op::St { space: MemSpace::Shared, .. } => {
+                        Op::Ld {
+                            space: MemSpace::Shared,
+                            ..
+                        }
+                        | Op::St {
+                            space: MemSpace::Shared,
+                            ..
+                        } => {
                             let phases = smem_phases(&trace.shared_addrs, trace.width) as u64;
-                            let ideal = (trace.width as u64 * trace.shared_addrs.len() as u64).div_ceil(128);
-                            smem_conflict_cycles += phases.saturating_sub(ideal.max(1));
+                            let ideal = (trace.width as u64 * trace.shared_addrs.len() as u64)
+                                .div_ceil(128);
+                            let extra = phases.saturating_sub(ideal.max(1));
+                            smem_conflict_cycles += extra;
+                            if extra > 0 {
+                                if let Some(p) = prof.as_mut() {
+                                    p.bank_conflict(pc, extra);
+                                }
+                            }
                             mio_busy = start + phases.max(1);
                             let done = mio_busy + device.smem_latency as u64;
                             if let Some(b) = inst.ctrl.write_bar {
                                 slots[chosen].sb_pending[b as usize] += 1;
-                                events.push(Reverse(Event { cycle: done, warp: chosen, barrier: b, writeback: wb.take() }));
+                                events.push(Reverse(Event {
+                                    cycle: done,
+                                    warp: chosen,
+                                    barrier: b,
+                                    writeback: wb.take(),
+                                }));
                             }
                             if let Some(b) = inst.ctrl.read_bar {
                                 slots[chosen].sb_pending[b as usize] += 1;
-                                events.push(Reverse(Event { cycle: mio_busy + 2, warp: chosen, barrier: b, writeback: None }));
+                                events.push(Reverse(Event {
+                                    cycle: mio_busy + 2,
+                                    warp: chosen,
+                                    barrier: b,
+                                    writeback: None,
+                                }));
                             }
                         }
-                        Op::Ld { space: MemSpace::Global, .. } | Op::St { space: MemSpace::Global, .. } => {
+                        Op::Ld {
+                            space: MemSpace::Global,
+                            ..
+                        }
+                        | Op::St {
+                            space: MemSpace::Global,
+                            ..
+                        } => {
                             let sectors = global_sectors(&trace.global_addrs, trace.width);
                             let occ = (sectors.len() as u64).div_ceil(4).max(1);
                             mio_busy = start + occ;
@@ -717,17 +835,32 @@ pub fn time_kernel(
                                 // Stores: sources are read at MIO entry.
                                 if let Some(b) = inst.ctrl.read_bar {
                                     slots[chosen].sb_pending[b as usize] += 1;
-                                    events.push(Reverse(Event { cycle: mio_busy + 2, warp: chosen, barrier: b, writeback: None }));
+                                    events.push(Reverse(Event {
+                                        cycle: mio_busy + 2,
+                                        warp: chosen,
+                                        barrier: b,
+                                        writeback: None,
+                                    }));
                                 }
                             } else {
                                 let done = (mio_busy + worst).max(backend_done);
                                 if let Some(b) = inst.ctrl.write_bar {
                                     slots[chosen].sb_pending[b as usize] += 1;
-                                    events.push(Reverse(Event { cycle: done, warp: chosen, barrier: b, writeback: wb.take() }));
+                                    events.push(Reverse(Event {
+                                        cycle: done,
+                                        warp: chosen,
+                                        barrier: b,
+                                        writeback: wb.take(),
+                                    }));
                                 }
                                 if let Some(b) = inst.ctrl.read_bar {
                                     slots[chosen].sb_pending[b as usize] += 1;
-                                    events.push(Reverse(Event { cycle: mio_busy + 2, warp: chosen, barrier: b, writeback: None }));
+                                    events.push(Reverse(Event {
+                                        cycle: mio_busy + 2,
+                                        warp: chosen,
+                                        barrier: b,
+                                        writeback: None,
+                                    }));
                                 }
                             }
                         }
@@ -777,9 +910,9 @@ pub fn time_kernel(
                         }
                     }
                     if waiting == live_block {
-                        for w2 in 0..num_warps {
-                            if slots[w2].block == block {
-                                slots[w2].at_barrier = false;
+                        for s in slots.iter_mut().take(num_warps) {
+                            if s.block == block {
+                                s.at_barrier = false;
                             }
                         }
                     }
@@ -796,9 +929,9 @@ pub fn time_kernel(
                         }
                     }
                     if live_block > 0 && waiting == live_block {
-                        for w2 in 0..num_warps {
-                            if slots[w2].block == block {
-                                slots[w2].at_barrier = false;
+                        for s in slots.iter_mut().take(num_warps) {
+                            if s.block == block {
+                                s.at_barrier = false;
                             }
                         }
                     }
@@ -810,6 +943,9 @@ pub fn time_kernel(
         // Advance time: either 1 cycle, or jump to the next interesting time
         // when nothing can issue.
         if any_issue_possible_later {
+            if let Some(p) = prof.as_mut() {
+                p.commit(1);
+            }
             cycle += 1;
         } else {
             let mut next = u64::MAX;
@@ -843,16 +979,25 @@ pub fn time_kernel(
                 }
                 break;
             }
-            cycle = next.max(cycle + 1);
+            let new_cycle = next.max(cycle + 1);
+            // The blocked/empty classification holds for the whole jumped
+            // window: nothing changes before `next` by construction.
+            if let Some(p) = prof.as_mut() {
+                p.commit(new_cycle - cycle);
+            }
+            cycle = new_cycle;
         }
     }
 
     let wave_cycles = cycle.max(1);
-    let waves = total_blocks.div_ceil(resident as u64 * device.num_sms as u64).max(1);
+    let waves = total_blocks
+        .div_ceil(resident as u64 * device.num_sms as u64)
+        .max(1);
     // Blocks in the wave we actually simulated:
     let simulated_blocks = resident as u64;
     let flops_total = flops_wave as f64 * total_blocks as f64 / simulated_blocks as f64;
-    let dram_total = (dram_bytes_wave as f64 * total_blocks as f64 / simulated_blocks as f64) as u64;
+    let dram_total =
+        (dram_bytes_wave as f64 * total_blocks as f64 / simulated_blocks as f64) as u64;
 
     let compute_time = waves as f64 * wave_cycles as f64 / device.clock_hz;
     let dram_time = dram_total as f64 / device.dram_bw;
@@ -887,6 +1032,7 @@ pub fn time_kernel(
         smem_conflict_cycles,
         yield_switch_cycles: yield_switches,
         idle_breakdown: idle_attr,
+        profile: prof.map(|p| p.finish(wave_cycles)),
     })
 }
 
@@ -936,7 +1082,8 @@ fn warm_l2(
                     block_dim,
                 };
                 let (event, trace) =
-                    step(&mut warps[w], module.insts.as_slice(), &mut env, w as u32).map_err(LaunchError::Exec)?;
+                    step(&mut warps[w], module.insts.as_slice(), &mut env, w as u32)
+                        .map_err(LaunchError::Exec)?;
                 for sec in global_sectors(&trace.global_addrs, trace.width.max(1)) {
                     l2.access(sec * 32);
                 }
@@ -1063,7 +1210,14 @@ mod tests {
         };
         let run = |m: &sass::Module| {
             let mut gpu = Gpu::new(DeviceSpec::rtx2070(), 1 << 20);
-            time_kernel(&mut gpu, m, LaunchDims::linear(36, 256), &[], TimingOptions::default()).unwrap()
+            time_kernel(
+                &mut gpu,
+                m,
+                LaunchDims::linear(36, 256),
+                &[],
+                TimingOptions::default(),
+            )
+            .unwrap()
         };
         let clean = run(&build(false, false));
         let conflicted = run(&build(true, false));
@@ -1117,11 +1271,27 @@ mod tests {
         let blocks = 4096u32;
         let buf = gpu.alloc(blocks as u64 * 256 * 16);
         let params = ParamBuilder::new().push_ptr(buf).build();
-        let t = time_kernel(&mut gpu, &m, LaunchDims::linear(blocks, 256), &params, TimingOptions::default()).unwrap();
+        let t = time_kernel(
+            &mut gpu,
+            &m,
+            LaunchDims::linear(blocks, 256),
+            &params,
+            TimingOptions::default(),
+        )
+        .unwrap();
         // Each block loads 256 × 16 B = 4 KiB of unique data.
-        assert!(t.dram_bytes as f64 > 0.8 * blocks as f64 * 4096.0, "dram {}", t.dram_bytes);
+        assert!(
+            t.dram_bytes as f64 > 0.8 * blocks as f64 * 4096.0,
+            "dram {}",
+            t.dram_bytes
+        );
         // The DRAM bound should be a visible fraction of the total time.
-        assert!(t.dram_time_s > 0.2 * t.time_s, "dram {} total {}", t.dram_time_s, t.time_s);
+        assert!(
+            t.dram_time_s > 0.2 * t.time_s,
+            "dram {} total {}",
+            t.dram_time_s,
+            t.time_s
+        );
     }
 
     /// More resident warps hide memory latency better: occupancy 2 beats
@@ -1159,7 +1329,10 @@ LOOP:
                 &m,
                 LaunchDims::linear(160, 64),
                 &params,
-                TimingOptions { blocks_per_sm: Some(resident), ..Default::default() },
+                TimingOptions {
+                    blocks_per_sm: Some(resident),
+                    ..Default::default()
+                },
             )
             .unwrap()
         };
@@ -1201,10 +1374,17 @@ LOOP:
         let params = ParamBuilder::new().push_ptr(xp).build();
         // Grid of 2 blocks × 32 threads; V100 has 80 SMs so one wave covers
         // everything and both blocks are simulated.
-        time_kernel(&mut gpu, &m, LaunchDims::linear(2, 32), &params, TimingOptions::default()).unwrap();
+        time_kernel(
+            &mut gpu,
+            &m,
+            LaunchDims::linear(2, 32),
+            &params,
+            TimingOptions::default(),
+        )
+        .unwrap();
         let out = gpu.mem.download_f32(xp, 64).unwrap();
-        for i in 0..64 {
-            assert_eq!(out[i], (i * i) as f32);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as f32);
         }
     }
 }

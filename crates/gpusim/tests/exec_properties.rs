@@ -1,10 +1,14 @@
 //! Property tests: the functional executor's ALU semantics agree with host
 //! Rust semantics over random operands, for every lane.
+//!
+//! Randomized with the workspace's deterministic `XorShiftRng` (the registry
+//! is not reachable from the build environment, so `proptest` is off-limits);
+//! every case prints its operands on failure, so a red run is reproducible.
 
 use gpusim::{ConstBank, DeviceSpec, ExecEnv, Gpu, LaunchDims, ParamBuilder, Warp};
-use proptest::prelude::*;
 use sass::isa::{build, Instruction, Op, SrcB};
 use sass::reg::{Reg, RZ};
+use tensor::XorShiftRng;
 
 /// Run a few instructions on one warp and return the register file.
 fn run_warp(insts: Vec<Instruction>, init: impl FnOnce(&mut Warp)) -> Warp {
@@ -31,13 +35,24 @@ fn run_warp(insts: Vec<Instruction>, init: impl FnOnce(&mut Warp)) -> Warp {
     warp
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A "any::<f32>()"-style generator: uniform over raw bit patterns, which
+/// covers NaNs, infinities, subnormals and both zeros.
+fn arb_f32(rng: &mut XorShiftRng) -> f32 {
+    f32::from_bits(rng.next_u32())
+}
 
-    #[test]
-    fn ffma_matches_host_fma(a in any::<f32>(), b in any::<f32>(), c in any::<f32>()) {
+#[test]
+fn ffma_matches_host_fma() {
+    let mut rng = XorShiftRng::new(0xFF3A_0001);
+    for case in 0..256 {
+        let (a, b, c) = (arb_f32(&mut rng), arb_f32(&mut rng), arb_f32(&mut rng));
         let w = run_warp(
-            vec![Instruction::new(build::ffma(Reg(3), Reg(0), Reg(1), Reg(2)))],
+            vec![Instruction::new(build::ffma(
+                Reg(3),
+                Reg(0),
+                Reg(1),
+                Reg(2),
+            ))],
             |w| {
                 for lane in 0..32 {
                     w.regs[0][lane] = a.to_bits();
@@ -49,17 +64,32 @@ proptest! {
         let want = a.mul_add(b, c);
         for lane in [0usize, 13, 31] {
             let got = f32::from_bits(w.regs[3][lane]);
-            prop_assert!(got == want || (got.is_nan() && want.is_nan()), "lane {lane}: {got} vs {want}");
+            assert!(
+                got == want || (got.is_nan() && want.is_nan()),
+                "case {case} lane {lane}: fma({a}, {b}, {c}) = {got} vs {want}"
+            );
         }
     }
+}
 
-    #[test]
-    fn integer_ops_match_host(a in any::<u32>(), b in any::<u32>(), c in any::<u32>(), sh in 0u8..32) {
+#[test]
+fn integer_ops_match_host() {
+    let mut rng = XorShiftRng::new(0x1217_0002);
+    for case in 0..256 {
+        let a = rng.next_u32();
+        let b = rng.next_u32();
+        let c = rng.next_u32();
+        let sh = (rng.next_u32() % 32) as u8;
         let w = run_warp(
             vec![
                 Instruction::new(build::iadd3(Reg(3), Reg(0), Reg(1), Reg(2))),
                 Instruction::new(build::imad(Reg(4), Reg(0), Reg(1), Reg(2))),
-                Instruction::new(Op::ImadHi { d: Reg(5), a: Reg(0), b: SrcB::Reg(Reg(1)), c: Reg(2) }),
+                Instruction::new(Op::ImadHi {
+                    d: Reg(5),
+                    a: Reg(0),
+                    b: SrcB::Reg(Reg(1)),
+                    c: Reg(2),
+                }),
                 Instruction::new(build::shl(Reg(6), Reg(0), sh)),
                 Instruction::new(build::shr(Reg(7), Reg(0), sh)),
                 Instruction::new(build::and(Reg(8), Reg(0), Reg(1))),
@@ -76,24 +106,47 @@ proptest! {
                 }
             },
         );
-        prop_assert_eq!(w.regs[3][0], a.wrapping_add(b).wrapping_add(c));
-        prop_assert_eq!(w.regs[4][0], a.wrapping_mul(b).wrapping_add(c));
-        prop_assert_eq!(w.regs[5][0], (((a as u64 * b as u64) >> 32) as u32).wrapping_add(c));
-        prop_assert_eq!(w.regs[6][0], a << sh);
-        prop_assert_eq!(w.regs[7][0], a >> sh);
-        prop_assert_eq!(w.regs[8][0], a & b);
-        prop_assert_eq!(w.regs[9][0], a | b);
-        prop_assert_eq!(w.regs[10][0], a ^ b);
-        prop_assert_eq!(w.regs[11][0], b.wrapping_add(a << 3));
+        let ctx = |got: u32, want: u32, op: &str| {
+            assert_eq!(
+                got, want,
+                "case {case} ({a:#x}, {b:#x}, {c:#x}, sh={sh}): {op}"
+            );
+        };
+        ctx(w.regs[3][0], a.wrapping_add(b).wrapping_add(c), "IADD3");
+        ctx(w.regs[4][0], a.wrapping_mul(b).wrapping_add(c), "IMAD");
+        ctx(
+            w.regs[5][0],
+            (((a as u64 * b as u64) >> 32) as u32).wrapping_add(c),
+            "IMAD.HI",
+        );
+        ctx(w.regs[6][0], a << sh, "SHL");
+        ctx(w.regs[7][0], a >> sh, "SHR");
+        ctx(w.regs[8][0], a & b, "AND");
+        ctx(w.regs[9][0], a | b, "OR");
+        ctx(w.regs[10][0], a ^ b, "XOR");
+        ctx(w.regs[11][0], b.wrapping_add(a << 3), "LEA");
         let wide = a as u64 * b as u64;
-        prop_assert_eq!(w.regs[12][0], wide as u32);
-        prop_assert_eq!(w.regs[13][0], (wide >> 32) as u32);
+        ctx(w.regs[12][0], wide as u32, "IMAD.WIDE lo");
+        ctx(w.regs[13][0], (wide >> 32) as u32, "IMAD.WIDE hi");
     }
+}
 
-    #[test]
-    fn lop3_implements_its_lut(a in any::<u32>(), b in any::<u32>(), c in any::<u32>(), lut in any::<u8>()) {
+#[test]
+fn lop3_implements_its_lut() {
+    let mut rng = XorShiftRng::new(0x1093_0003);
+    for case in 0..256 {
+        let a = rng.next_u32();
+        let b = rng.next_u32();
+        let c = rng.next_u32();
+        let lut = (rng.next_u32() & 0xff) as u8;
         let w = run_warp(
-            vec![Instruction::new(Op::Lop3 { d: Reg(3), a: Reg(0), b: SrcB::Reg(Reg(1)), c: Reg(2), lut })],
+            vec![Instruction::new(Op::Lop3 {
+                d: Reg(3),
+                a: Reg(0),
+                b: SrcB::Reg(Reg(1)),
+                c: Reg(2),
+                lut,
+            })],
             |w| {
                 for lane in 0..32 {
                     w.regs[0][lane] = a;
@@ -109,19 +162,41 @@ proptest! {
                 want |= 1 << bit;
             }
         }
-        prop_assert_eq!(w.regs[3][0], want);
+        assert_eq!(
+            w.regs[3][0], want,
+            "case {case}: LOP3({a:#x}, {b:#x}, {c:#x}, lut={lut:#x})"
+        );
     }
+}
 
-    #[test]
-    fn p2r_r2p_round_trips_masks(bits in 0u32..128, mask in 0u32..128) {
+#[test]
+fn p2r_r2p_round_trips_masks() {
+    let mut rng = XorShiftRng::new(0x92F9_0004);
+    for case in 0..256 {
+        let bits = rng.next_u32() % 128;
+        let mask = rng.next_u32() % 128;
         let w = run_warp(
             vec![
                 // Set predicates from bits, pack, unpack into fresh preds,
                 // and repack: the two packed values must agree under mask.
-                Instruction::new(Op::R2p { a: Reg(0), mask: 0x7f }),
-                Instruction::new(Op::P2r { d: Reg(1), a: RZ, mask }),
-                Instruction::new(Op::R2p { a: Reg(1), mask: 0x7f }),
-                Instruction::new(Op::P2r { d: Reg(2), a: RZ, mask: 0x7f }),
+                Instruction::new(Op::R2p {
+                    a: Reg(0),
+                    mask: 0x7f,
+                }),
+                Instruction::new(Op::P2r {
+                    d: Reg(1),
+                    a: RZ,
+                    mask,
+                }),
+                Instruction::new(Op::R2p {
+                    a: Reg(1),
+                    mask: 0x7f,
+                }),
+                Instruction::new(Op::P2r {
+                    d: Reg(2),
+                    a: RZ,
+                    mask: 0x7f,
+                }),
             ],
             |w| {
                 for lane in 0..32 {
@@ -129,19 +204,24 @@ proptest! {
                 }
             },
         );
-        prop_assert_eq!(w.regs[1][0], bits & mask & 0x7f);
-        prop_assert_eq!(w.regs[2][0], bits & mask & 0x7f);
+        assert_eq!(
+            w.regs[1][0],
+            bits & mask & 0x7f,
+            "case {case}: bits={bits:#x} mask={mask:#x}"
+        );
+        assert_eq!(
+            w.regs[2][0],
+            bits & mask & 0x7f,
+            "case {case}: bits={bits:#x} mask={mask:#x}"
+        );
     }
 }
 
 /// Global memory round trips arbitrary data through a store/load kernel.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn gmem_round_trip(data in prop::collection::vec(any::<u32>(), 32)) {
-        let m = sass::assemble(
-            r#"
+#[test]
+fn gmem_round_trip() {
+    let m = sass::assemble(
+        r#"
 .kernel copy
 .params 16
     --:-:-:Y:1  S2R R0, SR_TID.X;
@@ -155,8 +235,11 @@ proptest! {
     01:-:-:Y:2  STG.E [R8], R10;
     --:-:-:Y:5  EXIT;
 "#,
-        )
-        .unwrap();
+    )
+    .unwrap();
+    let mut rng = XorShiftRng::new(0x6333_0005);
+    for case in 0..32 {
+        let data: Vec<u32> = (0..32).map(|_| rng.next_u32()).collect();
         let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 16);
         let src = gpu.alloc(128);
         let dst = gpu.alloc(128);
@@ -166,7 +249,11 @@ proptest! {
         let params = ParamBuilder::new().push_ptr(src).push_ptr(dst).build();
         gpu.launch(&m, LaunchDims::linear(1, 32), &params).unwrap();
         for (i, v) in data.iter().enumerate() {
-            prop_assert_eq!(gpu.mem.read_u32(dst + i as u64 * 4).unwrap(), *v);
+            assert_eq!(
+                gpu.mem.read_u32(dst + i as u64 * 4).unwrap(),
+                *v,
+                "case {case} word {i}"
+            );
         }
     }
 }

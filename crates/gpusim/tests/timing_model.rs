@@ -6,13 +6,15 @@ use gpusim::{DeviceSpec, Gpu, LaunchDims, ParamBuilder, TimingOptions};
 use sass::assemble;
 
 fn ffma_stream_kernel(yield_every: Option<u32>) -> sass::Module {
-    let mut body = String::from(".kernel ystream\nMOV R2, 0x3f800000;\nMOV R3, 0x3f800000;\nMOV R63, 0x100;\nLOOP:\n");
+    let mut body = String::from(
+        ".kernel ystream\nMOV R2, 0x3f800000;\nMOV R3, 0x3f800000;\nMOV R63, 0x100;\nLOOP:\n",
+    );
     let mut count = 0u32;
     for i in 0..64 {
         let d = 4 + (i % 32);
         count += 1;
         let y = match yield_every {
-            Some(p) if count % p == 0 => "-",
+            Some(p) if count.is_multiple_of(p) => "-",
             _ => "Y",
         };
         body.push_str(&format!("--:-:-:{y}:1  FFMA R{d}, R2, R3, R{d};\n"));
@@ -23,8 +25,14 @@ fn ffma_stream_kernel(yield_every: Option<u32>) -> sass::Module {
 
 fn time_module(m: &sass::Module, dev: DeviceSpec, blocks: u32) -> gpusim::KernelTiming {
     let mut gpu = Gpu::new(dev, 1 << 20);
-    gpusim::timing::time_kernel(&mut gpu, m, LaunchDims::linear(blocks, 256), &[], TimingOptions::default())
-        .unwrap()
+    gpusim::timing::time_kernel(
+        &mut gpu,
+        m,
+        LaunchDims::linear(blocks, 256),
+        &[],
+        TimingOptions::default(),
+    )
+    .unwrap()
 }
 
 #[test]
@@ -45,8 +53,16 @@ fn idle_attribution_sums_into_known_buckets() {
     let t = time_module(&ffma_stream_kernel(None), DeviceSpec::v100(), 80);
     let total: u64 = t.idle_breakdown.iter().sum();
     // A pure FFMA stream should lose almost nothing to memory or barriers.
-    assert!(t.idle_breakdown[0] == 0, "no barriers in this kernel: {:?}", t.idle_breakdown);
-    assert!(t.idle_breakdown[2] == 0, "no MIO in this kernel: {:?}", t.idle_breakdown);
+    assert!(
+        t.idle_breakdown[0] == 0,
+        "no barriers in this kernel: {:?}",
+        t.idle_breakdown
+    );
+    assert!(
+        t.idle_breakdown[2] == 0,
+        "no MIO in this kernel: {:?}",
+        t.idle_breakdown
+    );
     let _ = total;
 }
 
@@ -78,8 +94,14 @@ LOOP:
     let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 24);
     let buf = gpu.alloc(1 << 20);
     let params = ParamBuilder::new().push_ptr(buf).build();
-    let t = gpusim::timing::time_kernel(&mut gpu, &m, LaunchDims::linear(160, 256), &params, TimingOptions::default())
-        .unwrap();
+    let t = gpusim::timing::time_kernel(
+        &mut gpu,
+        &m,
+        LaunchDims::linear(160, 256),
+        &params,
+        TimingOptions::default(),
+    )
+    .unwrap();
     // 32 reads of 1 KiB/warp; DRAM traffic must be ~1 read's worth + the
     // store, not 32 reads' worth.
     let unique_bytes = 160u64 * 256 * 4 * 2; // loads + stores
@@ -121,7 +143,11 @@ fn multi_dim_grids_resolve_block_coords() {
     let params = ParamBuilder::new().push_ptr(buf).build();
     gpu.launch(&m, dims, &params).unwrap();
     for id in 0..24u32 {
-        assert_eq!(gpu.mem.read_u32(buf + id as u64 * 4).unwrap(), id, "block {id}");
+        assert_eq!(
+            gpu.mem.read_u32(buf + id as u64 * 4).unwrap(),
+            id,
+            "block {id}"
+        );
     }
 }
 
@@ -134,7 +160,10 @@ fn occupancy_override_caps_resident_blocks() {
         &m,
         LaunchDims::linear(160, 256),
         &[],
-        TimingOptions { blocks_per_sm: Some(1), ..Default::default() },
+        TimingOptions {
+            blocks_per_sm: Some(1),
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(t.blocks_per_sm, 1);

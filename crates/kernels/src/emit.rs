@@ -13,15 +13,27 @@ pub struct Emitter {
     labels: Vec<Option<u32>>,
     patches: Vec<(usize, usize)>, // (inst index, label id)
     markers: Vec<u32>,
+    /// Named regions as (name, start marker id, end marker id).
+    regions: Vec<(String, usize, Option<usize>)>,
 }
 
 /// A forward-referenceable branch label.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Label(usize);
 
+/// Handle of an open named region (see [`Emitter::region_begin`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionHandle(usize);
+
 impl Emitter {
     pub fn new() -> Self {
-        Emitter { insts: Vec::new(), labels: Vec::new(), patches: Vec::new(), markers: Vec::new() }
+        Emitter {
+            insts: Vec::new(),
+            labels: Vec::new(),
+            patches: Vec::new(),
+            markers: Vec::new(),
+            regions: Vec::new(),
+        }
     }
 
     /// Append an op with default control (stall 1, yield).
@@ -57,14 +69,16 @@ impl Emitter {
     /// Branch to a label (patched at build).
     pub fn bra(&mut self, l: Label) -> &mut Instruction {
         self.patches.push((self.insts.len(), l.0));
-        self.insts.push(Instruction::new(Op::Bra { target: u32::MAX }));
+        self.insts
+            .push(Instruction::new(Op::Bra { target: u32::MAX }));
         self.insts.last_mut().unwrap()
     }
 
     /// Guarded branch to a label.
     pub fn bra_if(&mut self, guard: PredGuard, l: Label) -> &mut Instruction {
         self.patches.push((self.insts.len(), l.0));
-        self.insts.push(Instruction::new(Op::Bra { target: u32::MAX }).with_guard(guard));
+        self.insts
+            .push(Instruction::new(Op::Bra { target: u32::MAX }).with_guard(guard));
         self.insts.last_mut().unwrap()
     }
 
@@ -79,6 +93,24 @@ impl Emitter {
     pub fn mark(&mut self) -> usize {
         self.markers.push(self.insts.len() as u32);
         self.markers.len() - 1
+    }
+
+    /// Open a named region (a kernel phase: setup, main loop, ...) at the
+    /// current position. Region boundaries are markers, so they survive the
+    /// build-time schedule repair; resolve them with
+    /// [`Emitter::build_with_regions`].
+    pub fn region_begin(&mut self, name: &str) -> RegionHandle {
+        let m = self.mark();
+        self.regions.push((name.to_string(), m, None));
+        RegionHandle(self.regions.len() - 1)
+    }
+
+    /// Close a region opened with [`Emitter::region_begin`] at the current
+    /// position.
+    pub fn region_end(&mut self, h: RegionHandle) {
+        assert!(self.regions[h.0].2.is_none(), "region closed twice");
+        let m = self.mark();
+        self.regions[h.0].2 = Some(m);
     }
 
     /// Load a 32-bit value into `d` (MOV imm).
@@ -114,7 +146,12 @@ impl Emitter {
         }
         // q = (a * ceil(2^32/d)) >> 32 — exact for a < 2^16, d < 2^16.
         let magic = ((1u64 << 32).div_ceil(divisor as u64)) as u32;
-        self.op(Op::ImadHi { d: tmp, a, b: SrcB::Imm(magic), c: RZ });
+        self.op(Op::ImadHi {
+            d: tmp,
+            a,
+            b: SrcB::Imm(magic),
+            c: RZ,
+        });
         self.op(build::mov(d, tmp));
         // m = a - q*d
         self.op(build::imad(tmp, tmp, SrcB::Imm(divisor.wrapping_neg()), a));
@@ -131,7 +168,12 @@ impl Emitter {
 
     /// Like [`Emitter::build`], also returning the repaired positions of
     /// every marker registered with [`Emitter::mark`].
-    pub fn build_with_markers(mut self, name: &str, smem_bytes: u32, param_bytes: u32) -> (Module, Vec<u32>) {
+    pub fn build_with_markers(
+        mut self,
+        name: &str,
+        smem_bytes: u32,
+        param_bytes: u32,
+    ) -> (Module, Vec<u32>) {
         for (idx, label) in self.patches.drain(..) {
             let target = self.labels[label].expect("unbound label");
             if let Op::Bra { target: t } = &mut self.insts[idx].op {
@@ -139,14 +181,56 @@ impl Emitter {
             }
         }
         sass::lint::fix_schedule_marked(&mut self.insts, &mut self.markers);
-        (Module::new(name, smem_bytes, param_bytes, self.insts), self.markers)
+        (
+            Module::new(name, smem_bytes, param_bytes, self.insts),
+            self.markers,
+        )
+    }
+
+    /// Like [`Emitter::build`], also resolving every region opened with
+    /// [`Emitter::region_begin`] to repaired instruction-index ranges.
+    pub fn build_with_regions(
+        self,
+        name: &str,
+        smem_bytes: u32,
+        param_bytes: u32,
+    ) -> (Module, Vec<gpusim::Region>) {
+        let region_meta: Vec<(String, usize, usize)> = self
+            .regions
+            .iter()
+            .map(|(n, s, e)| {
+                (
+                    n.clone(),
+                    *s,
+                    e.unwrap_or_else(|| panic!("region '{n}' never closed")),
+                )
+            })
+            .collect();
+        let (module, markers) = self.build_with_markers(name, smem_bytes, param_bytes);
+        let regions = region_meta
+            .into_iter()
+            .map(|(name, s, e)| gpusim::Region {
+                name,
+                start: markers[s],
+                end: markers[e],
+            })
+            .collect();
+        (module, regions)
     }
 
     /// Emit a decrementing counter loop guard:
     /// `ctr -= step; P = ctr > 0; @P BRA top`.
     pub fn loop_dec(&mut self, ctr: Reg, step: u32, p: Pred, top: Label) {
-        self.op(build::iadd3(ctr, ctr, (step as i32).wrapping_neg() as u32, RZ));
-        self.opc(build::isetp(p, CmpOp::Gt, ctr, 0u32), Ctrl::new().with_stall(4));
+        self.op(build::iadd3(
+            ctr,
+            ctr,
+            (step as i32).wrapping_neg() as u32,
+            RZ,
+        ));
+        self.opc(
+            build::isetp(p, CmpOp::Gt, ctr, 0u32),
+            Ctrl::new().with_stall(4),
+        );
         self.bra_if(PredGuard::on(p), top).ctrl.stall = 5;
     }
 }
@@ -195,7 +279,7 @@ impl YieldApplier {
     pub fn next_clears(&mut self) -> bool {
         self.count += 1;
         match self.strategy.period() {
-            Some(p) => self.count % p == 0,
+            Some(p) => self.count.is_multiple_of(p),
             None => false,
         }
     }
@@ -224,7 +308,8 @@ mod tests {
             let blocks = 1000u32;
             let out = gpu.alloc(blocks as u64 * 8);
             let params = gpusim::ParamBuilder::new().push_ptr(out).build();
-            gpu.launch(&m, LaunchDims::linear(blocks, 1), &params).unwrap();
+            gpu.launch(&m, LaunchDims::linear(blocks, 1), &params)
+                .unwrap();
             for a in (0..blocks).step_by(37) {
                 let q = gpu.mem.read_u32(out + a as u64 * 8).unwrap();
                 let r = gpu.mem.read_u32(out + a as u64 * 8 + 4).unwrap();

@@ -78,18 +78,49 @@ pub fn emit_filter_transform(c_dim: u32, k_dim: u32) -> Module {
         // t = f0 + f2 (into gf0 temporarily is wrong — gf0 = f0; use R7).
         e.opc(build::fadd(Reg(7), f(0, s), f(2, s)), ctrl);
         e.op(build::fmul(Reg(7), Reg(7), half)); // t = 0.5(f0+f2)
-        e.op(Op::Ffma { d: gf(1, s), a: f(1, s), b: half, c: Reg(7), neg_b: false, neg_c: false });
-        e.op(Op::Ffma { d: gf(2, s), a: f(1, s), b: neg_half, c: Reg(7), neg_b: false, neg_c: false });
+        e.op(Op::Ffma {
+            d: gf(1, s),
+            a: f(1, s),
+            b: half,
+            c: Reg(7),
+            neg_b: false,
+            neg_c: false,
+        });
+        e.op(Op::Ffma {
+            d: gf(2, s),
+            a: f(1, s),
+            b: neg_half,
+            c: Reg(7),
+            neg_b: false,
+            neg_c: false,
+        });
         e.op(build::mov(gf(0, s), f(0, s)));
         e.op(build::mov(gf(3, s), f(2, s)));
     }
 
     // Rows: out[r][.] from gf[r][.] — 4 float ops per row.
     for r in 0..4 {
-        e.opc(build::fadd(Reg(7), gf(r, 0), gf(r, 2)), Ctrl::new().with_stall(4));
+        e.opc(
+            build::fadd(Reg(7), gf(r, 0), gf(r, 2)),
+            Ctrl::new().with_stall(4),
+        );
         e.op(build::fmul(Reg(7), Reg(7), half));
-        e.op(Op::Ffma { d: out(r, 1), a: gf(r, 1), b: half, c: Reg(7), neg_b: false, neg_c: false });
-        e.op(Op::Ffma { d: out(r, 2), a: gf(r, 1), b: neg_half, c: Reg(7), neg_b: false, neg_c: false });
+        e.op(Op::Ffma {
+            d: out(r, 1),
+            a: gf(r, 1),
+            b: half,
+            c: Reg(7),
+            neg_b: false,
+            neg_c: false,
+        });
+        e.op(Op::Ffma {
+            d: out(r, 2),
+            a: gf(r, 1),
+            b: neg_half,
+            c: Reg(7),
+            neg_b: false,
+            neg_c: false,
+        });
         e.op(build::mov(out(r, 0), gf(r, 0)));
         e.op(build::mov(out(r, 3), gf(r, 2)));
     }
@@ -98,7 +129,11 @@ pub fn emit_filter_transform(c_dim: u32, k_dim: u32) -> Module {
     for el in 0..16 {
         let (r, s) = (el / 4, el % 4);
         let off = (el as u32 * k_dim * 4) as i32;
-        let ctrl = if el == 0 { Ctrl::new().with_stall(4) } else { Ctrl::new().with_stall(1) };
+        let ctrl = if el == 0 {
+            Ctrl::new().with_stall(4)
+        } else {
+            Ctrl::new().with_stall(1)
+        };
         e.opc(build::stg(MemWidth::B32, Reg(4), off, out(r, s)), ctrl);
     }
     e.opc(Op::Exit, Ctrl::new().with_stall(5));
@@ -120,7 +155,12 @@ mod tests {
 
     /// Host reference: G f Gᵀ for one 3×3 tile.
     fn host_gfgt(f: &[f32; 9]) -> [f32; 16] {
-        let g: [[f32; 3]; 4] = [[1.0, 0.0, 0.0], [0.5, 0.5, 0.5], [0.5, -0.5, 0.5], [0.0, 0.0, 1.0]];
+        let g: [[f32; 3]; 4] = [
+            [1.0, 0.0, 0.0],
+            [0.5, 0.5, 0.5],
+            [0.5, -0.5, 0.5],
+            [0.0, 0.0, 1.0],
+        ];
         let mut gf = [[0.0f32; 3]; 4];
         for i in 0..4 {
             for j in 0..3 {
@@ -154,8 +194,12 @@ mod tests {
         let fout = gpu.alloc(transformed_filter_len(c_dim, k_dim) as u64 * 4);
         let params = ParamBuilder::new().push_ptr(fin).push_ptr(fout).build();
         let blocks = c_dim * k_dim / 256;
-        gpu.launch(&m, LaunchDims::linear(blocks, 256), &params).unwrap();
-        let got = gpu.mem.download_f32(fout, transformed_filter_len(c_dim, k_dim)).unwrap();
+        gpu.launch(&m, LaunchDims::linear(blocks, 256), &params)
+            .unwrap();
+        let got = gpu
+            .mem
+            .download_f32(fout, transformed_filter_len(c_dim, k_dim))
+            .unwrap();
         for c in 0..c_dim as usize {
             for k in (0..k_dim as usize).step_by(17) {
                 let mut tile = [0.0f32; 9];

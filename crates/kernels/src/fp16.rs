@@ -12,8 +12,14 @@ use sass::half::{f16_to_f32, f32_to_f16, pack_half2};
 /// Pack an f32 slice into half2 words (`data.len()` must be even): element
 /// pairs `(2i, 2i+1)` share word `i`.
 pub fn pack_f16_pairs(data: &[f32]) -> Vec<u32> {
-    assert_eq!(data.len() % 2, 0, "fp16 packing requires an even element count");
-    data.chunks_exact(2).map(|p| pack_half2(p[0], p[1])).collect()
+    assert_eq!(
+        data.len() % 2,
+        0,
+        "fp16 packing requires an even element count"
+    );
+    data.chunks_exact(2)
+        .map(|p| pack_half2(p[0], p[1]))
+        .collect()
 }
 
 /// Unpack half2 words back to f32.

@@ -36,7 +36,13 @@ pub struct GemmConfig {
 
 impl GemmConfig {
     pub fn new(m: u32, n: u32, kd: u32) -> Self {
-        GemmConfig { m, n, kd, batches: 1, extra_index_ops: 0 }
+        GemmConfig {
+            m,
+            n,
+            kd,
+            batches: 1,
+            extra_index_ops: 0,
+        }
     }
 
     pub fn batched(mut self, b: u32) -> Self {
@@ -119,7 +125,10 @@ impl GemmKernel {
         e.op(build::s2r(rtid, sass::isa::SpecialReg::TidX));
         e.op(build::s2r(r_bx, sass::isa::SpecialReg::CtaidX));
         e.op(build::s2r(r_by, sass::isa::SpecialReg::CtaidY));
-        e.opc(build::s2r(r_bz, sass::isa::SpecialReg::CtaidZ), Ctrl::new().with_stall(6));
+        e.opc(
+            build::s2r(r_bz, sass::isa::SpecialReg::CtaidZ),
+            Ctrl::new().with_stall(6),
+        );
         e.op(build::and(r_lane, rtid, 31u32));
         e.op(build::shr(r_row, rtid, 5));
 
@@ -190,7 +199,10 @@ impl GemmKernel {
         e.opc(Op::BarSync, Ctrl::new().with_stall(1));
         // STS staged slivers.
         let mut a_sts = Instruction::new(build::sts(MemWidth::B64, Reg(R_ASTS), 0, Reg(PF_A)));
-        a_sts.ctrl = Ctrl::new().with_stall(2).with_read_bar(4).with_wait_mask(0b1100);
+        a_sts.ctrl = Ctrl::new()
+            .with_stall(2)
+            .with_read_bar(4)
+            .with_wait_mask(0b1100);
         e.opc(a_sts.op, a_sts.ctrl);
         let mut b_sts = Instruction::new(build::sts(MemWidth::B128, Reg(R_BSTS), 0, Reg(PF_B)));
         b_sts.ctrl = Ctrl::new().with_stall(2).with_read_bar(4);
@@ -208,7 +220,11 @@ impl GemmKernel {
         let mut pf = prefetch.drain(..);
         for i in 0..8u32 {
             let buf = i % 2;
-            let mut lds = if i < 7 { lds_insts(i + 1, buf ^ 1) } else { Vec::new() };
+            let mut lds = if i < 7 {
+                lds_insts(i + 1, buf ^ 1)
+            } else {
+                Vec::new()
+            };
             let mut lds = lds.drain(..);
             let mut count = 0u32;
             for a in 0..4u32 {
@@ -226,7 +242,7 @@ impl GemmKernel {
                     }
                     e.opc(inst.op, inst.ctrl);
                     count += 1;
-                    if count % 8 == 0 {
+                    if count.is_multiple_of(8) {
                         if let Some(l) = lds.next() {
                             e.opc(l.op, l.ctrl);
                         }
@@ -257,7 +273,10 @@ impl GemmKernel {
         e.op(build::s2r(rtid, sass::isa::SpecialReg::TidX));
         e.op(build::s2r(r_bx, sass::isa::SpecialReg::CtaidX));
         e.op(build::s2r(r_by, sass::isa::SpecialReg::CtaidY));
-        e.opc(build::s2r(r_bz, sass::isa::SpecialReg::CtaidZ), Ctrl::new().with_stall(6));
+        e.opc(
+            build::s2r(r_bz, sass::isa::SpecialReg::CtaidZ),
+            Ctrl::new().with_stall(6),
+        );
         e.op(build::shr(r_wp, rtid, 5));
         e.op(build::and(r_lane, rtid, 31u32));
         // a_off = (w&1)·32 + (l%8)·4 ; b_off = (w>>1)·32 + (l/8)·8.
@@ -272,7 +291,7 @@ impl GemmKernel {
         e.op(build::shr(rs, r_lane, 3));
         e.op(build::shl(rs, rs, 3));
         e.op(build::iadd3(rt, rt, SrcB::Reg(rs), RZ)); // b_off in rt
-        // elem = (bz·M + by·64 + a_off)·N + bx·128 + b_off.
+                                                       // elem = (bz·M + by·64 + a_off)·N + bx·128 + b_off.
         e.op(build::imad(rs, r_bz, m, RZ));
         e.op(build::imad(rs, r_by, 64u32, rs));
         e.op(build::iadd3(rs, rs, SrcB::Reg(r_aoff), RZ));
@@ -281,10 +300,16 @@ impl GemmKernel {
         e.op(build::imad(rt, r_bx, 128u32, RZ));
         e.op(build::iadd3(rs, rs, SrcB::Reg(rt), RZ));
         e.load_param_ptr(r_cptr, 16);
-        e.opc(build::imad_wide(r_cptr, rs, 4u32, r_cptr), Ctrl::new().with_stall(6));
+        e.opc(
+            build::imad_wide(r_cptr, rs, 4u32, r_cptr),
+            Ctrl::new().with_stall(6),
+        );
         for a in 0..4u32 {
             let off = (a * n * 4) as i32;
-            e.opc(build::stg(MemWidth::B128, r_cptr, off, racc(a, 0)), Ctrl::new().with_stall(2));
+            e.opc(
+                build::stg(MemWidth::B128, r_cptr, off, racc(a, 0)),
+                Ctrl::new().with_stall(2),
+            );
             e.opc(
                 build::stg(MemWidth::B128, r_cptr, off + 16, racc(a, 4)),
                 Ctrl::new().with_stall(2),
@@ -293,7 +318,11 @@ impl GemmKernel {
         e.opc(Op::Exit, Ctrl::new().with_stall(5));
 
         let (module, markers) = e.build_with_markers("sgemm_tn_64x128", SMEM_TOTAL, 24);
-        GemmKernel { module, config: cfg, region: (markers[region_start], markers[region_end]) }
+        GemmKernel {
+            module,
+            config: cfg,
+            region: (markers[region_start], markers[region_end]),
+        }
     }
 
     pub fn launch_dims(&self) -> gpusim::LaunchDims {
@@ -302,7 +331,11 @@ impl GemmKernel {
     }
 
     pub fn params(&self, a: u64, b: u64, c: u64) -> Vec<u8> {
-        gpusim::ParamBuilder::new().push_ptr(a).push_ptr(b).push_ptr(c).build()
+        gpusim::ParamBuilder::new()
+            .push_ptr(a)
+            .push_ptr(b)
+            .push_ptr(c)
+            .build()
     }
 }
 
@@ -312,14 +345,23 @@ impl GemmKernel {
 /// IADD3s per B load model IMPLICIT_GEMM's index recomputation.
 fn ldg_insts(cfg: &GemmConfig, guarded: bool) -> Vec<Instruction> {
     let mut v = Vec::new();
-    let guard = if guarded { PredGuard::on(P_MORE) } else { PredGuard::always() };
+    let guard = if guarded {
+        PredGuard::on(P_MORE)
+    } else {
+        PredGuard::always()
+    };
     let mut a0 = Instruction::new(build::ldg(MemWidth::B64, Reg(PF_A), Reg(R_APTR), 0))
         .with_guard(guard)
         .with_ctrl(Ctrl::new().with_write_bar(2).with_stall(1));
     a0.ctrl.wait_mask |= 1 << 4; // WAR vs STS of the previous block
     v.push(a0);
     for _ in 0..cfg.extra_index_ops {
-        v.push(Instruction::new(build::iadd3(Reg(R_T1), Reg(R_T1), 1u32, RZ)));
+        v.push(Instruction::new(build::iadd3(
+            Reg(R_T1),
+            Reg(R_T1),
+            1u32,
+            RZ,
+        )));
     }
     v.push(
         Instruction::new(build::ldg(MemWidth::B128, Reg(PF_B), Reg(R_BPTR), 0))
@@ -335,12 +377,27 @@ fn lds_insts(i: u32, buf: u32) -> Vec<Instruction> {
     let a_off = (i * 64 * 4) as i32;
     let b_off = (i * 128 * 4) as i32;
     vec![
-        Instruction::new(build::lds(MemWidth::B128, rfrag_a(buf, 0), Reg(R_ALDS), a_off))
-            .with_ctrl(Ctrl::new().with_write_bar(0).with_stall(1)),
-        Instruction::new(build::lds(MemWidth::B128, rfrag_b(buf, 0), Reg(R_BLDS), b_off))
-            .with_ctrl(Ctrl::new().with_write_bar(1).with_stall(1)),
-        Instruction::new(build::lds(MemWidth::B128, rfrag_b(buf, 4), Reg(R_BLDS), b_off + 16))
-            .with_ctrl(Ctrl::new().with_write_bar(1).with_stall(1)),
+        Instruction::new(build::lds(
+            MemWidth::B128,
+            rfrag_a(buf, 0),
+            Reg(R_ALDS),
+            a_off,
+        ))
+        .with_ctrl(Ctrl::new().with_write_bar(0).with_stall(1)),
+        Instruction::new(build::lds(
+            MemWidth::B128,
+            rfrag_b(buf, 0),
+            Reg(R_BLDS),
+            b_off,
+        ))
+        .with_ctrl(Ctrl::new().with_write_bar(1).with_stall(1)),
+        Instruction::new(build::lds(
+            MemWidth::B128,
+            rfrag_b(buf, 4),
+            Reg(R_BLDS),
+            b_off + 16,
+        ))
+        .with_ctrl(Ctrl::new().with_write_bar(1).with_stall(1)),
     ]
 }
 
@@ -365,12 +422,21 @@ mod tests {
     }
 
     fn run(cfg: GemmConfig, seed: u64) {
-        let (m, n, kd, bt) = (cfg.m as usize, cfg.n as usize, cfg.kd as usize, cfg.batches as usize);
+        let (m, n, kd, bt) = (
+            cfg.m as usize,
+            cfg.n as usize,
+            cfg.kd as usize,
+            cfg.batches as usize,
+        );
         let mut rng = XorShiftRng::new(seed);
         let at: Vec<f32> = (0..bt * kd * m).map(|_| rng.gen_range(-1.0, 1.0)).collect();
         let b: Vec<f32> = (0..bt * kd * n).map(|_| rng.gen_range(-1.0, 1.0)).collect();
         let kern = GemmKernel::emit(cfg);
-        assert!(kern.module.info.num_regs <= 80, "regs {}", kern.module.info.num_regs);
+        assert!(
+            kern.module.info.num_regs <= 80,
+            "regs {}",
+            kern.module.info.num_regs
+        );
         let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 28);
         let da = gpu.alloc_upload_f32(&at);
         let db = gpu.alloc_upload_f32(&b);
@@ -379,7 +445,13 @@ mod tests {
             .unwrap_or_else(|e| panic!("gemm failed: {e}"));
         let got = gpu.mem.download_f32(dc, bt * m * n).unwrap();
         for bi in 0..bt {
-            let want = host_gemm_tn(m, n, kd, &at[bi * kd * m..(bi + 1) * kd * m], &b[bi * kd * n..(bi + 1) * kd * n]);
+            let want = host_gemm_tn(
+                m,
+                n,
+                kd,
+                &at[bi * kd * m..(bi + 1) * kd * m],
+                &b[bi * kd * n..(bi + 1) * kd * n],
+            );
             let rep = tensor::compare(&want, &got[bi * m * n..(bi + 1) * m * n], 1e-3, 1e-3);
             assert_eq!(rep.num_bad, 0, "batch {bi}: {rep}");
         }

@@ -147,7 +147,10 @@ impl FusedConfig {
     /// The transformed filter must be supplied in duplicated-half2 format
     /// (see `crate::fp16`), and input/output buffers hold f16 in CHWN/KHWN.
     pub fn ours_fp16(c: u32, h: u32, w: u32, n: u32, k: u32) -> Self {
-        FusedConfig { fp16: true, ..FusedConfig::ours(c, h, w, n, k) }
+        FusedConfig {
+            fp16: true,
+            ..FusedConfig::ours(c, h, w, n, k)
+        }
     }
 
     /// Our kernel ported to NCHW input, per the §8.4 sketch: the spatial
@@ -155,7 +158,10 @@ impl FusedConfig {
     /// ("The offsets of global and shared memory accesses need to be
     /// recomputed, while all other optimizations can be adopted").
     pub fn ours_nchw(c: u32, h: u32, w: u32, n: u32, k: u32) -> Self {
-        FusedConfig { input_nchw: true, ..FusedConfig::ours(c, h, w, n, k) }
+        FusedConfig {
+            input_nchw: true,
+            ..FusedConfig::ours(c, h, w, n, k)
+        }
     }
 
     /// The cuDNN-7.6.1-like fused Winograd configuration the paper measures
@@ -184,7 +190,11 @@ impl FusedConfig {
     pub fn validate(&self) {
         assert!(self.bk == 64 || self.bk == 32, "bk must be 32 or 64");
         if self.fp16 {
-            assert_eq!(self.n % (2 * BN), 0, "fp16: N must be a multiple of 64 (bn = 64, §8.3)");
+            assert_eq!(
+                self.n % (2 * BN),
+                0,
+                "fp16: N must be a multiple of 64 (bn = 64, §8.3)"
+            );
             assert!(!self.input_nchw, "fp16 path supports CHWN input only");
         }
         assert_eq!(self.n % BN, 0, "N must be a multiple of 32");
@@ -244,12 +254,18 @@ pub fn lane_input_offset(lane: u32) -> u32 {
 }
 
 /// The emitted kernel plus its launch metadata.
+/// Signature shared by the FADD/HADD2-style two-source emit helpers.
+type BinEmit = fn(Reg, Reg, Reg) -> Op;
+
 pub struct FusedKernel {
     pub module: Module,
     pub config: FusedConfig,
     /// Instruction index range `[start, end)` of the main loop, for the
     /// timing model's region accounting.
     pub region: (u32, u32),
+    /// Named kernel phases (setup / prologue / main_loop / output_transform)
+    /// as repaired instruction-index ranges, for `simprof` reports.
+    pub regions: Vec<gpusim::Region>,
 }
 
 // ---- register layouts ----------------------------------------------------------
@@ -336,7 +352,7 @@ impl Lay {
                 ep: 88,
                 ep_o: 64,
                 ep_y: 80,
-                ep_out: 64, // reuses o() after the first OTF pass
+                ep_out: 64,   // reuses o() after the first OTF pass
                 ep_optr: 102, // pair 102:103 inside the ep area
             }
         }
@@ -382,6 +398,7 @@ impl FusedKernel {
         cfg.validate();
         let lay = Lay::for_cfg(&cfg);
         let mut e = Emitter::new();
+        let rg_setup = e.region_begin("setup");
         let bk = cfg.bk;
         // fp16 packs two batches per 32-bit word, so every N-indexed byte
         // computation matches the fp32 kernel at N/2 (§8.3).
@@ -406,7 +423,10 @@ impl FusedKernel {
         e.op(build::s2r(rtid, sass::isa::SpecialReg::TidX));
         e.op(build::s2r(r_wx, sass::isa::SpecialReg::CtaidX));
         e.op(build::s2r(r_hx, sass::isa::SpecialReg::CtaidY));
-        e.opc(build::s2r(r_zx, sass::isa::SpecialReg::CtaidZ), Ctrl::new().with_stall(6));
+        e.opc(
+            build::s2r(r_zx, sass::isa::SpecialReg::CtaidZ),
+            Ctrl::new().with_stall(6),
+        );
         e.div_rem_const(r_ng, r_kb, r_zx, cfg.kblocks(), rt);
         e.op(build::and(r_nu, rtid, 31u32));
         e.op(build::shr(r_cl, rtid, 5));
@@ -512,7 +532,14 @@ impl FusedKernel {
                         combine: PredSrc::of(Pred(s as u8)),
                     });
                 }
-                e.opc(Op::P2r { d: ru, a: RZ, mask: 0xf }, Ctrl::new().with_stall(2));
+                e.opc(
+                    Op::P2r {
+                        d: ru,
+                        a: RZ,
+                        mask: 0xf,
+                    },
+                    Ctrl::new().with_stall(2),
+                );
                 e.op(build::shl(ru, ru, (r * 4) as u8));
                 e.op(build::or(Reg(lay.mask), Reg(lay.mask), ru));
             }
@@ -537,6 +564,8 @@ impl FusedKernel {
         }
 
         // ---- prologue: stage iteration 0 -------------------------------
+        e.region_end(rg_setup);
+        let rg_prologue = e.region_begin("prologue");
         for i in filter_ldg_insts(&cfg, &lay) {
             push(&mut e, i);
         }
@@ -548,7 +577,8 @@ impl FusedKernel {
         }
 
         // ---- main loop ---------------------------------------------------
-        let region_start = e.mark();
+        e.region_end(rg_prologue);
+        let rg_main = e.region_begin("main_loop");
         let loop_top = e.label();
         e.bind(loop_top);
 
@@ -556,9 +586,18 @@ impl FusedKernel {
         e.opc(Op::BarSync, Ctrl::new().with_stall(1));
         emit_store_phase(&mut e, &cfg, &lay);
         // Advance base pointers (32-bit low word; device arenas fit).
-        let in_step = if cfg.input_nchw { BC * hh * ww * 4 } else { BC * hh * wn * 4 };
+        let in_step = if cfg.input_nchw {
+            BC * hh * ww * 4
+        } else {
+            BC * hh * wn * 4
+        };
         e.op(build::iadd3(Reg(lay.inptr), Reg(lay.inptr), in_step, RZ));
-        e.op(build::iadd3(Reg(lay.fptr), Reg(lay.fptr), BC * 16 * kk * 4, RZ));
+        e.op(build::iadd3(
+            Reg(lay.fptr),
+            Reg(lay.fptr),
+            BC * 16 * kk * 4,
+            RZ,
+        ));
         e.opc(Op::BarSync, Ctrl::new().with_stall(1));
 
         if lay.double_frag {
@@ -569,20 +608,32 @@ impl FusedKernel {
         emit_inner_loop(&mut e, &cfg, &lay);
 
         e.loop_dec(Reg(lay.ctr), 1, P_LOOP, loop_top);
-        let region_end = e.mark();
+        e.region_end(rg_main);
 
         // ---- epilogue ------------------------------------------------------
         if !cfg.main_loop_only {
+            let rg_ep = e.region_begin("output_transform");
             emit_epilogue(&mut e, &cfg, &lay);
+            e.region_end(rg_ep);
         }
         e.opc(Op::Exit, Ctrl::new().with_stall(5));
 
-        let (module, markers) = e.build_with_markers(
-            if bk == 64 { "winograd_fused_b64" } else { "winograd_fused_b32" },
+        let (module, regions) = e.build_with_regions(
+            if bk == 64 {
+                "winograd_fused_b64"
+            } else {
+                "winograd_fused_b32"
+            },
             cfg.smem_bytes(),
             24,
         );
-        FusedKernel { module, config: cfg, region: (markers[region_start], markers[region_end]) }
+        let main = regions.iter().find(|r| r.name == "main_loop").unwrap();
+        FusedKernel {
+            module,
+            config: cfg,
+            region: (main.start, main.end),
+            regions,
+        }
     }
 
     /// Launch dims, 256 threads per block.
@@ -594,7 +645,11 @@ impl FusedKernel {
         let c = &self.config;
         if c.input_nchw {
             gpusim::LaunchDims::new(
-                [c.wtiles().div_ceil(8), c.htiles().div_ceil(4), c.n * c.kblocks()],
+                [
+                    c.wtiles().div_ceil(8),
+                    c.htiles().div_ceil(4),
+                    c.n * c.kblocks(),
+                ],
                 [256, 1, 1],
             )
         } else {
@@ -678,7 +733,13 @@ fn input_ldg_insts(cfg: &FusedConfig, lay: &Lay, more_guard: Option<Pred>) -> Ve
                     p: PredSrc::of(p),
                 }));
             }
-            v.push(Instruction::new(Op::R2p { a: Reg(lay.t0), mask: 0xf }).with_ctrl(Ctrl::new().with_stall(2)));
+            v.push(
+                Instruction::new(Op::R2p {
+                    a: Reg(lay.t0),
+                    mask: 0xf,
+                })
+                .with_ctrl(Ctrl::new().with_stall(2)),
+            );
         } else {
             // Recompute the row's predicates — the per-iteration cost that
             // P2R packing eliminates (§3.5). 2h-1 lives in `mask`, 2w-1 in
@@ -689,10 +750,20 @@ fn input_ldg_insts(cfg: &FusedConfig, lay: &Lay, more_guard: Option<Pred>) -> Ve
             }
             v.push(y);
             for s in 0..4u32 {
-                v.push(Instruction::new(build::isetp_u32(Pred(s as u8), CmpOp::Lt, Reg(lay.t0), cfg.h)));
+                v.push(Instruction::new(build::isetp_u32(
+                    Pred(s as u8),
+                    CmpOp::Lt,
+                    Reg(lay.t0),
+                    cfg.h,
+                )));
             }
             for s in 0..4u32 {
-                v.push(Instruction::new(build::iadd3(Reg(lay.t1), Reg(lay.t2), s, RZ)));
+                v.push(Instruction::new(build::iadd3(
+                    Reg(lay.t1),
+                    Reg(lay.t2),
+                    s,
+                    RZ,
+                )));
                 v.push(Instruction::new(Op::Isetp {
                     p: Pred(s as u8),
                     cmp: CmpOp::Lt,
@@ -729,9 +800,14 @@ fn input_ldg_insts(cfg: &FusedConfig, lay: &Lay, more_guard: Option<Pred>) -> Ve
             let off = ((r * cfg.w + s) * stride * 4) as i32;
             let el = (r * 4 + s) as u8;
             v.push(
-                Instruction::new(build::ldg(MemWidth::B32, Reg(lay.pf_input + el), Reg(lay.inptr), off))
-                    .with_guard(PredGuard::on(Pred(s as u8)))
-                    .with_ctrl(Ctrl::new().with_write_bar(3).with_stall(1)),
+                Instruction::new(build::ldg(
+                    MemWidth::B32,
+                    Reg(lay.pf_input + el),
+                    Reg(lay.inptr),
+                    off,
+                ))
+                .with_guard(PredGuard::on(Pred(s as u8)))
+                .with_ctrl(Ctrl::new().with_write_bar(3).with_stall(1)),
             );
         }
     }
@@ -751,10 +827,16 @@ fn emit_store_phase(e: &mut Emitter, cfg: &FusedConfig, lay: &Lay) {
     let x = |r: u32, s: u32| Reg(lay.pf_input + (r * 4 + s) as u8);
     let t = Reg(lay.t1);
     let mut fillers: Vec<Instruction> = Vec::new();
-    let (add, sub): (fn(Reg, Reg, Reg) -> Op, fn(Reg, Reg, Reg) -> Op) = if cfg.fp16 {
-        (|d, a, b| build::hadd2(d, a, b), |d, a, b| build::hsub2(d, a, b))
+    let (add, sub): (BinEmit, BinEmit) = if cfg.fp16 {
+        (
+            |d, a, b| build::hadd2(d, a, b),
+            |d, a, b| build::hsub2(d, a, b),
+        )
     } else {
-        (|d, a, b| build::fadd(d, a, b), |d, a, b| build::fsub(d, a, b))
+        (
+            |d, a, b| build::fadd(d, a, b),
+            |d, a, b| build::fsub(d, a, b),
+        )
     };
     let pass = |fillers: &mut Vec<Instruction>, a: [Reg; 4]| {
         // a0 -= a2; t = a1 + a2; a2 = a2 - a1; a3 = a1 - a3; a1 = t.
@@ -772,8 +854,12 @@ fn emit_store_phase(e: &mut Emitter, cfg: &FusedConfig, lay: &Lay) {
             .map(|sx| {
                 let el = r * 4 + sx;
                 let off = (el * BC * BN * 4) as i32;
-                let mut inst =
-                    Instruction::new(build::sts(MemWidth::B32, Reg(lay.ists), off, Reg(lay.pf_input + el as u8)));
+                let mut inst = Instruction::new(build::sts(
+                    MemWidth::B32,
+                    Reg(lay.ists),
+                    off,
+                    Reg(lay.pf_input + el as u8),
+                ));
                 inst.ctrl = Ctrl::new().with_stall(1).with_read_bar(5);
                 if sx == 0 {
                     inst.ctrl.stall = first_stall;
@@ -848,18 +934,32 @@ fn lds_frag_insts(cfg: &FusedConfig, lay: &Lay, i: u32, buf: u32) -> Vec<Instruc
     let mut v = Vec::new();
     for delta in 0..2u32 {
         let base = ((delta * BC + i) * bk * 4) as i32;
-        let chunks: &[(u32, i32)] = if bk == 64 { &[(0, 0), (4, 128)] } else { &[(0, 0)] };
+        let chunks: &[(u32, i32)] = if bk == 64 {
+            &[(0, 0), (4, 128)]
+        } else {
+            &[(0, 0)]
+        };
         for &(f0, coff) in chunks {
             v.push(
-                Instruction::new(build::lds(MemWidth::B128, lay.frag_filter(buf, delta, f0), Reg(lay.flds), base + coff))
-                    .with_ctrl(Ctrl::new().with_write_bar(0).with_stall(1)),
+                Instruction::new(build::lds(
+                    MemWidth::B128,
+                    lay.frag_filter(buf, delta, f0),
+                    Reg(lay.flds),
+                    base + coff,
+                ))
+                .with_ctrl(Ctrl::new().with_write_bar(0).with_stall(1)),
             );
         }
         let ibase = ((delta * BC + i) * BN * 4) as i32;
         for &(n0, coff) in &[(0u32, 0i32), (4, 64)] {
             v.push(
-                Instruction::new(build::lds(MemWidth::B128, lay.frag_input(buf, delta, n0), Reg(lay.ilds), ibase + coff))
-                    .with_ctrl(Ctrl::new().with_write_bar(1).with_stall(1)),
+                Instruction::new(build::lds(
+                    MemWidth::B128,
+                    lay.frag_input(buf, delta, n0),
+                    Reg(lay.ilds),
+                    ibase + coff,
+                ))
+                .with_ctrl(Ctrl::new().with_write_bar(1).with_stall(1)),
             );
         }
     }
@@ -887,7 +987,7 @@ fn emit_inner_loop(e: &mut Emitter, cfg: &FusedConfig, lay: &Lay) {
 
     let mut prefetch: Vec<Instruction> = filter_pf;
     if !lay.shared_input_staging {
-        prefetch.extend(input_pf.drain(..));
+        prefetch.append(&mut input_pf);
     }
     let mut prefetch = prefetch.into_iter();
 
@@ -918,7 +1018,11 @@ fn emit_inner_loop(e: &mut Emitter, cfg: &FusedConfig, lay: &Lay) {
                     [0, 1, 2, 3, 4, 5, 6, 7]
                 };
                 for (j, &n) in order.iter().enumerate() {
-                    let mk = if cfg.fp16 { build::hfma2 } else { |d, a, b: Reg, c| build::ffma(d, a, b, c) };
+                    let mk = if cfg.fp16 {
+                        build::hfma2
+                    } else {
+                        |d, a, b: Reg, c| build::ffma(d, a, b, c)
+                    };
                     let mut inst = Instruction::new(mk(
                         lay.acc(delta, f, n),
                         lay.frag_input(buf, delta, n),
@@ -937,12 +1041,12 @@ fn emit_inner_loop(e: &mut Emitter, cfg: &FusedConfig, lay: &Lay) {
                     push(e, inst);
                     ffma_count += 1;
 
-                    if ffma_count % 4 == 0 {
+                    if ffma_count.is_multiple_of(4) {
                         if let Some(l) = lds.next() {
                             push(e, l);
                         }
                     }
-                    if ffma_count % ldg_dist == 0 {
+                    if ffma_count.is_multiple_of(ldg_dist) {
                         if let Some(pf) = prefetch.next() {
                             push(e, pf);
                         }
@@ -991,7 +1095,10 @@ fn emit_epilogue(e: &mut Emitter, cfg: &FusedConfig, lay: &Lay) {
     e.op(build::s2r(rtid, sass::isa::SpecialReg::TidX));
     e.op(build::s2r(r_wx, sass::isa::SpecialReg::CtaidX));
     e.op(build::s2r(r_hx, sass::isa::SpecialReg::CtaidY));
-    e.opc(build::s2r(r_zx, sass::isa::SpecialReg::CtaidZ), Ctrl::new().with_stall(6));
+    e.opc(
+        build::s2r(r_zx, sass::isa::SpecialReg::CtaidZ),
+        Ctrl::new().with_stall(6),
+    );
     e.op(build::and(r_nu, rtid, 31u32));
     e.op(build::shr(r_wp, rtid, 5));
     e.op(build::and(rt, r_nu, 14u32));
@@ -1136,10 +1243,16 @@ fn emit_epilogue(e: &mut Emitter, cfg: &FusedConfig, lay: &Lay) {
             }
             // OTF: Aᵀ O A — 24 FADDs (§2.1).
             let y = |j: u32, s: u32| Reg(lay.ep_y + (j * 4 + s) as u8);
-            let (add, sub): (fn(Reg, Reg, Reg) -> Op, fn(Reg, Reg, Reg) -> Op) = if cfg.fp16 {
-                (|d, a, b| build::hadd2(d, a, b), |d, a, b| build::hsub2(d, a, b))
+            let (add, sub): (BinEmit, BinEmit) = if cfg.fp16 {
+                (
+                    |d, a, b| build::hadd2(d, a, b),
+                    |d, a, b| build::hsub2(d, a, b),
+                )
             } else {
-                (|d, a, b| build::fadd(d, a, b), |d, a, b| build::fsub(d, a, b))
+                (
+                    |d, a, b| build::fadd(d, a, b),
+                    |d, a, b| build::fsub(d, a, b),
+                )
             };
             for s in 0..4u32 {
                 let c0 = if s == 0 {
@@ -1154,10 +1267,22 @@ fn emit_epilogue(e: &mut Emitter, cfg: &FusedConfig, lay: &Lay) {
             }
             let out = |dy: u32, dx: u32| Reg(lay.ep_out + (dy * 2 + dx) as u8);
             for dy in 0..2u32 {
-                e.opc(add(out(dy, 0), y(dy, 0), y(dy, 1)), Ctrl::new().with_stall(2));
-                e.opc(add(out(dy, 0), out(dy, 0), y(dy, 2)), Ctrl::new().with_stall(4));
-                e.opc(sub(out(dy, 1), y(dy, 1), y(dy, 2)), Ctrl::new().with_stall(2));
-                e.opc(sub(out(dy, 1), out(dy, 1), y(dy, 3)), Ctrl::new().with_stall(4));
+                e.opc(
+                    add(out(dy, 0), y(dy, 0), y(dy, 1)),
+                    Ctrl::new().with_stall(2),
+                );
+                e.opc(
+                    add(out(dy, 0), out(dy, 0), y(dy, 2)),
+                    Ctrl::new().with_stall(4),
+                );
+                e.opc(
+                    sub(out(dy, 1), y(dy, 1), y(dy, 2)),
+                    Ctrl::new().with_stall(2),
+                );
+                e.opc(
+                    sub(out(dy, 1), out(dy, 1), y(dy, 3)),
+                    Ctrl::new().with_stall(4),
+                );
             }
             // k_global = kblk·bk + g·kr + kr0.
             // CHWN output (KHWN): elem = ((k·H + 2h)·W + 2w)·N + ng·32 + ν.
@@ -1185,18 +1310,30 @@ fn emit_epilogue(e: &mut Emitter, cfg: &FusedConfig, lay: &Lay) {
             };
             let r_optr = Reg(lay.ep_optr);
             e.load_param_ptr(r_optr, 16);
-            e.opc(build::imad_wide(r_optr, rt, 4u32, r_optr), Ctrl::new().with_stall(6));
+            e.opc(
+                build::imad_wide(r_optr, rt, 4u32, r_optr),
+                Ctrl::new().with_stall(6),
+            );
             // Read barrier 4 protects the out registers until the stores
             // have consumed them (the next tile's OTF reuses them).
             let stg_ctrl = Ctrl::new().with_stall(1).with_read_bar(4);
             let i0 = e.opc(build::stg(MemWidth::B32, r_optr, 0, out(0, 0)), stg_ctrl);
             i0.guard = PredGuard::on(Pred(5));
-            e.opc(build::stg(MemWidth::B32, r_optr, dx_off, out(0, 1)), stg_ctrl).guard =
-                PredGuard::on(Pred(3));
-            e.opc(build::stg(MemWidth::B32, r_optr, dy_off, out(1, 0)), stg_ctrl).guard =
-                PredGuard::on(Pred(4));
-            e.opc(build::stg(MemWidth::B32, r_optr, dy_off + dx_off, out(1, 1)), stg_ctrl).guard =
-                PredGuard::on(Pred(2));
+            e.opc(
+                build::stg(MemWidth::B32, r_optr, dx_off, out(0, 1)),
+                stg_ctrl,
+            )
+            .guard = PredGuard::on(Pred(3));
+            e.opc(
+                build::stg(MemWidth::B32, r_optr, dy_off, out(1, 0)),
+                stg_ctrl,
+            )
+            .guard = PredGuard::on(Pred(4));
+            e.opc(
+                build::stg(MemWidth::B32, r_optr, dy_off + dx_off, out(1, 1)),
+                stg_ctrl,
+            )
+            .guard = PredGuard::on(Pred(2));
         }
     }
 }
@@ -1225,17 +1362,50 @@ mod tests {
         let kern = FusedKernel::emit(cfg);
         // Ours: must fit in 253 registers (§3.5/Table 5) and be large
         // enough to be register-bound to 1 block/SM.
-        assert!(kern.module.info.num_regs <= 253, "ours: {}", kern.module.info.num_regs);
-        assert!(kern.module.info.num_regs >= 250, "ours suspiciously small: {}", kern.module.info.num_regs);
+        assert!(
+            kern.module.info.num_regs <= 253,
+            "ours: {}",
+            kern.module.info.num_regs
+        );
+        assert!(
+            kern.module.info.num_regs >= 250,
+            "ours suspiciously small: {}",
+            kern.module.info.num_regs
+        );
         // cuDNN-like: ≤128 registers so V100 fits two blocks per SM (§7.1).
         let cu = FusedKernel::emit(FusedConfig::cudnn_like(64, 56, 56, 32, 32));
-        assert!(cu.module.info.num_regs <= 128, "cudnn-like: {}", cu.module.info.num_regs);
+        assert!(
+            cu.module.info.num_regs <= 128,
+            "cudnn-like: {}",
+            cu.module.info.num_regs
+        );
         assert_eq!(cu.module.info.smem_bytes, 48 * 1024);
         let v100 = gpusim::DeviceSpec::v100();
         let t2070 = gpusim::DeviceSpec::rtx2070();
-        assert_eq!(v100.blocks_per_sm(256, cu.module.info.num_regs as u32, cu.module.info.smem_bytes), 2);
-        assert_eq!(t2070.blocks_per_sm(256, cu.module.info.num_regs as u32, cu.module.info.smem_bytes), 1);
-        assert_eq!(v100.blocks_per_sm(256, kern.module.info.num_regs as u32, kern.module.info.smem_bytes), 1);
+        assert_eq!(
+            v100.blocks_per_sm(
+                256,
+                cu.module.info.num_regs as u32,
+                cu.module.info.smem_bytes
+            ),
+            2
+        );
+        assert_eq!(
+            t2070.blocks_per_sm(
+                256,
+                cu.module.info.num_regs as u32,
+                cu.module.info.smem_bytes
+            ),
+            1
+        );
+        assert_eq!(
+            v100.blocks_per_sm(
+                256,
+                kern.module.info.num_regs as u32,
+                kern.module.info.smem_bytes
+            ),
+            1
+        );
     }
 
     #[test]
@@ -1254,5 +1424,35 @@ mod tests {
     #[should_panic(expected = "multiple of 32")]
     fn rejects_bad_n() {
         FusedConfig::ours(64, 56, 56, 30, 64).validate();
+    }
+
+    /// Region markers survive schedule repair: the phases tile the module
+    /// contiguously from instruction 0 and `region` matches `main_loop`.
+    #[test]
+    fn regions_tile_the_kernel() {
+        let kern = FusedKernel::emit(FusedConfig::ours(64, 56, 56, 32, 64));
+        let names: Vec<&str> = kern.regions.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["setup", "prologue", "main_loop", "output_transform"]
+        );
+        assert_eq!(kern.regions[0].start, 0);
+        for w in kern.regions.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "phases must be contiguous");
+        }
+        let last = kern.regions.last().unwrap();
+        // Only the final EXIT may sit outside the named phases.
+        assert!(kern.module.insts.len() as u32 - last.end <= 1);
+        let main = kern.regions.iter().find(|r| r.name == "main_loop").unwrap();
+        assert_eq!((main.start, main.end), kern.region);
+        assert!(
+            main.end > main.start + 1000,
+            "main loop holds the FFMA bulk"
+        );
+        // main_loop_only drops the output transform.
+        let mut cfg = FusedConfig::ours(64, 56, 56, 32, 64);
+        cfg.main_loop_only = true;
+        let short = FusedKernel::emit(cfg);
+        assert!(short.regions.iter().all(|r| r.name != "output_transform"));
     }
 }

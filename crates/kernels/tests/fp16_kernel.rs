@@ -9,6 +9,7 @@ use tensor::XorShiftRng;
 
 /// Direct convolution on data pre-rounded to f16 (the inputs the kernel
 /// actually sees), accumulated in f32.
+#[allow(clippy::too_many_arguments)]
 fn reference_f16(
     c: usize,
     h: usize,
@@ -52,7 +53,12 @@ fn reference_f16(
 
 /// Host filter transform G f Gᵀ (f32), producing the (C,4,4,K) layout.
 fn host_tf(c: usize, k: usize, filter: &[f32]) -> Vec<f32> {
-    let g: [[f32; 3]; 4] = [[1.0, 0.0, 0.0], [0.5, 0.5, 0.5], [0.5, -0.5, 0.5], [0.0, 0.0, 1.0]];
+    let g: [[f32; 3]; 4] = [
+        [1.0, 0.0, 0.0],
+        [0.5, 0.5, 0.5],
+        [0.5, -0.5, 0.5],
+        [0.0, 0.0, 1.0],
+    ];
     let mut tf = vec![0.0f32; c * 16 * k];
     for cc in 0..c {
         for kk in 0..k {
@@ -85,11 +91,16 @@ fn fp16_kernel_matches_reference() {
     let mut rng = XorShiftRng::new(21);
     // Generate data, then round through f16 so the reference sees exactly
     // what the kernel sees.
-    let raw_in: Vec<f32> = (0..c * h * w * n).map(|_| rng.gen_range(-1.0, 1.0)).collect();
+    let raw_in: Vec<f32> = (0..c * h * w * n)
+        .map(|_| rng.gen_range(-1.0, 1.0))
+        .collect();
     let input = unpack_f16_pairs(&pack_f16_pairs(&raw_in));
     let filter: Vec<f32> = (0..c * 9 * k).map(|_| rng.gen_range(-1.0, 1.0)).collect();
     let tf = host_tf(c, k, &filter);
-    let tf_rounded: Vec<f32> = tf.iter().map(|&v| sass::half::f16_to_f32(sass::half::f32_to_f16(v))).collect();
+    let tf_rounded: Vec<f32> = tf
+        .iter()
+        .map(|&v| sass::half::f16_to_f32(sass::half::f32_to_f16(v)))
+        .collect();
     let want = reference_f16(c, h, w, n, k, &input, &tf_rounded, &filter);
 
     let kern = FusedKernel::emit(cfg);
@@ -97,12 +108,23 @@ fn fp16_kernel_matches_reference() {
     let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 26);
     // Upload as raw u32 words via the f32 channel (bit reinterpretation).
     let in_words = pack_f16_pairs(&input);
-    let d_in = gpu.alloc_upload_f32(&in_words.iter().map(|&w| f32::from_bits(w)).collect::<Vec<_>>());
+    let d_in = gpu.alloc_upload_f32(
+        &in_words
+            .iter()
+            .map(|&w| f32::from_bits(w))
+            .collect::<Vec<_>>(),
+    );
     let tf_words = pack_f16_duplicated(&tf);
-    let d_tf = gpu.alloc_upload_f32(&tf_words.iter().map(|&w| f32::from_bits(w)).collect::<Vec<_>>());
+    let d_tf = gpu.alloc_upload_f32(
+        &tf_words
+            .iter()
+            .map(|&w| f32::from_bits(w))
+            .collect::<Vec<_>>(),
+    );
     let d_out = gpu.alloc((k * h * w * n / 2) as u64 * 4);
     let params = kern.params(d_in, d_tf, d_out);
-    gpu.launch_parallel(&kern.module, kern.launch_dims(), &params).expect("fp16 kernel");
+    gpu.launch_parallel(&kern.module, kern.launch_dims(), &params)
+        .expect("fp16 kernel");
 
     let out_words: Vec<u32> = gpu
         .mem
@@ -148,7 +170,10 @@ fn fp16_doubles_mainloop_throughput() {
             &kern.module,
             kern.launch_dims(),
             &params,
-            TimingOptions { region: Some(kern.region), ..Default::default() },
+            TimingOptions {
+                region: Some(kern.region),
+                ..Default::default()
+            },
         )
         .unwrap();
         t.region_tflops(&dev, cfg.mainloop_flops_per_block())
@@ -166,5 +191,10 @@ fn fp16_doubles_mainloop_throughput() {
 fn fp16_kernel_lints_clean() {
     let kern = FusedKernel::emit(FusedConfig::ours_fp16(64, 28, 28, 64, 64));
     let d = sass::lint(&kern.module.insts);
-    assert!(d.is_empty(), "{} hazards, first {:?}", d.len(), d.first().map(|x| x.to_string()));
+    assert!(
+        d.is_empty(),
+        "{} hazards, first {:?}",
+        d.len(),
+        d.first().map(|x| x.to_string())
+    );
 }

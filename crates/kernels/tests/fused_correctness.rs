@@ -38,7 +38,8 @@ fn reference(p: &Problem, input: &[f32], filter: &[f32]) -> Vec<f32> {
                                 if ix < 0 || ix >= w_d as isize {
                                     continue;
                                 }
-                                let iv = input[((c * h_d + iy as usize) * w_d + ix as usize) * n_d + n];
+                                let iv =
+                                    input[((c * h_d + iy as usize) * w_d + ix as usize) * n_d + n];
                                 let fv = filter[((c * 3 + r) * 3 + s) * k_d + k];
                                 acc += iv * fv;
                             }
@@ -61,8 +62,12 @@ fn run_case(cfg: FusedConfig, seed: u64) {
         k: cfg.k as usize,
     };
     let mut rng = XorShiftRng::new(seed);
-    let input: Vec<f32> = (0..p.c * p.h * p.w * p.n).map(|_| rng.gen_range(-1.0, 1.0)).collect();
-    let filter: Vec<f32> = (0..p.c * 9 * p.k).map(|_| rng.gen_range(-1.0, 1.0)).collect();
+    let input: Vec<f32> = (0..p.c * p.h * p.w * p.n)
+        .map(|_| rng.gen_range(-1.0, 1.0))
+        .collect();
+    let filter: Vec<f32> = (0..p.c * 9 * p.k)
+        .map(|_| rng.gen_range(-1.0, 1.0))
+        .collect();
     let want = reference(&p, &input, &filter);
 
     // The kernel reads CHWN (ours) or NCHW (cuDNN-like, §7).
@@ -92,8 +97,12 @@ fn run_case(cfg: FusedConfig, seed: u64) {
     // Phase 1: filter transform.
     let fx = emit_filter_transform(cfg.c, cfg.k);
     let fx_params = ParamBuilder::new().push_ptr(d_filt).push_ptr(d_tf).build();
-    gpu.launch_parallel(&fx, LaunchDims::linear(cfg.c * cfg.k / 256, 256), &fx_params)
-        .expect("filter transform");
+    gpu.launch_parallel(
+        &fx,
+        LaunchDims::linear(cfg.c * cfg.k / 256, 256),
+        &fx_params,
+    )
+    .expect("filter transform");
 
     // Phase 2: fused Winograd.
     let kern = FusedKernel::emit(cfg);

@@ -11,7 +11,15 @@ use kernels::gemm::{GemmConfig, GemmKernel};
 use kernels::{FusedConfig, FusedKernel};
 use tensor::XorShiftRng;
 
-fn reference(c: usize, h: usize, w: usize, n: usize, k: usize, input: &[f32], filter: &[f32]) -> Vec<f32> {
+fn reference(
+    c: usize,
+    h: usize,
+    w: usize,
+    n: usize,
+    k: usize,
+    input: &[f32],
+    filter: &[f32],
+) -> Vec<f32> {
     let mut out = vec![0.0f32; k * h * w * n];
     for kk in 0..k {
         for y in 0..h {
@@ -49,9 +57,17 @@ fn reference(c: usize, h: usize, w: usize, n: usize, k: usize, input: &[f32], fi
 /// filter (the FX kernel's own strict validation is a separate test below).
 fn strict_case(cfg: FusedConfig, seed: u64) {
     assert!(!cfg.input_nchw, "this harness feeds CHWN data");
-    let (c, h, w, n, k) = (cfg.c as usize, cfg.h as usize, cfg.w as usize, cfg.n as usize, cfg.k as usize);
+    let (c, h, w, n, k) = (
+        cfg.c as usize,
+        cfg.h as usize,
+        cfg.w as usize,
+        cfg.n as usize,
+        cfg.k as usize,
+    );
     let mut rng = XorShiftRng::new(seed);
-    let input: Vec<f32> = (0..c * h * w * n).map(|_| rng.gen_range(-1.0, 1.0)).collect();
+    let input: Vec<f32> = (0..c * h * w * n)
+        .map(|_| rng.gen_range(-1.0, 1.0))
+        .collect();
     let filter: Vec<f32> = (0..c * 9 * k).map(|_| rng.gen_range(-1.0, 1.0)).collect();
     let want = reference(c, h, w, n, k, &input, &filter);
 
@@ -62,9 +78,16 @@ fn strict_case(cfg: FusedConfig, seed: u64) {
     let d_out = gpu.alloc((k * h * w * n) as u64 * 4);
 
     let fx = emit_filter_transform(cfg.c, cfg.k);
-    let fx_params = gpusim::ParamBuilder::new().push_ptr(d_filt).push_ptr(d_tf).build();
-    gpu.launch(&fx, gpusim::LaunchDims::linear(cfg.c * cfg.k / 256, 256), &fx_params)
-        .expect("filter transform");
+    let fx_params = gpusim::ParamBuilder::new()
+        .push_ptr(d_filt)
+        .push_ptr(d_tf)
+        .build();
+    gpu.launch(
+        &fx,
+        gpusim::LaunchDims::linear(cfg.c * cfg.k / 256, 256),
+        &fx_params,
+    )
+    .expect("filter transform");
 
     let kern = FusedKernel::emit(cfg);
     let params = kern.params(d_in, d_tf, d_out);
@@ -73,7 +96,10 @@ fn strict_case(cfg: FusedConfig, seed: u64) {
         &kern.module,
         kern.launch_dims(),
         &params,
-        TimingOptions { strict_writeback: true, ..Default::default() },
+        TimingOptions {
+            strict_writeback: true,
+            ..Default::default()
+        },
     )
     .expect("strict fused kernel");
 
@@ -161,7 +187,10 @@ fn filter_transform_schedule_is_hazard_free() {
         let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 24);
         let d_in = gpu.alloc_upload_f32(&filt);
         let d_tf = gpu.alloc((c * 16 * k) as u64 * 4);
-        let params = gpusim::ParamBuilder::new().push_ptr(d_in).push_ptr(d_tf).build();
+        let params = gpusim::ParamBuilder::new()
+            .push_ptr(d_in)
+            .push_ptr(d_tf)
+            .build();
         let dims = gpusim::LaunchDims::linear(c * k / 256, 256);
         if strict {
             gpusim::timing::time_kernel(
@@ -169,7 +198,10 @@ fn filter_transform_schedule_is_hazard_free() {
                 &fx,
                 dims,
                 &params,
-                TimingOptions { strict_writeback: true, ..Default::default() },
+                TimingOptions {
+                    strict_writeback: true,
+                    ..Default::default()
+                },
             )
             .unwrap();
         } else {
@@ -197,7 +229,10 @@ fn gemm_schedule_is_hazard_free_dynamically() {
         &kern.module,
         kern.launch_dims(),
         &kern.params(da, db, dc),
-        TimingOptions { strict_writeback: true, ..Default::default() },
+        TimingOptions {
+            strict_writeback: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     let got = gpu.mem.download_f32(dc, m * n).unwrap();

@@ -21,7 +21,11 @@ impl KernelParams {
 
     /// Resident blocks per SM on `dev`.
     pub fn blocks_per_sm(&self, dev: &DeviceSpec) -> u32 {
-        dev.blocks_per_sm(self.threads_per_block, self.regs_per_thread, self.smem_per_block)
+        dev.blocks_per_sm(
+            self.threads_per_block,
+            self.regs_per_thread,
+            self.smem_per_block,
+        )
     }
 }
 

@@ -47,9 +47,18 @@ pub fn direct_conv_intensity(bk: f64) -> f64 {
 
 /// The labelled steps of Figure 2.
 pub const WINOGRAD_STEPS: [RooflinePoint; 3] = [
-    RooflinePoint { name: "ITF", intensity: ITF_INTENSITY },
-    RooflinePoint { name: "FTF", intensity: FTF_INTENSITY },
-    RooflinePoint { name: "OTF", intensity: OTF_INTENSITY },
+    RooflinePoint {
+        name: "ITF",
+        intensity: ITF_INTENSITY,
+    },
+    RooflinePoint {
+        name: "FTF",
+        intensity: FTF_INTENSITY,
+    },
+    RooflinePoint {
+        name: "OTF",
+        intensity: OTF_INTENSITY,
+    },
 ];
 
 /// Attainable TFLOPS on `dev` at `intensity` ops/byte against a roof with
@@ -104,7 +113,11 @@ mod tests {
             );
             // All three transforms attain well under 10% of peak from DRAM.
             let t = attainable_tflops(&v100, step.intensity);
-            assert!(t < 0.1 * v100.peak_fp32_flops() / 1e12, "{}: {t}", step.name);
+            assert!(
+                t < 0.1 * v100.peak_fp32_flops() / 1e12,
+                "{}: {t}",
+                step.name
+            );
         }
     }
 

@@ -47,7 +47,10 @@ impl std::fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, msg: msg.into() })
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// Assemble a source string into a [`Module`].
@@ -78,12 +81,24 @@ pub fn assemble(src: &str) -> Result<Module, AsmError> {
                     name = it.next().map(str::to_string).unwrap_or(name);
                 }
                 Some("smem") => {
-                    let v = it.next().ok_or(AsmError { line: lineno, msg: ".smem needs a value".into() })?;
-                    smem = parse_u32(v).map_err(|m| AsmError { line: lineno, msg: m })?;
+                    let v = it.next().ok_or(AsmError {
+                        line: lineno,
+                        msg: ".smem needs a value".into(),
+                    })?;
+                    smem = parse_u32(v).map_err(|m| AsmError {
+                        line: lineno,
+                        msg: m,
+                    })?;
                 }
                 Some("params") => {
-                    let v = it.next().ok_or(AsmError { line: lineno, msg: ".params needs a value".into() })?;
-                    params = parse_u32(v).map_err(|m| AsmError { line: lineno, msg: m })?;
+                    let v = it.next().ok_or(AsmError {
+                        line: lineno,
+                        msg: ".params needs a value".into(),
+                    })?;
+                    params = parse_u32(v).map_err(|m| AsmError {
+                        line: lineno,
+                        msg: m,
+                    })?;
                 }
                 Some("def") => {
                     let (n, r) = match (it.next(), it.next()) {
@@ -96,7 +111,12 @@ pub fn assemble(src: &str) -> Result<Module, AsmError> {
                     })?;
                     defs.insert(n.to_string(), reg);
                 }
-                other => return err(lineno, format!("unknown directive .{}", other.unwrap_or(""))),
+                other => {
+                    return err(
+                        lineno,
+                        format!("unknown directive .{}", other.unwrap_or("")),
+                    )
+                }
             }
             continue;
         }
@@ -116,7 +136,10 @@ pub fn assemble(src: &str) -> Result<Module, AsmError> {
 }
 
 fn strip_comment(line: &str) -> &str {
-    let cut = line.find("//").or_else(|| line.find('#')).unwrap_or(line.len());
+    let cut = line
+        .find("//")
+        .or_else(|| line.find('#'))
+        .unwrap_or(line.len());
     &line[..cut]
 }
 
@@ -167,11 +190,25 @@ fn parse_pred_name(s: &str) -> Option<Pred> {
 /// Parsed operand, before per-mnemonic interpretation.
 #[derive(Clone, Debug)]
 enum Tok {
-    Reg { r: Reg, neg: bool, reuse: bool },
-    Pred { p: Pred, neg: bool },
-    Int { v: i64, hex: bool, neg: bool },
+    Reg {
+        r: Reg,
+        neg: bool,
+        reuse: bool,
+    },
+    Pred {
+        p: Pred,
+        neg: bool,
+    },
+    Int {
+        v: i64,
+        hex: bool,
+        neg: bool,
+    },
     Float(f32),
-    Const { off: u16, neg: bool },
+    Const {
+        off: u16,
+        neg: bool,
+    },
     Addr(Addr),
     Special(SpecialReg),
     Label(String),
@@ -203,25 +240,49 @@ fn parse_operand(s: &str, ctx: &Ctx) -> Result<Tok, AsmError> {
     if s.starts_with('[') && s.ends_with(']') {
         let inner = &s[1..s.len() - 1];
         let (base_s, off) = if let Some(pos) = inner.rfind('+') {
-            (&inner[..pos], parse_i32(&inner[pos + 1..]).map_err(|m| AsmError { line: ctx.line, msg: m })?)
+            (
+                &inner[..pos],
+                parse_i32(&inner[pos + 1..]).map_err(|m| AsmError {
+                    line: ctx.line,
+                    msg: m,
+                })?,
+            )
         } else if let Some(pos) = inner.rfind('-') {
             if pos == 0 {
-                ("RZ", parse_i32(inner).map_err(|m| AsmError { line: ctx.line, msg: m })?)
+                (
+                    "RZ",
+                    parse_i32(inner).map_err(|m| AsmError {
+                        line: ctx.line,
+                        msg: m,
+                    })?,
+                )
             } else {
                 (
                     &inner[..pos],
-                    -parse_i32(&inner[pos + 1..]).map_err(|m| AsmError { line: ctx.line, msg: m })?,
+                    -parse_i32(&inner[pos + 1..]).map_err(|m| AsmError {
+                        line: ctx.line,
+                        msg: m,
+                    })?,
                 )
             }
         } else if parse_reg_name(inner.trim()).is_some() || ctx.defs.contains_key(inner.trim()) {
             (inner, 0)
         } else {
-            ("RZ", parse_i32(inner).map_err(|m| AsmError { line: ctx.line, msg: m })?)
+            (
+                "RZ",
+                parse_i32(inner).map_err(|m| AsmError {
+                    line: ctx.line,
+                    msg: m,
+                })?,
+            )
         };
         let base_s = base_s.trim();
         let base = parse_reg_name(base_s)
             .or_else(|| ctx.defs.get(base_s).copied())
-            .ok_or(AsmError { line: ctx.line, msg: format!("bad base register {base_s}") })?;
+            .ok_or(AsmError {
+                line: ctx.line,
+                msg: format!("bad base register {base_s}"),
+            })?;
         return Ok(Tok::Addr(Addr::new(base, off)));
     }
     // Branch label `(NAME).
@@ -238,12 +299,22 @@ fn parse_operand(s: &str, ctx: &Ctx) -> Result<Tok, AsmError> {
         None => (false, s),
     };
     if cbody.starts_with("c[") {
-        let parts: Vec<&str> = cbody.trim_start_matches("c[").trim_end_matches(']').split("][").collect();
+        let parts: Vec<&str> = cbody
+            .trim_start_matches("c[")
+            .trim_end_matches(']')
+            .split("][")
+            .collect();
         if parts.len() != 2 {
             return err(ctx.line, format!("bad constant operand {s}"));
         }
-        let off = parse_u32(parts[1]).map_err(|m| AsmError { line: ctx.line, msg: m })?;
-        return Ok(Tok::Const { off: off as u16, neg: cneg });
+        let off = parse_u32(parts[1]).map_err(|m| AsmError {
+            line: ctx.line,
+            msg: m,
+        })?;
+        return Ok(Tok::Const {
+            off: off as u16,
+            neg: cneg,
+        });
     }
     // Special register.
     for sr in SpecialReg::ALL {
@@ -290,7 +361,11 @@ fn parse_operand(s: &str, ctx: &Ctx) -> Result<Tok, AsmError> {
         None => (false, s),
     };
     if let Ok(v) = parse_u32(mag) {
-        return Ok(Tok::Int { v: v as i64, hex: is_hex, neg });
+        return Ok(Tok::Int {
+            v: v as i64,
+            hex: is_hex,
+            neg,
+        });
     }
     Ok(Tok::Word(s.to_string()))
 }
@@ -329,7 +404,11 @@ fn parse_instruction(
     defs: &HashMap<String, Reg>,
     labels: &HashMap<String, u32>,
 ) -> Result<Instruction, AsmError> {
-    let ctx = Ctx { line: lineno, defs, labels };
+    let ctx = Ctx {
+        line: lineno,
+        defs,
+        labels,
+    };
     let mut rest = line.trim();
 
     // Optional control-code prefix: the first whitespace-delimited token, if
@@ -384,7 +463,12 @@ fn parse_instruction(
 
 // ---- per-mnemonic operand interpretation ------------------------------------
 
-fn want_reg(t: &Tok, ctx: &Ctx, reuse_mask: &mut u8, slot: Option<u8>) -> Result<(Reg, bool), AsmError> {
+fn want_reg(
+    t: &Tok,
+    ctx: &Ctx,
+    reuse_mask: &mut u8,
+    slot: Option<u8>,
+) -> Result<(Reg, bool), AsmError> {
     match t {
         Tok::Reg { r, neg, reuse } => {
             if *reuse {
@@ -395,11 +479,20 @@ fn want_reg(t: &Tok, ctx: &Ctx, reuse_mask: &mut u8, slot: Option<u8>) -> Result
             }
             Ok((*r, *neg))
         }
-        other => err(ctx.line, format!("expected register, got {}", other.describe())),
+        other => err(
+            ctx.line,
+            format!("expected register, got {}", other.describe()),
+        ),
     }
 }
 
-fn want_srcb(t: &Tok, ctx: &Ctx, float: bool, reuse_mask: &mut u8, slot: Option<u8>) -> Result<(SrcB, bool), AsmError> {
+fn want_srcb(
+    t: &Tok,
+    ctx: &Ctx,
+    float: bool,
+    reuse_mask: &mut u8,
+    slot: Option<u8>,
+) -> Result<(SrcB, bool), AsmError> {
     match t {
         Tok::Reg { r, neg, reuse } => {
             if *reuse {
@@ -429,34 +522,52 @@ fn want_srcb(t: &Tok, ctx: &Ctx, float: bool, reuse_mask: &mut u8, slot: Option<
             }
         }
         Tok::Const { off, neg } => Ok((SrcB::Const(*off), *neg)),
-        other => err(ctx.line, format!("expected reg/imm/const, got {}", other.describe())),
+        other => err(
+            ctx.line,
+            format!("expected reg/imm/const, got {}", other.describe()),
+        ),
     }
 }
 
 fn want_pred(t: &Tok, ctx: &Ctx) -> Result<PredSrc, AsmError> {
     match t {
-        Tok::Pred { p, neg } => Ok(PredSrc { pred: *p, neg: *neg }),
-        other => err(ctx.line, format!("expected predicate, got {}", other.describe())),
+        Tok::Pred { p, neg } => Ok(PredSrc {
+            pred: *p,
+            neg: *neg,
+        }),
+        other => err(
+            ctx.line,
+            format!("expected predicate, got {}", other.describe()),
+        ),
     }
 }
 
 fn want_addr(t: &Tok, ctx: &Ctx) -> Result<Addr, AsmError> {
     match t {
         Tok::Addr(a) => Ok(*a),
-        other => err(ctx.line, format!("expected address, got {}", other.describe())),
+        other => err(
+            ctx.line,
+            format!("expected address, got {}", other.describe()),
+        ),
     }
 }
 
 fn want_int(t: &Tok, ctx: &Ctx) -> Result<i64, AsmError> {
     match t {
         Tok::Int { v, neg, .. } => Ok(if *neg { -*v } else { *v }),
-        other => err(ctx.line, format!("expected integer, got {}", other.describe())),
+        other => err(
+            ctx.line,
+            format!("expected integer, got {}", other.describe()),
+        ),
     }
 }
 
 fn arity(ops: &[Tok], n: usize, ctx: &Ctx, mn: &str) -> Result<(), AsmError> {
     if ops.len() != n {
-        err(ctx.line, format!("{mn} expects {n} operands, got {}", ops.len()))
+        err(
+            ctx.line,
+            format!("{mn} expects {n} operands, got {}", ops.len()),
+        )
     } else {
         Ok(())
     }
@@ -502,14 +613,27 @@ fn build_op(
             let (a, _) = want_reg(&ops[1], ctx, reuse, Some(0))?;
             let (b, neg_b) = want_srcb(&ops[2], ctx, true, reuse, Some(1))?;
             let (c, neg_c) = want_reg(&ops[3], ctx, reuse, Some(2))?;
-            Ok(Op::Ffma { d, a, b, c, neg_b, neg_c })
+            Ok(Op::Ffma {
+                d,
+                a,
+                b,
+                c,
+                neg_b,
+                neg_c,
+            })
         }
         "FADD" => {
             arity(ops, 3, ctx, "FADD")?;
             let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
             let (a, neg_a) = want_reg(&ops[1], ctx, reuse, Some(0))?;
             let (b, neg_b) = want_srcb(&ops[2], ctx, true, reuse, Some(1))?;
-            Ok(Op::Fadd { d, a, neg_a, b, neg_b })
+            Ok(Op::Fadd {
+                d,
+                a,
+                neg_a,
+                b,
+                neg_b,
+            })
         }
         "FMUL" => {
             arity(ops, 3, ctx, "FMUL")?;
@@ -531,7 +655,13 @@ fn build_op(
             let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
             let (a, neg_a) = want_reg(&ops[1], ctx, reuse, Some(0))?;
             let (b, neg_b) = want_srcb(&ops[2], ctx, false, reuse, Some(1))?;
-            Ok(Op::Hadd2 { d, a, neg_a, b, neg_b })
+            Ok(Op::Hadd2 {
+                d,
+                a,
+                neg_a,
+                b,
+                neg_b,
+            })
         }
         "HMUL2" => {
             arity(ops, 3, ctx, "HMUL2")?;
@@ -543,12 +673,21 @@ fn build_op(
         "FSETP" => {
             // FSETP.cmp.AND Pd, PT, Ra, B, Pc
             arity(ops, 5, ctx, "FSETP")?;
-            let cmp = cmp_from(suffixes).ok_or(AsmError { line, msg: "FSETP needs a comparison suffix".into() })?;
+            let cmp = cmp_from(suffixes).ok_or(AsmError {
+                line,
+                msg: "FSETP needs a comparison suffix".into(),
+            })?;
             let p = want_pred(&ops[0], ctx)?.pred;
             let (a, _) = want_reg(&ops[2], ctx, reuse, Some(0))?;
             let (b, _) = want_srcb(&ops[3], ctx, true, reuse, Some(1))?;
             let combine = want_pred(&ops[4], ctx)?;
-            Ok(Op::Fsetp { p, cmp, a, b, combine })
+            Ok(Op::Fsetp {
+                p,
+                cmp,
+                a,
+                b,
+                combine,
+            })
         }
         "IADD3" => {
             arity(ops, 4, ctx, "IADD3")?;
@@ -556,7 +695,15 @@ fn build_op(
             let (a, neg_a) = want_reg(&ops[1], ctx, reuse, Some(0))?;
             let (b, neg_b) = want_srcb(&ops[2], ctx, false, reuse, Some(1))?;
             let (c, neg_c) = want_reg(&ops[3], ctx, reuse, Some(2))?;
-            Ok(Op::Iadd3 { d, a, neg_a, b, neg_b, c, neg_c })
+            Ok(Op::Iadd3 {
+                d,
+                a,
+                neg_a,
+                b,
+                neg_b,
+                c,
+                neg_c,
+            })
         }
         "IMAD" => {
             arity(ops, 4, ctx, "IMAD")?;
@@ -597,7 +744,14 @@ fn build_op(
             let (lo, _) = want_reg(&ops[1], ctx, reuse, Some(0))?;
             let (shift, _) = want_srcb(&ops[2], ctx, false, reuse, Some(1))?;
             let (hi, _) = want_reg(&ops[3], ctx, reuse, Some(2))?;
-            Ok(Op::Shf { d, lo, shift, hi, right, u32_mode })
+            Ok(Op::Shf {
+                d,
+                lo,
+                shift,
+                hi,
+                right,
+                u32_mode,
+            })
         }
         "MOV" => {
             arity(ops, 2, ctx, "MOV")?;
@@ -616,13 +770,23 @@ fn build_op(
         "ISETP" => {
             // ISETP.cmp[.U32].AND Pd, PT, Ra, B, Pc
             arity(ops, 5, ctx, "ISETP")?;
-            let cmp = cmp_from(suffixes).ok_or(AsmError { line, msg: "ISETP needs a comparison suffix".into() })?;
+            let cmp = cmp_from(suffixes).ok_or(AsmError {
+                line,
+                msg: "ISETP needs a comparison suffix".into(),
+            })?;
             let u32 = suffixes.contains(&"U32");
             let p = want_pred(&ops[0], ctx)?.pred;
             let (a, _) = want_reg(&ops[2], ctx, reuse, Some(0))?;
             let (b, _) = want_srcb(&ops[3], ctx, false, reuse, Some(1))?;
             let combine = want_pred(&ops[4], ctx)?;
-            Ok(Op::Isetp { p, cmp, u32, a, b, combine })
+            Ok(Op::Isetp {
+                p,
+                cmp,
+                u32,
+                a,
+                b,
+                combine,
+            })
         }
         "P2R" => {
             // P2R Rd, PR, Ra, mask
@@ -644,7 +808,10 @@ fn build_op(
             let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
             match &ops[1] {
                 Tok::Special(sr) => Ok(Op::S2r { d, sr: *sr }),
-                other => err(line, format!("expected special register, got {}", other.describe())),
+                other => err(
+                    line,
+                    format!("expected special register, got {}", other.describe()),
+                ),
             }
         }
         "LDG" | "LDS" => {
@@ -652,7 +819,11 @@ fn build_op(
             let (d, _) = want_reg(&ops[0], ctx, reuse, None)?;
             let addr = want_addr(&ops[1], ctx)?;
             Ok(Op::Ld {
-                space: if base == "LDG" { MemSpace::Global } else { MemSpace::Shared },
+                space: if base == "LDG" {
+                    MemSpace::Global
+                } else {
+                    MemSpace::Shared
+                },
                 width: mem_width(suffixes),
                 d,
                 addr,
@@ -663,7 +834,11 @@ fn build_op(
             let addr = want_addr(&ops[0], ctx)?;
             let (src, _) = want_reg(&ops[1], ctx, reuse, None)?;
             Ok(Op::St {
-                space: if base == "STG" { MemSpace::Global } else { MemSpace::Shared },
+                space: if base == "STG" {
+                    MemSpace::Global
+                } else {
+                    MemSpace::Shared
+                },
                 width: mem_width(suffixes),
                 addr,
                 src,
@@ -712,7 +887,9 @@ mod tests {
         assert_eq!(m.insts.len(), 5);
         assert_eq!(m.info.param_bytes, 24);
         match m.insts[3].op {
-            Op::Ffma { b: SrcB::Imm(bits), .. } => assert_eq!(f32::from_bits(bits), 2.0),
+            Op::Ffma {
+                b: SrcB::Imm(bits), ..
+            } => assert_eq!(f32::from_bits(bits), 2.0),
             ref other => panic!("unexpected {other:?}"),
         }
         assert_eq!(m.insts[2].ctrl.write_bar, Some(1));
@@ -732,7 +909,11 @@ LOOP:
         assert_eq!(m.insts[2].guard, PredGuard::on(Pred(0)));
         assert_eq!(m.insts[2].op, Op::Bra { target: 0 });
         match m.insts[0].op {
-            Op::Iadd3 { b: SrcB::Imm(v), neg_b, .. } => {
+            Op::Iadd3 {
+                b: SrcB::Imm(v),
+                neg_b,
+                ..
+            } => {
                 // -1 parses as an integer immediate, not a negated operand.
                 assert!(v == 0xffff_ffff && !neg_b || v == 1 && neg_b);
             }
@@ -750,7 +931,13 @@ LOOP:
     --:-:-:Y:1  STS [tid], R8;
 "#;
         let m = assemble(src).unwrap();
-        assert_eq!(m.insts[0].op, Op::S2r { d: Reg(7), sr: SpecialReg::TidX });
+        assert_eq!(
+            m.insts[0].op,
+            Op::S2r {
+                d: Reg(7),
+                sr: SpecialReg::TidX
+            }
+        );
         match m.insts[1].op {
             Op::Ld { addr, width, .. } => {
                 assert_eq!(addr.base, Reg(2));
@@ -807,7 +994,13 @@ LOOP:
     #[test]
     fn const_operand_parses() {
         let m = assemble("MOV R2, c[0x0][0x160];").unwrap();
-        assert_eq!(m.insts[0].op, Op::Mov { d: Reg(2), b: SrcB::Const(0x160) });
+        assert_eq!(
+            m.insts[0].op,
+            Op::Mov {
+                d: Reg(2),
+                b: SrcB::Const(0x160)
+            }
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ fn load_module(path: &str) -> Result<sass::Module, String> {
 }
 
 fn out_path(args: &[String]) -> Option<&str> {
-    args.iter().position(|a| a == "-o").and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+    args.iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
 }
 
 fn main() -> ExitCode {
@@ -39,7 +42,9 @@ fn main() -> ExitCode {
     };
     match cmd {
         "asm" | "fix" => {
-            let Some(out) = out_path(&args) else { return usage() };
+            let Some(out) = out_path(&args) else {
+                return usage();
+            };
             let mut module = match load_module(input) {
                 Ok(m) => m,
                 Err(e) => {
@@ -93,7 +98,11 @@ fn main() -> ExitCode {
                 for d in &diags {
                     println!("{d}");
                 }
-                println!("{} finding(s) in {} instructions", diags.len(), m.insts.len());
+                println!(
+                    "{} finding(s) in {} instructions",
+                    diags.len(),
+                    m.insts.len()
+                );
                 if diags.is_empty() {
                     ExitCode::SUCCESS
                 } else {

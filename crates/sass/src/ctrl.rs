@@ -62,7 +62,10 @@ impl Ctrl {
 
     /// Control with just a stall count.
     pub fn stall(n: u8) -> Self {
-        Ctrl { stall: n, ..Ctrl::new() }
+        Ctrl {
+            stall: n,
+            ..Ctrl::new()
+        }
     }
 
     /// Builder: set stall.

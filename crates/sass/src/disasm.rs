@@ -42,10 +42,27 @@ fn fmt_pred_src(p: &PredSrc) -> String {
 /// Render the operation body (mnemonic + operands, no guard/ctrl/semicolon).
 pub fn op_text(op: &Op) -> String {
     match op {
-        Op::Ffma { d, a, b, c, neg_b, neg_c } => {
-            format!("FFMA {d}, {a}, {}, {}", fmt_srcb(b, *neg_b), fmt_reg(*c, *neg_c))
+        Op::Ffma {
+            d,
+            a,
+            b,
+            c,
+            neg_b,
+            neg_c,
+        } => {
+            format!(
+                "FFMA {d}, {a}, {}, {}",
+                fmt_srcb(b, *neg_b),
+                fmt_reg(*c, *neg_c)
+            )
         }
-        Op::Fadd { d, a, neg_a, b, neg_b } => {
+        Op::Fadd {
+            d,
+            a,
+            neg_a,
+            b,
+            neg_b,
+        } => {
             format!("FADD {d}, {}, {}", fmt_reg(*a, *neg_a), fmt_srcb(b, *neg_b))
         }
         Op::Fmul { d, a, b, neg_b } => {
@@ -54,13 +71,29 @@ pub fn op_text(op: &Op) -> String {
         Op::Hfma2 { d, a, b, c } => {
             format!("HFMA2 {d}, {a}, {}, {c}", fmt_srcb(b, false))
         }
-        Op::Hadd2 { d, a, neg_a, b, neg_b } => {
-            format!("HADD2 {d}, {}, {}", fmt_reg(*a, *neg_a), fmt_srcb(b, *neg_b))
+        Op::Hadd2 {
+            d,
+            a,
+            neg_a,
+            b,
+            neg_b,
+        } => {
+            format!(
+                "HADD2 {d}, {}, {}",
+                fmt_reg(*a, *neg_a),
+                fmt_srcb(b, *neg_b)
+            )
         }
         Op::Hmul2 { d, a, b } => {
             format!("HMUL2 {d}, {a}, {}", fmt_srcb(b, false))
         }
-        Op::Fsetp { p, cmp, a, b, combine } => {
+        Op::Fsetp {
+            p,
+            cmp,
+            a,
+            b,
+            combine,
+        } => {
             format!(
                 "FSETP.{}.AND {p}, PT, {a}, {}, {}",
                 cmp.name(),
@@ -68,7 +101,15 @@ pub fn op_text(op: &Op) -> String {
                 fmt_pred_src(combine)
             )
         }
-        Op::Iadd3 { d, a, neg_a, b, neg_b, c, neg_c } => {
+        Op::Iadd3 {
+            d,
+            a,
+            neg_a,
+            b,
+            neg_b,
+            c,
+            neg_c,
+        } => {
             format!(
                 "IADD3 {d}, {}, {}, {}",
                 fmt_reg(*a, *neg_a),
@@ -89,16 +130,33 @@ pub fn op_text(op: &Op) -> String {
         Op::Lop3 { d, a, b, c, lut } => {
             format!("LOP3.LUT {d}, {a}, {}, {c}, {:#x}", fmt_srcb(b, false), lut)
         }
-        Op::Shf { d, lo, shift, hi, right, u32_mode } => {
+        Op::Shf {
+            d,
+            lo,
+            shift,
+            hi,
+            right,
+            u32_mode,
+        } => {
             let dir = if *right { "R" } else { "L" };
             let mode = if *u32_mode { ".U32" } else { "" };
-            format!("SHF.{dir}{mode} {d}, {lo}, {}, {hi}", fmt_srcb(shift, false))
+            format!(
+                "SHF.{dir}{mode} {d}, {lo}, {}, {hi}",
+                fmt_srcb(shift, false)
+            )
         }
         Op::Mov { d, b } => format!("MOV {d}, {}", fmt_srcb(b, false)),
         Op::Sel { d, a, b, p } => {
             format!("SEL {d}, {a}, {}, {}", fmt_srcb(b, false), fmt_pred_src(p))
         }
-        Op::Isetp { p, cmp, u32, a, b, combine } => {
+        Op::Isetp {
+            p,
+            cmp,
+            u32,
+            a,
+            b,
+            combine,
+        } => {
             let u = if *u32 { ".U32" } else { "" };
             format!(
                 "ISETP.{}{u}.AND {p}, PT, {a}, {}, {}",
@@ -110,7 +168,12 @@ pub fn op_text(op: &Op) -> String {
         Op::P2r { d, a, mask } => format!("P2R {d}, PR, {a}, {:#x}", mask),
         Op::R2p { a, mask } => format!("R2P PR, {a}, {:#x}", mask),
         Op::S2r { d, sr } => format!("S2R {d}, {}", sr.name()),
-        Op::Ld { space, width, d, addr } => {
+        Op::Ld {
+            space,
+            width,
+            d,
+            addr,
+        } => {
             let (name, e) = match space {
                 MemSpace::Global => ("LDG", ".E"),
                 MemSpace::Shared => ("LDS", ""),
@@ -122,7 +185,12 @@ pub fn op_text(op: &Op) -> String {
             };
             format!("{name}{e}{w} {d}, {}", fmt_addr(addr))
         }
-        Op::St { space, width, addr, src } => {
+        Op::St {
+            space,
+            width,
+            addr,
+            src,
+        } => {
             let (name, e) = match space {
                 MemSpace::Global => ("STG", ".E"),
                 MemSpace::Shared => ("STS", ""),
@@ -172,11 +240,20 @@ fn attach_reuse(body: &str, op: &Op, reuse: u8) -> String {
     // Map operand text position -> slot. Slot layout depends on the op shape:
     // for 3-src ALU ops the operand list is d, a, b, c -> slots -, 0, 1, 2.
     let slot_of_part: Vec<Option<u8>> = match op {
-        Op::Ffma { .. } | Op::Hfma2 { .. } | Op::Iadd3 { .. } | Op::Imad { .. }
-        | Op::ImadHi { .. } | Op::ImadWide { .. } | Op::Lop3 { .. } => {
+        Op::Ffma { .. }
+        | Op::Hfma2 { .. }
+        | Op::Iadd3 { .. }
+        | Op::Imad { .. }
+        | Op::ImadHi { .. }
+        | Op::ImadWide { .. }
+        | Op::Lop3 { .. } => {
             vec![None, Some(0), Some(1), Some(2)]
         }
-        Op::Fadd { .. } | Op::Fmul { .. } | Op::Hadd2 { .. } | Op::Hmul2 { .. } | Op::Lea { .. } => {
+        Op::Fadd { .. }
+        | Op::Fmul { .. }
+        | Op::Hadd2 { .. }
+        | Op::Hmul2 { .. }
+        | Op::Lea { .. } => {
             vec![None, Some(0), Some(1)]
         }
         Op::Shf { .. } => vec![None, Some(0), Some(1), Some(2)],
@@ -263,9 +340,16 @@ mod tests {
 
     #[test]
     fn p2r_r2p_render() {
-        let i = Instruction::new(Op::P2r { d: Reg(3), a: RZ, mask: 0xf });
+        let i = Instruction::new(Op::P2r {
+            d: Reg(3),
+            a: RZ,
+            mask: 0xf,
+        });
         assert!(inst_text(&i).contains("P2R R3, PR, RZ, 0xf"));
-        let i = Instruction::new(Op::R2p { a: Reg(3), mask: 0xf0 });
+        let i = Instruction::new(Op::R2p {
+            a: Reg(3),
+            mask: 0xf0,
+        });
         assert!(inst_text(&i).contains("R2P PR, R3, 0xf0"));
     }
 }

@@ -222,7 +222,14 @@ pub fn encode(inst: &Instruction) -> u128 {
     let rs2 = |w: &mut u128, r: Reg| put(w, 64, 8, r.0 as u128);
 
     match inst.op {
-        Op::Ffma { d, a, b, c, neg_b, neg_c } => {
+        Op::Ffma {
+            d,
+            a,
+            b,
+            c,
+            neg_b,
+            neg_c,
+        } => {
             opc(&mut w, OP_FFMA);
             rd(&mut w, d);
             rs0(&mut w, a);
@@ -231,7 +238,13 @@ pub fn encode(inst: &Instruction) -> u128 {
             put(&mut w, 82, 1, neg_b as u128);
             put(&mut w, 83, 1, neg_c as u128);
         }
-        Op::Fadd { d, a, neg_a, b, neg_b } => {
+        Op::Fadd {
+            d,
+            a,
+            neg_a,
+            b,
+            neg_b,
+        } => {
             opc(&mut w, OP_FADD);
             rd(&mut w, d);
             rs0(&mut w, a);
@@ -253,7 +266,13 @@ pub fn encode(inst: &Instruction) -> u128 {
             put_srcb(&mut w, b);
             rs2(&mut w, c);
         }
-        Op::Hadd2 { d, a, neg_a, b, neg_b } => {
+        Op::Hadd2 {
+            d,
+            a,
+            neg_a,
+            b,
+            neg_b,
+        } => {
             opc(&mut w, OP_HADD2);
             rd(&mut w, d);
             rs0(&mut w, a);
@@ -267,14 +286,28 @@ pub fn encode(inst: &Instruction) -> u128 {
             rs0(&mut w, a);
             put_srcb(&mut w, b);
         }
-        Op::Fsetp { p, cmp, a, b, combine } => {
+        Op::Fsetp {
+            p,
+            cmp,
+            a,
+            b,
+            combine,
+        } => {
             opc(&mut w, OP_FSETP);
             rs0(&mut w, a);
             put_srcb(&mut w, b);
             put_cmp(&mut w, cmp);
             put_pred_ops(&mut w, p, combine);
         }
-        Op::Iadd3 { d, a, neg_a, b, neg_b, c, neg_c } => {
+        Op::Iadd3 {
+            d,
+            a,
+            neg_a,
+            b,
+            neg_b,
+            c,
+            neg_c,
+        } => {
             opc(&mut w, OP_IADD3);
             rd(&mut w, d);
             rs0(&mut w, a);
@@ -320,7 +353,14 @@ pub fn encode(inst: &Instruction) -> u128 {
             rs2(&mut w, c);
             put(&mut w, 92, 8, lut as u128);
         }
-        Op::Shf { d, lo, shift, hi, right, u32_mode } => {
+        Op::Shf {
+            d,
+            lo,
+            shift,
+            hi,
+            right,
+            u32_mode,
+        } => {
             opc(&mut w, OP_SHF);
             rd(&mut w, d);
             rs0(&mut w, lo);
@@ -341,7 +381,14 @@ pub fn encode(inst: &Instruction) -> u128 {
             put_srcb(&mut w, b);
             put_pred_ops(&mut w, Pred(0), p);
         }
-        Op::Isetp { p, cmp, u32, a, b, combine } => {
+        Op::Isetp {
+            p,
+            cmp,
+            u32,
+            a,
+            b,
+            combine,
+        } => {
             opc(&mut w, OP_ISETP);
             rs0(&mut w, a);
             put_srcb(&mut w, b);
@@ -366,13 +413,37 @@ pub fn encode(inst: &Instruction) -> u128 {
             let idx = SpecialReg::ALL.iter().position(|&s| s == sr).unwrap() as u128;
             put(&mut w, 32, 4, idx);
         }
-        Op::Ld { space, width, d, addr } => {
-            opc(&mut w, if space == MemSpace::Global { OP_LDG } else { OP_LDS });
+        Op::Ld {
+            space,
+            width,
+            d,
+            addr,
+        } => {
+            opc(
+                &mut w,
+                if space == MemSpace::Global {
+                    OP_LDG
+                } else {
+                    OP_LDS
+                },
+            );
             rd(&mut w, d);
             put_mem(&mut w, width, addr);
         }
-        Op::St { space, width, addr, src } => {
-            opc(&mut w, if space == MemSpace::Global { OP_STG } else { OP_STS });
+        Op::St {
+            space,
+            width,
+            addr,
+            src,
+        } => {
+            opc(
+                &mut w,
+                if space == MemSpace::Global {
+                    OP_STG
+                } else {
+                    OP_STS
+                },
+            );
             rd(&mut w, src);
             put_mem(&mut w, width, addr);
         }
@@ -430,7 +501,12 @@ pub fn decode(w: u128) -> Result<Instruction, DecodeError> {
             b: get_srcb(w)?,
             neg_b: get(w, 83, 1) != 0,
         },
-        OP_HFMA2 => Op::Hfma2 { d: rd, a: rs0, b: get_srcb(w)?, c: rs2 },
+        OP_HFMA2 => Op::Hfma2 {
+            d: rd,
+            a: rs0,
+            b: get_srcb(w)?,
+            c: rs2,
+        },
         OP_HADD2 => Op::Hadd2 {
             d: rd,
             a: rs0,
@@ -438,10 +514,20 @@ pub fn decode(w: u128) -> Result<Instruction, DecodeError> {
             b: get_srcb(w)?,
             neg_b: get(w, 83, 1) != 0,
         },
-        OP_HMUL2 => Op::Hmul2 { d: rd, a: rs0, b: get_srcb(w)? },
+        OP_HMUL2 => Op::Hmul2 {
+            d: rd,
+            a: rs0,
+            b: get_srcb(w)?,
+        },
         OP_FSETP => {
             let (p, combine) = get_pred_ops(w);
-            Op::Fsetp { p, cmp: get_cmp(w)?, a: rs0, b: get_srcb(w)?, combine }
+            Op::Fsetp {
+                p,
+                cmp: get_cmp(w)?,
+                a: rs0,
+                b: get_srcb(w)?,
+                combine,
+            }
         }
         OP_IADD3 => Op::Iadd3 {
             d: rd,
@@ -452,10 +538,30 @@ pub fn decode(w: u128) -> Result<Instruction, DecodeError> {
             c: rs2,
             neg_c: get(w, 84, 1) != 0,
         },
-        OP_IMAD => Op::Imad { d: rd, a: rs0, b: get_srcb(w)?, c: rs2 },
-        OP_IMAD_HI => Op::ImadHi { d: rd, a: rs0, b: get_srcb(w)?, c: rs2 },
-        OP_IMAD_WIDE => Op::ImadWide { d: rd, a: rs0, b: get_srcb(w)?, c: rs2 },
-        OP_LEA => Op::Lea { d: rd, a: rs0, b: get_srcb(w)?, shift: get(w, 87, 5) as u8 },
+        OP_IMAD => Op::Imad {
+            d: rd,
+            a: rs0,
+            b: get_srcb(w)?,
+            c: rs2,
+        },
+        OP_IMAD_HI => Op::ImadHi {
+            d: rd,
+            a: rs0,
+            b: get_srcb(w)?,
+            c: rs2,
+        },
+        OP_IMAD_WIDE => Op::ImadWide {
+            d: rd,
+            a: rs0,
+            b: get_srcb(w)?,
+            c: rs2,
+        },
+        OP_LEA => Op::Lea {
+            d: rd,
+            a: rs0,
+            b: get_srcb(w)?,
+            shift: get(w, 87, 5) as u8,
+        },
         OP_LOP3 => Op::Lop3 {
             d: rd,
             a: rs0,
@@ -471,10 +577,18 @@ pub fn decode(w: u128) -> Result<Instruction, DecodeError> {
             right: get(w, 82, 1) != 0,
             u32_mode: get(w, 83, 1) != 0,
         },
-        OP_MOV => Op::Mov { d: rd, b: get_srcb(w)? },
+        OP_MOV => Op::Mov {
+            d: rd,
+            b: get_srcb(w)?,
+        },
         OP_SEL => {
             let (_, p) = get_pred_ops(w);
-            Op::Sel { d: rd, a: rs0, b: get_srcb(w)?, p }
+            Op::Sel {
+                d: rd,
+                a: rs0,
+                b: get_srcb(w)?,
+                p,
+            }
         }
         OP_ISETP => {
             let (p, combine) = get_pred_ops(w);
@@ -487,17 +601,30 @@ pub fn decode(w: u128) -> Result<Instruction, DecodeError> {
                 combine,
             }
         }
-        OP_P2R => Op::P2r { d: rd, a: rs0, mask: get(w, 32, 32) as u32 },
-        OP_R2P => Op::R2p { a: rs0, mask: get(w, 32, 32) as u32 },
+        OP_P2R => Op::P2r {
+            d: rd,
+            a: rs0,
+            mask: get(w, 32, 32) as u32,
+        },
+        OP_R2P => Op::R2p {
+            a: rs0,
+            mask: get(w, 32, 32) as u32,
+        },
         OP_S2R => {
             let idx = get(w, 32, 4) as usize;
-            let sr = *SpecialReg::ALL.get(idx).ok_or(DecodeError::BadField("special register"))?;
+            let sr = *SpecialReg::ALL
+                .get(idx)
+                .ok_or(DecodeError::BadField("special register"))?;
             Op::S2r { d: rd, sr }
         }
         OP_LDG | OP_LDS => {
             let (width, addr) = get_mem(w)?;
             Op::Ld {
-                space: if opcode == OP_LDG { MemSpace::Global } else { MemSpace::Shared },
+                space: if opcode == OP_LDG {
+                    MemSpace::Global
+                } else {
+                    MemSpace::Shared
+                },
                 width,
                 d: rd,
                 addr,
@@ -506,14 +633,20 @@ pub fn decode(w: u128) -> Result<Instruction, DecodeError> {
         OP_STG | OP_STS => {
             let (width, addr) = get_mem(w)?;
             Op::St {
-                space: if opcode == OP_STG { MemSpace::Global } else { MemSpace::Shared },
+                space: if opcode == OP_STG {
+                    MemSpace::Global
+                } else {
+                    MemSpace::Shared
+                },
                 width,
                 addr,
                 src: rd,
             }
         }
         OP_BAR => Op::BarSync,
-        OP_BRA => Op::Bra { target: get(w, 32, 32) as u32 },
+        OP_BRA => Op::Bra {
+            target: get(w, 32, 32) as u32,
+        },
         OP_EXIT => Op::Exit,
         OP_NOP => Op::Nop,
         other => return Err(DecodeError::UnknownOpcode(other)),
@@ -526,7 +659,7 @@ pub fn decode(w: u128) -> Result<Instruction, DecodeError> {
 mod tests {
     use super::*;
     use crate::isa::build;
-    use crate::reg::{PT, RZ};
+    use crate::reg::RZ;
 
     fn rt(inst: Instruction) {
         let w = encode(&inst);
@@ -536,9 +669,15 @@ mod tests {
 
     #[test]
     fn round_trip_float_ops() {
-        rt(Instruction::new(build::ffma(Reg(8), Reg(64), Reg(80), Reg(8)))
-            .with_ctrl(Ctrl::new().with_stall(4).reuse_slot(1)));
-        rt(Instruction::new(build::fadd(Reg(1), Reg(2), SrcB::imm_f32(-0.5))));
+        rt(
+            Instruction::new(build::ffma(Reg(8), Reg(64), Reg(80), Reg(8)))
+                .with_ctrl(Ctrl::new().with_stall(4).reuse_slot(1)),
+        );
+        rt(Instruction::new(build::fadd(
+            Reg(1),
+            Reg(2),
+            SrcB::imm_f32(-0.5),
+        )));
         rt(Instruction::new(Op::Ffma {
             d: Reg(0),
             a: Reg(1),
@@ -554,9 +693,24 @@ mod tests {
     fn round_trip_integer_ops() {
         rt(Instruction::new(build::iadd3(Reg(0), Reg(1), 5u32, Reg(2))));
         rt(Instruction::new(build::isub(Reg(0), Reg(1), Reg(2))));
-        rt(Instruction::new(build::imad(Reg(0), Reg(1), SrcB::Const(0x168), Reg(2))));
-        rt(Instruction::new(build::imad_wide(Reg(2), Reg(4), Reg(6), Reg(8))));
-        rt(Instruction::new(Op::ImadHi { d: Reg(0), a: Reg(1), b: SrcB::Imm(0x9999), c: RZ }));
+        rt(Instruction::new(build::imad(
+            Reg(0),
+            Reg(1),
+            SrcB::Const(0x168),
+            Reg(2),
+        )));
+        rt(Instruction::new(build::imad_wide(
+            Reg(2),
+            Reg(4),
+            Reg(6),
+            Reg(8),
+        )));
+        rt(Instruction::new(Op::ImadHi {
+            d: Reg(0),
+            a: Reg(1),
+            b: SrcB::Imm(0x9999),
+            c: RZ,
+        }));
         rt(Instruction::new(build::lea(Reg(0), Reg(1), Reg(2), 7)));
         rt(Instruction::new(build::and(Reg(0), Reg(1), 0xffu32)));
         rt(Instruction::new(build::shl(Reg(0), Reg(1), 4)));
@@ -572,7 +726,12 @@ mod tests {
 
     #[test]
     fn round_trip_pred_ops() {
-        rt(Instruction::new(build::isetp(Pred(3), CmpOp::Ge, Reg(0), 10u32)));
+        rt(Instruction::new(build::isetp(
+            Pred(3),
+            CmpOp::Ge,
+            Reg(0),
+            10u32,
+        )));
         rt(Instruction::new(Op::Isetp {
             p: Pred(1),
             cmp: CmpOp::Ne,
@@ -588,8 +747,15 @@ mod tests {
             b: SrcB::imm_f32(0.0),
             combine: PredSrc::pt(),
         }));
-        rt(Instruction::new(Op::P2r { d: Reg(10), a: RZ, mask: 0xffff }));
-        rt(Instruction::new(Op::R2p { a: Reg(10), mask: 0xf }));
+        rt(Instruction::new(Op::P2r {
+            d: Reg(10),
+            a: RZ,
+            mask: 0xffff,
+        }));
+        rt(Instruction::new(Op::R2p {
+            a: Reg(10),
+            mask: 0xf,
+        }));
         rt(Instruction::new(Op::Sel {
             d: Reg(0),
             a: Reg(1),
@@ -600,12 +766,34 @@ mod tests {
 
     #[test]
     fn round_trip_memory_ops() {
-        rt(Instruction::new(build::ldg(MemWidth::B128, Reg(4), Reg(2), 0x10)));
-        rt(Instruction::new(build::ldg(MemWidth::B32, Reg(4), Reg(2), -64))
-            .with_guard(PredGuard::on_not(Pred(1))));
-        rt(Instruction::new(build::stg(MemWidth::B64, Reg(2), 0x7f_fff0, Reg(8))));
-        rt(Instruction::new(build::lds(MemWidth::B128, Reg(80), Reg(30), 1024)));
-        rt(Instruction::new(build::sts(MemWidth::B32, Reg(31), -4, Reg(99))));
+        rt(Instruction::new(build::ldg(
+            MemWidth::B128,
+            Reg(4),
+            Reg(2),
+            0x10,
+        )));
+        rt(
+            Instruction::new(build::ldg(MemWidth::B32, Reg(4), Reg(2), -64))
+                .with_guard(PredGuard::on_not(Pred(1))),
+        );
+        rt(Instruction::new(build::stg(
+            MemWidth::B64,
+            Reg(2),
+            0x7f_fff0,
+            Reg(8),
+        )));
+        rt(Instruction::new(build::lds(
+            MemWidth::B128,
+            Reg(80),
+            Reg(30),
+            1024,
+        )));
+        rt(Instruction::new(build::sts(
+            MemWidth::B32,
+            Reg(31),
+            -4,
+            Reg(99),
+        )));
     }
 
     #[test]
@@ -621,13 +809,28 @@ mod tests {
 
     #[test]
     fn opcode_field_matches_paper_values() {
-        let w = encode(&Instruction::new(build::ffma(Reg(0), Reg(1), Reg(2), Reg(3))));
+        let w = encode(&Instruction::new(build::ffma(
+            Reg(0),
+            Reg(1),
+            Reg(2),
+            Reg(3),
+        )));
         assert_eq!(get(w, 0, 12) as u16, 0x223);
         let w = encode(&Instruction::new(build::fadd(Reg(0), Reg(1), Reg(2))));
         assert_eq!(get(w, 0, 12) as u16, 0x221);
-        let w = encode(&Instruction::new(build::ldg(MemWidth::B32, Reg(0), Reg(2), 0)));
+        let w = encode(&Instruction::new(build::ldg(
+            MemWidth::B32,
+            Reg(0),
+            Reg(2),
+            0,
+        )));
         assert_eq!(get(w, 0, 12) as u16, 0x381);
-        let w = encode(&Instruction::new(build::lds(MemWidth::B32, Reg(0), Reg(2), 0)));
+        let w = encode(&Instruction::new(build::lds(
+            MemWidth::B32,
+            Reg(0),
+            Reg(2),
+            0,
+        )));
         assert_eq!(get(w, 0, 12) as u16, 0x984);
     }
 
@@ -639,7 +842,11 @@ mod tests {
     #[test]
     fn control_bits_live_in_high_quarter() {
         let i = Instruction::new(Op::Nop).with_ctrl(
-            Ctrl::new().with_stall(15).with_wait_mask(0x3f).with_write_bar(5).with_read_bar(4),
+            Ctrl::new()
+                .with_stall(15)
+                .with_wait_mask(0x3f)
+                .with_write_bar(5)
+                .with_read_bar(4),
         );
         let w = encode(&i);
         // Everything except opcode+guard+ctrl must be zero for a NOP.

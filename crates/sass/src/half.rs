@@ -72,8 +72,8 @@ pub fn f32_to_f16(v: f32) -> u16 {
         // Subnormal half.
         let shift = (-14 - unbiased) as u32; // 0..=10
         let full = frac | 0x80_0000; // implicit leading 1
-        // value = full·2^(unbiased-23); subnormal mant = value·2^24
-        //       = full >> (23 - unbiased - 24) = full >> (13 + shift).
+                                     // value = full·2^(unbiased-23); subnormal mant = value·2^24
+                                     //       = full >> (23 - unbiased - 24) = full >> (13 + shift).
         let drop = 13 + shift;
         let mut mant = full >> drop;
         let rest = full & ((1 << drop) - 1);
@@ -102,7 +102,17 @@ mod tests {
 
     #[test]
     fn exact_values_round_trip() {
-        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 1.0 / 1024.0] {
+        for v in [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            65504.0,
+            -65504.0,
+            1.0 / 1024.0,
+        ] {
             let h = f32_to_f16(v);
             assert_eq!(f16_to_f32(h), v, "{v}");
         }
@@ -145,7 +155,10 @@ mod tests {
         let mut x = 0.9137f32;
         for _ in 0..200 {
             let back = f16_to_f32(f32_to_f16(x));
-            assert!((back - x).abs() <= x.abs() * (1.0 / 1024.0) + 1e-7, "{x} -> {back}");
+            assert!(
+                (back - x).abs() <= x.abs() * (1.0 / 1024.0) + 1e-7,
+                "{x} -> {back}"
+            );
             x = (x * 1.137).rem_euclid(60000.0) + 1e-4;
         }
     }

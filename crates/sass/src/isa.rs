@@ -19,12 +19,18 @@ pub struct PredGuard {
 impl PredGuard {
     /// The always-true guard.
     pub fn always() -> Self {
-        PredGuard { pred: PT, neg: false }
+        PredGuard {
+            pred: PT,
+            neg: false,
+        }
     }
 
     /// Guard on `p`.
     pub fn on(p: Pred) -> Self {
-        PredGuard { pred: p, neg: false }
+        PredGuard {
+            pred: p,
+            neg: false,
+        }
     }
 
     /// Guard on `!p`.
@@ -48,10 +54,16 @@ pub struct PredSrc {
 
 impl PredSrc {
     pub fn pt() -> Self {
-        PredSrc { pred: PT, neg: false }
+        PredSrc {
+            pred: PT,
+            neg: false,
+        }
     }
     pub fn of(p: Pred) -> Self {
-        PredSrc { pred: p, neg: false }
+        PredSrc {
+            pred: p,
+            neg: false,
+        }
     }
     pub fn not(p: Pred) -> Self {
         PredSrc { pred: p, neg: true }
@@ -248,12 +260,23 @@ pub enum Op {
         neg_b: bool,
     },
     /// `FMUL Rd, Ra, B`.
-    Fmul { d: Reg, a: Reg, b: SrcB, neg_b: bool },
+    Fmul {
+        d: Reg,
+        a: Reg,
+        b: SrcB,
+        neg_b: bool,
+    },
     /// `HFMA2 Rd, Ra, B, Rc` — paired fp16: `d.{lo,hi} = a.{lo,hi} ×
     /// b.{lo,hi} + c.{lo,hi}` (§8.3's fp16 port doubles throughput).
     Hfma2 { d: Reg, a: Reg, b: SrcB, c: Reg },
     /// `HADD2 Rd, ±Ra, ±B` — paired fp16 add.
-    Hadd2 { d: Reg, a: Reg, neg_a: bool, b: SrcB, neg_b: bool },
+    Hadd2 {
+        d: Reg,
+        a: Reg,
+        neg_a: bool,
+        b: SrcB,
+        neg_b: bool,
+    },
     /// `HMUL2 Rd, Ra, B` — paired fp16 multiply.
     Hmul2 { d: Reg, a: Reg, b: SrcB },
     /// `FSETP.cmp.AND Pd, PT, Ra, B, Pc`.
@@ -284,7 +307,13 @@ pub enum Op {
     /// `LEA Rd, Ra, B, shift` — `d = b + (a << shift)`.
     Lea { d: Reg, a: Reg, b: SrcB, shift: u8 },
     /// `LOP3.LUT Rd, Ra, B, Rc, lut` — bitwise 3-input LUT.
-    Lop3 { d: Reg, a: Reg, b: SrcB, c: Reg, lut: u8 },
+    Lop3 {
+        d: Reg,
+        a: Reg,
+        b: SrcB,
+        c: Reg,
+        lut: u8,
+    },
     /// `SHF.{L,R}[.U32] Rd, Rlo, B, Rhi` — funnel shift, or plain 32-bit
     /// shift of `Rlo` when `u32_mode` (the common `SHF.L.U32 Rd, Ra, n, RZ`).
     Shf {
@@ -424,11 +453,10 @@ impl Op {
                 }
                 push(2, hi);
             }
-            Op::Mov { b, .. } => {
-                if let SrcB::Reg(r) = b {
-                    push(1, r);
-                }
-            }
+            Op::Mov {
+                b: SrcB::Reg(r), ..
+            } => push(1, r),
+            Op::Mov { .. } => {}
             Op::Sel { a, b, .. } => {
                 push(0, a);
                 if let SrcB::Reg(r) = b {
@@ -449,7 +477,12 @@ impl Op {
                     push(0, addr.base.offset(1));
                 }
             }
-            Op::St { addr, src, width, space } => {
+            Op::St {
+                addr,
+                src,
+                width,
+                space,
+            } => {
                 push(0, addr.base);
                 if space == MemSpace::Global {
                     push(0, addr.base.offset(1));
@@ -492,10 +525,22 @@ impl Op {
             Op::P2r { .. } => "P2R",
             Op::R2p { .. } => "R2P",
             Op::S2r { .. } => "S2R",
-            Op::Ld { space: MemSpace::Global, .. } => "LDG",
-            Op::Ld { space: MemSpace::Shared, .. } => "LDS",
-            Op::St { space: MemSpace::Global, .. } => "STG",
-            Op::St { space: MemSpace::Shared, .. } => "STS",
+            Op::Ld {
+                space: MemSpace::Global,
+                ..
+            } => "LDG",
+            Op::Ld {
+                space: MemSpace::Shared,
+                ..
+            } => "LDS",
+            Op::St {
+                space: MemSpace::Global,
+                ..
+            } => "STG",
+            Op::St {
+                space: MemSpace::Shared,
+                ..
+            } => "STS",
             Op::BarSync => "BAR.SYNC",
             Op::Bra { .. } => "BRA",
             Op::Exit => "EXIT",
@@ -542,25 +587,66 @@ pub mod build {
     use super::*;
 
     pub fn ffma(d: Reg, a: Reg, b: impl Into<SrcB>, c: Reg) -> Op {
-        Op::Ffma { d, a, b: b.into(), c, neg_b: false, neg_c: false }
+        Op::Ffma {
+            d,
+            a,
+            b: b.into(),
+            c,
+            neg_b: false,
+            neg_c: false,
+        }
     }
     pub fn fadd(d: Reg, a: Reg, b: impl Into<SrcB>) -> Op {
-        Op::Fadd { d, a, neg_a: false, b: b.into(), neg_b: false }
+        Op::Fadd {
+            d,
+            a,
+            neg_a: false,
+            b: b.into(),
+            neg_b: false,
+        }
     }
     pub fn fsub(d: Reg, a: Reg, b: impl Into<SrcB>) -> Op {
-        Op::Fadd { d, a, neg_a: false, b: b.into(), neg_b: true }
+        Op::Fadd {
+            d,
+            a,
+            neg_a: false,
+            b: b.into(),
+            neg_b: true,
+        }
     }
     pub fn fmul(d: Reg, a: Reg, b: impl Into<SrcB>) -> Op {
-        Op::Fmul { d, a, b: b.into(), neg_b: false }
+        Op::Fmul {
+            d,
+            a,
+            b: b.into(),
+            neg_b: false,
+        }
     }
     pub fn hfma2(d: Reg, a: Reg, b: impl Into<SrcB>, c: Reg) -> Op {
-        Op::Hfma2 { d, a, b: b.into(), c }
+        Op::Hfma2 {
+            d,
+            a,
+            b: b.into(),
+            c,
+        }
     }
     pub fn hadd2(d: Reg, a: Reg, b: impl Into<SrcB>) -> Op {
-        Op::Hadd2 { d, a, neg_a: false, b: b.into(), neg_b: false }
+        Op::Hadd2 {
+            d,
+            a,
+            neg_a: false,
+            b: b.into(),
+            neg_b: false,
+        }
     }
     pub fn hsub2(d: Reg, a: Reg, b: impl Into<SrcB>) -> Op {
-        Op::Hadd2 { d, a, neg_a: false, b: b.into(), neg_b: true }
+        Op::Hadd2 {
+            d,
+            a,
+            neg_a: false,
+            b: b.into(),
+            neg_b: true,
+        }
     }
     pub fn iadd3(d: Reg, a: Reg, b: impl Into<SrcB>, c: Reg) -> Op {
         Op::Iadd3 {
@@ -585,55 +671,136 @@ pub mod build {
         }
     }
     pub fn imad(d: Reg, a: Reg, b: impl Into<SrcB>, c: Reg) -> Op {
-        Op::Imad { d, a, b: b.into(), c }
+        Op::Imad {
+            d,
+            a,
+            b: b.into(),
+            c,
+        }
     }
     pub fn imad_wide(d: Reg, a: Reg, b: impl Into<SrcB>, c: Reg) -> Op {
-        Op::ImadWide { d, a, b: b.into(), c }
+        Op::ImadWide {
+            d,
+            a,
+            b: b.into(),
+            c,
+        }
     }
     pub fn lea(d: Reg, a: Reg, b: impl Into<SrcB>, shift: u8) -> Op {
-        Op::Lea { d, a, b: b.into(), shift }
+        Op::Lea {
+            d,
+            a,
+            b: b.into(),
+            shift,
+        }
     }
     pub fn mov(d: Reg, b: impl Into<SrcB>) -> Op {
         Op::Mov { d, b: b.into() }
     }
     pub fn shl(d: Reg, a: Reg, n: u8) -> Op {
-        Op::Shf { d, lo: a, shift: SrcB::Imm(n as u32), hi: RZ, right: false, u32_mode: true }
+        Op::Shf {
+            d,
+            lo: a,
+            shift: SrcB::Imm(n as u32),
+            hi: RZ,
+            right: false,
+            u32_mode: true,
+        }
     }
     pub fn shr(d: Reg, a: Reg, n: u8) -> Op {
-        Op::Shf { d, lo: a, shift: SrcB::Imm(n as u32), hi: RZ, right: true, u32_mode: true }
+        Op::Shf {
+            d,
+            lo: a,
+            shift: SrcB::Imm(n as u32),
+            hi: RZ,
+            right: true,
+            u32_mode: true,
+        }
     }
     pub fn and(d: Reg, a: Reg, b: impl Into<SrcB>) -> Op {
         // LOP3 LUT for a & b: 0xc0.
-        Op::Lop3 { d, a, b: b.into(), c: RZ, lut: 0xc0 }
+        Op::Lop3 {
+            d,
+            a,
+            b: b.into(),
+            c: RZ,
+            lut: 0xc0,
+        }
     }
     pub fn or(d: Reg, a: Reg, b: impl Into<SrcB>) -> Op {
         // LOP3 LUT for a | b: 0xfc.
-        Op::Lop3 { d, a, b: b.into(), c: RZ, lut: 0xfc }
+        Op::Lop3 {
+            d,
+            a,
+            b: b.into(),
+            c: RZ,
+            lut: 0xfc,
+        }
     }
     pub fn xor(d: Reg, a: Reg, b: impl Into<SrcB>) -> Op {
         // LOP3 LUT for a ^ b: 0x3c.
-        Op::Lop3 { d, a, b: b.into(), c: RZ, lut: 0x3c }
+        Op::Lop3 {
+            d,
+            a,
+            b: b.into(),
+            c: RZ,
+            lut: 0x3c,
+        }
     }
     pub fn isetp(p: Pred, cmp: CmpOp, a: Reg, b: impl Into<SrcB>) -> Op {
-        Op::Isetp { p, cmp, u32: false, a, b: b.into(), combine: PredSrc::pt() }
+        Op::Isetp {
+            p,
+            cmp,
+            u32: false,
+            a,
+            b: b.into(),
+            combine: PredSrc::pt(),
+        }
     }
     pub fn isetp_u32(p: Pred, cmp: CmpOp, a: Reg, b: impl Into<SrcB>) -> Op {
-        Op::Isetp { p, cmp, u32: true, a, b: b.into(), combine: PredSrc::pt() }
+        Op::Isetp {
+            p,
+            cmp,
+            u32: true,
+            a,
+            b: b.into(),
+            combine: PredSrc::pt(),
+        }
     }
     pub fn s2r(d: Reg, sr: SpecialReg) -> Op {
         Op::S2r { d, sr }
     }
     pub fn ldg(width: MemWidth, d: Reg, base: Reg, offset: i32) -> Op {
-        Op::Ld { space: MemSpace::Global, width, d, addr: Addr::new(base, offset) }
+        Op::Ld {
+            space: MemSpace::Global,
+            width,
+            d,
+            addr: Addr::new(base, offset),
+        }
     }
     pub fn stg(width: MemWidth, base: Reg, offset: i32, src: Reg) -> Op {
-        Op::St { space: MemSpace::Global, width, addr: Addr::new(base, offset), src }
+        Op::St {
+            space: MemSpace::Global,
+            width,
+            addr: Addr::new(base, offset),
+            src,
+        }
     }
     pub fn lds(width: MemWidth, d: Reg, base: Reg, offset: i32) -> Op {
-        Op::Ld { space: MemSpace::Shared, width, d, addr: Addr::new(base, offset) }
+        Op::Ld {
+            space: MemSpace::Shared,
+            width,
+            d,
+            addr: Addr::new(base, offset),
+        }
     }
     pub fn sts(width: MemWidth, base: Reg, offset: i32, src: Reg) -> Op {
-        Op::St { space: MemSpace::Shared, width, addr: Addr::new(base, offset), src }
+        Op::St {
+            space: MemSpace::Shared,
+            width,
+            addr: Addr::new(base, offset),
+            src,
+        }
     }
 }
 

@@ -221,7 +221,9 @@ pub fn lint(insts: &[Instruction]) -> Vec<Diagnostic> {
                     }
                 }
             }
-            Op::St { src, width, space, .. } => {
+            Op::St {
+                src, width, space, ..
+            } => {
                 let _ = space;
                 for j in 0..width.regs() {
                     let reg = src.offset(j);
@@ -304,7 +306,10 @@ mod tests {
     --:-:-:Y:5  EXIT;
 "#,
         );
-        assert!(d.iter().any(|x| x.severity == Severity::MissingWait), "{d:?}");
+        assert!(
+            d.iter().any(|x| x.severity == Severity::MissingWait),
+            "{d:?}"
+        );
         // And the fixed version is clean.
         let d = lint_src(
             r#"
@@ -319,7 +324,9 @@ mod tests {
     #[test]
     fn detects_load_without_write_barrier() {
         let d = lint_src("--:-:-:Y:2  LDG.E R4, [R2];\nEXIT;");
-        assert!(d.iter().any(|x| matches!(x.severity, Severity::MissingWait)));
+        assert!(d
+            .iter()
+            .any(|x| matches!(x.severity, Severity::MissingWait)));
     }
 
     #[test]
@@ -354,7 +361,11 @@ mod tests {
     --:-:-:Y:5  EXIT;
 "#,
         );
-        assert!(d.iter().any(|x| x.severity == Severity::MissingWait && x.message.contains("R6")), "{d:?}");
+        assert!(
+            d.iter()
+                .any(|x| x.severity == Severity::MissingWait && x.message.contains("R6")),
+            "{d:?}"
+        );
     }
 
     #[test]
@@ -543,7 +554,9 @@ pub fn fix_schedule_marked(insts: &mut Vec<Instruction>, markers: &mut [u32]) ->
                     }
                 }
                 _ => {
-                    if let (Some(lat), Some((d, n))) = (fixed_latency(&insts[i].op), insts[i].op.dst_regs()) {
+                    if let (Some(lat), Some((d, n))) =
+                        (fixed_latency(&insts[i].op), insts[i].op.dst_regs())
+                    {
                         for j in 0..n {
                             let reg = d.offset(j);
                             if !reg.is_rz() {
@@ -592,7 +605,8 @@ mod fix_tests {
         // be clean.
         let rest = lint(&m.insts);
         assert!(
-            rest.iter().all(|d| matches!(d.severity, Severity::WarHazard)),
+            rest.iter()
+                .all(|d| matches!(d.severity, Severity::WarHazard)),
             "{rest:?}"
         );
         // The SHF consumer now sits ≥25 cycles after the S2R (saturated
@@ -600,7 +614,10 @@ mod fix_tests {
         assert_eq!(m.insts[0].ctrl.stall, 15);
         assert!(matches!(m.insts[1].op, Op::Nop));
         // A wait on the load's scoreboard was added to its consumer.
-        assert!(m.insts.iter().any(|i| matches!(i.op, Op::Fadd { .. }) && i.ctrl.wait_mask & 1 == 1));
+        assert!(m
+            .insts
+            .iter()
+            .any(|i| matches!(i.op, Op::Fadd { .. }) && i.ctrl.wait_mask & 1 == 1));
     }
 
     #[test]

@@ -48,7 +48,12 @@ pub fn max_reg_used(insts: &[Instruction]) -> Option<u8> {
 
 impl Module {
     /// Build a module, deriving `num_regs` from the instruction stream.
-    pub fn new(name: impl Into<String>, smem_bytes: u32, param_bytes: u32, insts: Vec<Instruction>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        smem_bytes: u32,
+        param_bytes: u32,
+        insts: Vec<Instruction>,
+    ) -> Self {
         let num_regs = max_reg_used(&insts).map_or(0, |m| m as u16 + 1);
         Module {
             info: KernelInfo {
@@ -119,7 +124,12 @@ impl Module {
             insts.push(decode(w).map_err(ModuleError::Decode)?);
         }
         Ok(Module {
-            info: KernelInfo { name, num_regs, smem_bytes, param_bytes },
+            info: KernelInfo {
+                name,
+                num_regs,
+                smem_bytes,
+                param_bytes,
+            },
             insts,
         })
     }

@@ -1,187 +1,328 @@
 //! Property tests: encode/decode and assemble/disassemble round-trips over
 //! randomly generated instructions.
+//!
+//! Generation uses the workspace's deterministic `XorShiftRng` instead of
+//! `proptest` (the registry is unreachable from the build environment); a
+//! failing case prints the instruction's `Debug` form, which is enough to
+//! reproduce it as a one-off unit test.
 
-use proptest::prelude::*;
-use sass::isa::{Addr, CmpOp, Instruction, MemSpace, MemWidth, Op, PredGuard, PredSrc, SpecialReg, SrcB};
+use sass::isa::{
+    Addr, CmpOp, Instruction, MemSpace, MemWidth, Op, PredGuard, PredSrc, SpecialReg, SrcB,
+};
 use sass::{assemble, decode, disassemble, encode, Ctrl, Module, Pred, Reg};
+use tensor::XorShiftRng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    prop_oneof![(0u8..=254).prop_map(Reg), Just(sass::RZ)]
+fn arb_bool(r: &mut XorShiftRng) -> bool {
+    r.next_u64() & 1 == 1
 }
 
-fn arb_pred() -> impl Strategy<Value = Pred> {
-    (0u8..=7).prop_map(|i| if i == 7 { sass::PT } else { Pred(i) })
+fn arb_reg(r: &mut XorShiftRng) -> Reg {
+    if r.next_u64().is_multiple_of(8) {
+        sass::RZ
+    } else {
+        Reg((r.next_u32() % 255) as u8)
+    }
 }
 
-fn arb_pred_src() -> impl Strategy<Value = PredSrc> {
-    (arb_pred(), any::<bool>()).prop_map(|(pred, neg)| PredSrc { pred, neg })
+fn arb_pred(r: &mut XorShiftRng) -> Pred {
+    let i = (r.next_u32() % 8) as u8;
+    if i == 7 {
+        sass::PT
+    } else {
+        Pred(i)
+    }
 }
 
-fn arb_srcb() -> impl Strategy<Value = SrcB> {
-    prop_oneof![
-        arb_reg().prop_map(SrcB::Reg),
-        any::<u32>().prop_map(SrcB::Imm),
-        (0u16..0x400).prop_map(SrcB::Const),
-    ]
+fn arb_pred_src(r: &mut XorShiftRng) -> PredSrc {
+    PredSrc {
+        pred: arb_pred(r),
+        neg: arb_bool(r),
+    }
 }
 
-fn arb_width() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![Just(MemWidth::B32), Just(MemWidth::B64), Just(MemWidth::B128)]
+fn arb_srcb(r: &mut XorShiftRng) -> SrcB {
+    match r.next_u64() % 3 {
+        0 => SrcB::Reg(arb_reg(r)),
+        1 => SrcB::Imm(r.next_u32()),
+        _ => SrcB::Const((r.next_u32() % 0x400) as u16),
+    }
 }
 
-fn arb_cmp() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-    ]
+fn arb_width(r: &mut XorShiftRng) -> MemWidth {
+    match r.next_u64() % 3 {
+        0 => MemWidth::B32,
+        1 => MemWidth::B64,
+        _ => MemWidth::B128,
+    }
 }
 
-fn arb_addr() -> impl Strategy<Value = Addr> {
-    (arb_reg(), -(1i32 << 23)..(1i32 << 23)).prop_map(|(base, offset)| Addr { base, offset })
+fn arb_cmp(r: &mut XorShiftRng) -> CmpOp {
+    match r.next_u64() % 6 {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Eq,
+        _ => CmpOp::Ne,
+    }
 }
 
-fn arb_space() -> impl Strategy<Value = MemSpace> {
-    prop_oneof![Just(MemSpace::Global), Just(MemSpace::Shared)]
+fn arb_addr(r: &mut XorShiftRng) -> Addr {
+    let span = 1i64 << 24; // offsets in [-2^23, 2^23)
+    let offset = (r.next_u64() % span as u64) as i64 - (1 << 23);
+    Addr {
+        base: arb_reg(r),
+        offset: offset as i32,
+    }
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (arb_reg(), arb_reg(), arb_srcb(), arb_reg(), any::<bool>(), any::<bool>())
-            .prop_map(|(d, a, b, c, neg_b, neg_c)| Op::Ffma { d, a, b, c, neg_b, neg_c }),
-        (arb_reg(), arb_reg(), any::<bool>(), arb_srcb(), any::<bool>())
-            .prop_map(|(d, a, neg_a, b, neg_b)| Op::Fadd { d, a, neg_a, b, neg_b }),
-        (arb_reg(), arb_reg(), arb_srcb(), any::<bool>())
-            .prop_map(|(d, a, b, neg_b)| Op::Fmul { d, a, b, neg_b }),
-        (arb_reg(), arb_reg(), arb_srcb(), arb_reg()).prop_map(|(d, a, b, c)| Op::Hfma2 { d, a, b, c }),
-        (arb_reg(), arb_reg(), any::<bool>(), arb_srcb(), any::<bool>())
-            .prop_map(|(d, a, neg_a, b, neg_b)| Op::Hadd2 { d, a, neg_a, b, neg_b }),
-        (arb_reg(), arb_reg(), arb_srcb()).prop_map(|(d, a, b)| Op::Hmul2 { d, a, b }),
-        (arb_pred(), arb_cmp(), arb_reg(), arb_srcb(), arb_pred_src())
-            .prop_map(|(p, cmp, a, b, combine)| Op::Fsetp { p, cmp, a, b, combine }),
-        (
-            arb_reg(),
-            arb_reg(),
-            any::<bool>(),
-            arb_srcb(),
-            any::<bool>(),
-            arb_reg(),
-            any::<bool>()
-        )
-            .prop_map(|(d, a, neg_a, b, neg_b, c, neg_c)| Op::Iadd3 { d, a, neg_a, b, neg_b, c, neg_c }),
-        (arb_reg(), arb_reg(), arb_srcb(), arb_reg()).prop_map(|(d, a, b, c)| Op::Imad { d, a, b, c }),
-        (arb_reg(), arb_reg(), arb_srcb(), arb_reg()).prop_map(|(d, a, b, c)| Op::ImadHi { d, a, b, c }),
-        (arb_reg(), arb_reg(), arb_srcb(), arb_reg()).prop_map(|(d, a, b, c)| Op::ImadWide { d, a, b, c }),
-        (arb_reg(), arb_reg(), arb_srcb(), 0u8..32).prop_map(|(d, a, b, shift)| Op::Lea { d, a, b, shift }),
-        (arb_reg(), arb_reg(), arb_srcb(), arb_reg(), any::<u8>())
-            .prop_map(|(d, a, b, c, lut)| Op::Lop3 { d, a, b, c, lut }),
-        (arb_reg(), arb_reg(), arb_srcb(), arb_reg(), any::<bool>(), any::<bool>())
-            .prop_map(|(d, lo, shift, hi, right, u32_mode)| Op::Shf { d, lo, shift, hi, right, u32_mode }),
-        (arb_reg(), arb_srcb()).prop_map(|(d, b)| Op::Mov { d, b }),
-        (arb_reg(), arb_reg(), arb_srcb(), arb_pred_src()).prop_map(|(d, a, b, p)| Op::Sel { d, a, b, p }),
-        (arb_pred(), arb_cmp(), any::<bool>(), arb_reg(), arb_srcb(), arb_pred_src())
-            .prop_map(|(p, cmp, u32, a, b, combine)| Op::Isetp { p, cmp, u32, a, b, combine }),
-        (arb_reg(), arb_reg(), any::<u32>()).prop_map(|(d, a, mask)| Op::P2r { d, a, mask }),
-        (arb_reg(), any::<u32>()).prop_map(|(a, mask)| Op::R2p { a, mask }),
-        (arb_reg(), prop::sample::select(&SpecialReg::ALL[..])).prop_map(|(d, sr)| Op::S2r { d, sr }),
-        (arb_space(), arb_width(), arb_reg(), arb_addr())
-            .prop_map(|(space, width, d, addr)| Op::Ld { space, width, d, addr }),
-        (arb_space(), arb_width(), arb_addr(), arb_reg())
-            .prop_map(|(space, width, addr, src)| Op::St { space, width, addr, src }),
-        Just(Op::BarSync),
-        (0u32..10_000).prop_map(|target| Op::Bra { target }),
-        Just(Op::Exit),
-        Just(Op::Nop),
-    ]
+fn arb_space(r: &mut XorShiftRng) -> MemSpace {
+    if arb_bool(r) {
+        MemSpace::Global
+    } else {
+        MemSpace::Shared
+    }
 }
 
-fn arb_ctrl() -> impl Strategy<Value = Ctrl> {
-    (
-        0u8..16,
-        any::<bool>(),
-        prop::option::of(0u8..6),
-        prop::option::of(0u8..6),
-        0u8..64,
-        0u8..16,
-    )
-        .prop_map(|(stall, yield_flag, write_bar, read_bar, wait_mask, reuse)| Ctrl {
-            stall,
-            yield_flag,
-            write_bar,
-            read_bar,
-            wait_mask,
-            reuse,
-        })
+fn arb_op(r: &mut XorShiftRng) -> Op {
+    match r.next_u64() % 26 {
+        0 => Op::Ffma {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            b: arb_srcb(r),
+            c: arb_reg(r),
+            neg_b: arb_bool(r),
+            neg_c: arb_bool(r),
+        },
+        1 => Op::Fadd {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            neg_a: arb_bool(r),
+            b: arb_srcb(r),
+            neg_b: arb_bool(r),
+        },
+        2 => Op::Fmul {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            b: arb_srcb(r),
+            neg_b: arb_bool(r),
+        },
+        3 => Op::Hfma2 {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            b: arb_srcb(r),
+            c: arb_reg(r),
+        },
+        4 => Op::Hadd2 {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            neg_a: arb_bool(r),
+            b: arb_srcb(r),
+            neg_b: arb_bool(r),
+        },
+        5 => Op::Hmul2 {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            b: arb_srcb(r),
+        },
+        6 => Op::Fsetp {
+            p: arb_pred(r),
+            cmp: arb_cmp(r),
+            a: arb_reg(r),
+            b: arb_srcb(r),
+            combine: arb_pred_src(r),
+        },
+        7 => Op::Iadd3 {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            neg_a: arb_bool(r),
+            b: arb_srcb(r),
+            neg_b: arb_bool(r),
+            c: arb_reg(r),
+            neg_c: arb_bool(r),
+        },
+        8 => Op::Imad {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            b: arb_srcb(r),
+            c: arb_reg(r),
+        },
+        9 => Op::ImadHi {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            b: arb_srcb(r),
+            c: arb_reg(r),
+        },
+        10 => Op::ImadWide {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            b: arb_srcb(r),
+            c: arb_reg(r),
+        },
+        11 => Op::Lea {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            b: arb_srcb(r),
+            shift: (r.next_u32() % 32) as u8,
+        },
+        12 => Op::Lop3 {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            b: arb_srcb(r),
+            c: arb_reg(r),
+            lut: (r.next_u32() & 0xff) as u8,
+        },
+        13 => Op::Shf {
+            d: arb_reg(r),
+            lo: arb_reg(r),
+            shift: arb_srcb(r),
+            hi: arb_reg(r),
+            right: arb_bool(r),
+            u32_mode: arb_bool(r),
+        },
+        14 => Op::Mov {
+            d: arb_reg(r),
+            b: arb_srcb(r),
+        },
+        15 => Op::Sel {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            b: arb_srcb(r),
+            p: arb_pred_src(r),
+        },
+        16 => Op::Isetp {
+            p: arb_pred(r),
+            cmp: arb_cmp(r),
+            u32: arb_bool(r),
+            a: arb_reg(r),
+            b: arb_srcb(r),
+            combine: arb_pred_src(r),
+        },
+        17 => Op::P2r {
+            d: arb_reg(r),
+            a: arb_reg(r),
+            mask: r.next_u32(),
+        },
+        18 => Op::R2p {
+            a: arb_reg(r),
+            mask: r.next_u32(),
+        },
+        19 => Op::S2r {
+            d: arb_reg(r),
+            sr: SpecialReg::ALL[r.gen_index(SpecialReg::ALL.len())],
+        },
+        20 => Op::Ld {
+            space: arb_space(r),
+            width: arb_width(r),
+            d: arb_reg(r),
+            addr: arb_addr(r),
+        },
+        21 => Op::St {
+            space: arb_space(r),
+            width: arb_width(r),
+            addr: arb_addr(r),
+            src: arb_reg(r),
+        },
+        22 => Op::BarSync,
+        23 => Op::Bra {
+            target: r.next_u32() % 10_000,
+        },
+        24 => Op::Exit,
+        _ => Op::Nop,
+    }
 }
 
-fn arb_guard() -> impl Strategy<Value = PredGuard> {
-    (arb_pred(), any::<bool>()).prop_map(|(pred, neg)| PredGuard { pred, neg })
+fn arb_ctrl(r: &mut XorShiftRng) -> Ctrl {
+    Ctrl {
+        stall: (r.next_u32() % 16) as u8,
+        yield_flag: arb_bool(r),
+        write_bar: if arb_bool(r) {
+            Some((r.next_u32() % 6) as u8)
+        } else {
+            None
+        },
+        read_bar: if arb_bool(r) {
+            Some((r.next_u32() % 6) as u8)
+        } else {
+            None
+        },
+        wait_mask: (r.next_u32() % 64) as u8,
+        reuse: (r.next_u32() % 16) as u8,
+    }
 }
 
-fn arb_inst() -> impl Strategy<Value = Instruction> {
-    (arb_guard(), arb_op(), arb_ctrl()).prop_map(|(guard, op, ctrl)| Instruction { guard, op, ctrl })
+fn arb_guard(r: &mut XorShiftRng) -> PredGuard {
+    PredGuard {
+        pred: arb_pred(r),
+        neg: arb_bool(r),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn arb_inst(r: &mut XorShiftRng) -> Instruction {
+    Instruction {
+        guard: arb_guard(r),
+        op: arb_op(r),
+        ctrl: arb_ctrl(r),
+    }
+}
 
-    #[test]
-    fn encode_decode_round_trip(inst in arb_inst()) {
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = XorShiftRng::new(0xE2CD_0001);
+    for case in 0..512 {
+        let inst = arb_inst(&mut rng);
         let w = encode(&inst);
         let back = decode(w).expect("decode must succeed on encoder output");
-        prop_assert_eq!(back, inst);
+        assert_eq!(back, inst, "case {case}");
     }
+}
 
-    #[test]
-    fn cubin_round_trip(insts in prop::collection::vec(arb_inst(), 0..64), smem in 0u32..65536) {
+#[test]
+fn cubin_round_trip() {
+    let mut rng = XorShiftRng::new(0xCB14_0002);
+    for case in 0..512 {
+        let n = rng.gen_index(64);
+        let insts: Vec<Instruction> = (0..n).map(|_| arb_inst(&mut rng)).collect();
+        let smem = rng.next_u32() % 65536;
         let m = Module::new("prop", smem, 64, insts);
         let back = Module::from_cubin(&m.to_cubin()).expect("container round-trip");
-        prop_assert_eq!(back, m);
+        assert_eq!(back, m, "case {case}");
     }
 }
 
 /// Instructions whose textual form is unambiguous enough to survive an
 /// assemble→disassemble→assemble loop (reuse flags on non-register operands
 /// are dropped by design, and `.reuse` is only printed for ALU shapes).
-fn arb_textual_inst() -> impl Strategy<Value = Instruction> {
-    (arb_guard(), arb_op(), 0u8..16, any::<bool>()).prop_map(|(guard, op, stall, y)| Instruction {
-        guard,
-        op,
-        ctrl: Ctrl::new().with_stall(stall).then_yield(y),
-    })
-}
-
-trait CtrlExt {
-    fn then_yield(self, y: bool) -> Ctrl;
-}
-impl CtrlExt for Ctrl {
-    fn then_yield(mut self, y: bool) -> Ctrl {
-        self.yield_flag = y;
-        self
+fn arb_textual_inst(r: &mut XorShiftRng) -> Instruction {
+    let mut ctrl = Ctrl::new().with_stall((r.next_u32() % 16) as u8);
+    ctrl.yield_flag = arb_bool(r);
+    Instruction {
+        guard: arb_guard(r),
+        op: arb_op(r),
+        ctrl,
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn disasm_asm_round_trip(insts in prop::collection::vec(arb_textual_inst(), 1..32)) {
+#[test]
+fn disasm_asm_round_trip() {
+    let mut rng = XorShiftRng::new(0xD15A_0003);
+    for case in 0..512 {
+        let n = 1 + rng.gen_index(31);
         // Clamp branch targets into range so labels resolve.
-        let n = insts.len() as u32;
-        let insts: Vec<Instruction> = insts
-            .into_iter()
-            .map(|mut i| {
+        let insts: Vec<Instruction> = (0..n)
+            .map(|_| {
+                let mut i = arb_textual_inst(&mut rng);
                 if let Op::Bra { target } = i.op {
-                    i.op = Op::Bra { target: target % n };
+                    i.op = Op::Bra {
+                        target: target % n as u32,
+                    };
                 }
                 i
             })
             .collect();
         let text = disassemble(&insts);
-        let m = assemble(&text).unwrap_or_else(|e| panic!("assemble failed: {e}\n{text}"));
-        prop_assert_eq!(m.insts, insts, "\n{}", text);
+        let m =
+            assemble(&text).unwrap_or_else(|e| panic!("case {case}: assemble failed: {e}\n{text}"));
+        assert_eq!(m.insts, insts, "case {case}:\n{}", text);
     }
 }

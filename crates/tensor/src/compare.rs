@@ -27,7 +27,13 @@ impl std::fmt::Display for CompareReport {
         write!(
             f,
             "max_abs={:.3e} max_rel={:.3e} bad={}/{} worst@{}: {} vs {}",
-            self.max_abs, self.max_rel, self.num_bad, self.len, self.worst_index, self.worst_pair.0, self.worst_pair.1
+            self.max_abs,
+            self.max_rel,
+            self.num_bad,
+            self.len,
+            self.worst_index,
+            self.worst_pair.0,
+            self.worst_pair.1
         )
     }
 }

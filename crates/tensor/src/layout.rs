@@ -54,7 +54,11 @@ impl Layout {
     /// Create a contiguous row-major layout with dims given in storage order.
     pub fn new(kind: LayoutKind, dims: [usize; 4]) -> Self {
         let strides = [dims[1] * dims[2] * dims[3], dims[2] * dims[3], dims[3], 1];
-        Layout { kind, dims, strides }
+        Layout {
+            kind,
+            dims,
+            strides,
+        }
     }
 
     pub fn kind(&self) -> LayoutKind {

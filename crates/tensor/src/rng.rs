@@ -15,7 +15,11 @@ impl XorShiftRng {
     /// Seed must be nonzero; a zero seed is mapped to a fixed constant.
     pub fn new(seed: u64) -> Self {
         XorShiftRng {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

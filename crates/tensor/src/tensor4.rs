@@ -24,7 +24,11 @@ impl Tensor4 {
     }
 
     /// Tensor filled by `f(i0, i1, i2, i3)` over storage-order indices.
-    pub fn from_fn(kind: LayoutKind, dims: [usize; 4], mut f: impl FnMut(usize, usize, usize, usize) -> f32) -> Self {
+    pub fn from_fn(
+        kind: LayoutKind,
+        dims: [usize; 4],
+        mut f: impl FnMut(usize, usize, usize, usize) -> f32,
+    ) -> Self {
         let mut t = Tensor4::zeros(kind, dims);
         for i0 in 0..dims[0] {
             for i1 in 0..dims[1] {
@@ -50,7 +54,11 @@ impl Tensor4 {
     /// Wrap an existing buffer. Panics if the length does not match the dims.
     pub fn from_vec(kind: LayoutKind, dims: [usize; 4], data: Vec<f32>) -> Self {
         let layout = Layout::new(kind, dims);
-        assert_eq!(data.len(), layout.len(), "buffer length does not match dims");
+        assert_eq!(
+            data.len(),
+            layout.len(),
+            "buffer length does not match dims"
+        );
         Tensor4 { layout, data }
     }
 
@@ -108,10 +116,9 @@ impl Tensor4 {
         let perm: Vec<usize> = dst_axes
             .iter()
             .map(|&a| {
-                src_axes
-                    .iter()
-                    .position(|&s| s == a)
-                    .unwrap_or_else(|| panic!("layouts {} and {} have different axes", self.kind(), kind))
+                src_axes.iter().position(|&s| s == a).unwrap_or_else(|| {
+                    panic!("layouts {} and {} have different axes", self.kind(), kind)
+                })
             })
             .collect();
         let src_dims = self.dims();

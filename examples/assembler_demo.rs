@@ -46,10 +46,13 @@ fn main() {
     );
 
     // Show the 128-bit encodings (Figure 6 layout) next to the disassembly.
-    println!("{:>32}  {}", "encoding (hex)", "disassembly");
+    println!("{:>32}  disassembly", "encoding (hex)");
     for inst in &module.insts {
         let word = encode(inst);
-        println!("{word:032x}  {}", winograd_gpu::sass::disasm::inst_text(inst));
+        println!(
+            "{word:032x}  {}",
+            winograd_gpu::sass::disasm::inst_text(inst)
+        );
     }
 
     // Serialize to the cubin container and reload — the path a real
@@ -72,11 +75,16 @@ fn main() {
     let y: Vec<f32> = (0..n).map(|i| 1000.0 + i as f32).collect();
     let xp = gpu.alloc_upload_f32(&x);
     let yp = gpu.alloc_upload_f32(&y);
-    let params = ParamBuilder::new().push_ptr(xp).push_ptr(yp).push_f32(2.5).build();
-    gpu.launch(&reloaded, LaunchDims::linear(1, n), &params).expect("launch");
+    let params = ParamBuilder::new()
+        .push_ptr(xp)
+        .push_ptr(yp)
+        .push_f32(2.5)
+        .build();
+    gpu.launch(&reloaded, LaunchDims::linear(1, n), &params)
+        .expect("launch");
     let out = gpu.mem.download_f32(yp, n as usize).unwrap();
-    for i in 0..n as usize {
-        assert_eq!(out[i], 2.5 * i as f32 + 1000.0 + i as f32);
+    for (i, &v) in out.iter().enumerate() {
+        assert_eq!(v, 2.5 * i as f32 + 1000.0 + i as f32);
     }
     println!("axpy on the simulator: OK (y[10] = {})", out[10]);
 }

@@ -12,13 +12,21 @@ use winograd_gpu::wino_core::{conv2d_direct, Algo, Conv, ConvProblem};
 
 fn main() {
     // ResNet Conv3 at batch 32 (Table 1): 3×3 filters, pad 1.
-    let problem = ConvProblem::resnet3x3(/*n=*/ 32, /*c=*/ 128, /*hw=*/ 28, /*k=*/ 128);
+    let problem = ConvProblem::resnet3x3(
+        /*n=*/ 32, /*c=*/ 128, /*hw=*/ 28, /*k=*/ 128,
+    );
     println!(
         "problem: N={} C={} H=W={} K={} (3x3, pad 1)",
         problem.n, problem.c, problem.h, problem.k
     );
 
-    let input = Tensor4::random(LayoutKind::Nchw, [problem.n, problem.c, problem.h, problem.w], -1.0, 1.0, 1);
+    let input = Tensor4::random(
+        LayoutKind::Nchw,
+        [problem.n, problem.c, problem.h, problem.w],
+        -1.0,
+        1.0,
+        1,
+    );
     let filter = Tensor4::random(LayoutKind::Kcrs, [problem.k, problem.c, 3, 3], -1.0, 1.0, 2);
 
     let conv = Conv::new(problem, DeviceSpec::v100());
@@ -39,7 +47,11 @@ fn main() {
 
     // 3. Time it with the cycle-level model, next to the baselines.
     println!("\nsimulated timings:");
-    for algo in [Algo::OursFused, Algo::CudnnWinograd, Algo::ImplicitPrecompGemm] {
+    for algo in [
+        Algo::OursFused,
+        Algo::CudnnWinograd,
+        Algo::ImplicitPrecompGemm,
+    ] {
         let t = conv.time(algo);
         println!(
             "  {:<24} {:>8.1} us   {:>6.2} effective TFLOPS",

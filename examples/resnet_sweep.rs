@@ -13,7 +13,11 @@ use winograd_gpu::wino_core::{Algo, Conv};
 fn main() {
     let batch = 32;
     for dev in [DeviceSpec::rtx2070(), DeviceSpec::v100()] {
-        println!("== {} (peak {:.1} TFLOPS fp32) ==", dev.name, dev.peak_fp32_flops() / 1e12);
+        println!(
+            "== {} (peak {:.1} TFLOPS fp32) ==",
+            dev.name,
+            dev.peak_fp32_flops() / 1e12
+        );
         println!(
             "{:<10} {:>12} {:>12} {:>9} {:>14}",
             "layer", "ours (us)", "cuDNN (us)", "speedup", "main-loop SOL%"

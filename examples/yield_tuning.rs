@@ -35,5 +35,8 @@ fn main() {
         "\nNatural vs cuDNN strategy: {:.2}x   (paper §6.1: ~1.11x)",
         results[2] / results[0]
     );
-    println!("Natural vs NVCC strategy:  {:.2}x   (paper §6.1: ~1.09x)", results[2] / results[1]);
+    println!(
+        "Natural vs NVCC strategy:  {:.2}x   (paper §6.1: ~1.09x)",
+        results[2] / results[1]
+    );
 }

@@ -31,7 +31,8 @@ fn text_to_cubin_to_execution() {
     let data: Vec<f32> = (0..256).map(|i| i as f32).collect();
     let p = gpu.alloc_upload_f32(&data);
     let params = ParamBuilder::new().push_ptr(p).build();
-    gpu.launch(&reloaded, LaunchDims::linear(4, 64), &params).unwrap();
+    gpu.launch(&reloaded, LaunchDims::linear(4, 64), &params)
+        .unwrap();
     let out = gpu.mem.download_f32(p, 256).unwrap();
     for (i, v) in out.iter().enumerate() {
         assert_eq!(*v, 3.0 * i as f32);
@@ -57,9 +58,13 @@ fn fused_kernel_survives_text_round_trip() {
     };
     let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 26);
     let n_in = 8 * 6 * 6 * 32;
-    let input: Vec<f32> = (0..n_in).map(|i| ((i * 37) % 13) as f32 / 7.0 - 0.5).collect();
+    let input: Vec<f32> = (0..n_in)
+        .map(|i| ((i * 37) % 13) as f32 / 7.0 - 0.5)
+        .collect();
     let d_in = gpu.alloc_upload_f32(&input);
-    let tf: Vec<f32> = (0..8 * 16 * 64).map(|i| ((i * 41) % 11) as f32 / 5.0 - 1.0).collect();
+    let tf: Vec<f32> = (0..8 * 16 * 64)
+        .map(|i| ((i * 41) % 11) as f32 / 5.0 - 1.0)
+        .collect();
     let d_tf = gpu.alloc_upload_f32(&tf);
     let d_out = gpu.alloc(64 * 6 * 6 * 32 * 4);
     let params = kern.params(d_in, d_tf, d_out);
@@ -73,7 +78,8 @@ fn fused_kernel_survives_text_round_trip() {
     let d_tf2 = gpu2.alloc_upload_f32(&tf);
     let d_out2 = gpu2.alloc(64 * 6 * 6 * 32 * 4);
     let params2 = kern.params(d_in2, d_tf2, d_out2);
-    gpu2.launch(&kern.module, kern.launch_dims(), &params2).unwrap();
+    gpu2.launch(&kern.module, kern.launch_dims(), &params2)
+        .unwrap();
     let b = gpu2.mem.download_f32(d_out2, 64 * 6 * 6 * 32).unwrap();
     assert_eq!(a, b);
 }

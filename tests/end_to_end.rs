@@ -50,7 +50,12 @@ fn timing_pipeline_reports_consistent_metrics() {
     assert!(t.tflops_effective > 0.0);
     let k = t.kernel.expect("kernel timing present");
     assert!(k.sol_pct > 10.0 && k.sol_pct <= 100.0, "SOL {}", k.sol_pct);
-    assert!(k.sol_total_pct <= k.sol_pct + 1.0, "total {} vs main {}", k.sol_total_pct, k.sol_pct);
+    assert!(
+        k.sol_total_pct <= k.sol_pct + 1.0,
+        "total {} vs main {}",
+        k.sol_total_pct,
+        k.sol_pct
+    );
     assert!(k.wave_cycles > 0 && k.waves >= 1);
 }
 
@@ -63,7 +68,13 @@ fn fused_winograd_beats_gemm_and_cudnn_like() {
         let ours = conv.time(Algo::OursFused).time_s;
         let cudnn = conv.time(Algo::CudnnWinograd).time_s;
         let gemm = conv.time(Algo::ImplicitPrecompGemm).time_s;
-        assert!(ours < cudnn, "{}: ours {} vs cudnn {}", dev.name, ours, cudnn);
+        assert!(
+            ours < cudnn,
+            "{}: ours {} vs cudnn {}",
+            dev.name,
+            ours,
+            cudnn
+        );
         assert!(ours < gemm, "{}: ours {} vs gemm {}", dev.name, ours, gemm);
         // §7.1: the speedup over cuDNN is larger on Turing than on Volta.
         if dev.name == "RTX2070" {
@@ -95,9 +106,15 @@ fn conv5_prefers_nonfused_winograd() {
     let conv5 = Conv::new(ConvProblem::resnet3x3(64, 512, 7, 512), dev.clone());
     let ours5 = conv5.time(Algo::OursFused).time_s;
     let nf5 = conv5.time(Algo::WinogradNonfused).time_s;
-    assert!(nf5 < ours5 * 1.25, "Conv5: non-fused {nf5} should rival fused {ours5}");
+    assert!(
+        nf5 < ours5 * 1.25,
+        "Conv5: non-fused {nf5} should rival fused {ours5}"
+    );
     let conv2 = Conv::new(ConvProblem::resnet3x3(32, 64, 56, 64), dev);
     let ours2 = conv2.time(Algo::OursFused).time_s;
     let nf2 = conv2.time(Algo::WinogradNonfused).time_s;
-    assert!(ours2 < nf2, "Conv2: fused {ours2} should beat non-fused {nf2}");
+    assert!(
+        ours2 < nf2,
+        "Conv2: fused {ours2} should beat non-fused {nf2}"
+    );
 }
