@@ -4,7 +4,7 @@
 //!  * yield/LDG/STS strategy deltas on V100 (complementing Figs. 7-9).
 
 use bench::report::Report;
-use bench::Table;
+use bench::{mainloop_sweep, Table};
 use gpusim::DeviceSpec;
 use kernels::{LdgStrategy, StsStrategy, YieldStrategy};
 use wino_core::{Conv, ConvProblem};
@@ -18,10 +18,38 @@ fn main() {
     let p = ConvProblem::resnet3x3(64, 128, 28, 128);
     let conv = Conv::new(p, dev.clone());
 
-    let mut report = Report::from_args("ablation");
     let base = conv.ours_config();
+    let variants = {
+        let mut v_no_p2r = base;
+        v_no_p2r.use_p2r = false;
+        let mut v_bk32 = base;
+        v_bk32.bk = 32;
+        v_bk32.smem_override = Some(48 * 1024);
+        let mut v_yield = base;
+        v_yield.yield_strategy = YieldStrategy::Cudnn;
+        let mut v_ldg2 = base;
+        v_ldg2.ldg = LdgStrategy::Ldg2;
+        let mut v_sts2 = base;
+        v_sts2.sts = StsStrategy::Sts2;
+        // §8.4 port: same kernel, NCHW input partitioning — quantifies what
+        // the §4.2 CHWN layout choice buys.
+        let v_nchw = kernels::FusedConfig::ours_nchw(128, 28, 28, 64, 128);
+        // §8.3 fp16 port: bn = 64, half2 arithmetic — two element-FLOPs per
+        // lane-instruction on the same FP32 pipe.
+        let v_fp16 = kernels::FusedConfig::ours_fp16(128, 28, 28, 128, 128);
+        [
+            base, v_no_p2r, v_bk32, v_yield, v_ldg2, v_sts2, v_nchw, v_fp16,
+        ]
+    };
+    let points = variants
+        .iter()
+        .map(|&cfg| (Conv::new(p, dev.clone()), cfg))
+        .collect();
+    let mut tf_it = mainloop_sweep("ablation", points).into_iter();
+
+    let mut report = Report::from_args("ablation");
     let mut t = Table::new(&["variant", "main-loop TFLOPS", "vs base"]);
-    let (_, base_tf) = conv.time_fused_mainloop(base);
+    let base_tf = tf_it.next().unwrap();
     t.row(vec![
         "base (bk=64, P2R, Natural, LDG8, STS6)".into(),
         format!("{base_tf:.2}"),
@@ -43,84 +71,24 @@ fn main() {
     };
     record("base", base_tf);
 
-    let mut v = base;
-    v.use_p2r = false;
-    let (_, tf) = conv.time_fused_mainloop(v);
-    t.row(vec![
-        "no P2R (recompute masks in loop)".into(),
-        format!("{tf:.2}"),
-        format!("{:.3}x", tf / base_tf),
-    ]);
-    record("no_p2r", tf);
-
-    let mut v = base;
-    v.bk = 32;
-    v.smem_override = Some(48 * 1024);
-    let (_, tf) = conv.time_fused_mainloop(v);
-    t.row(vec![
-        "bk=32 (halved cache block)".into(),
-        format!("{tf:.2}"),
-        format!("{:.3}x", tf / base_tf),
-    ]);
-    record("bk32", tf);
-
-    let mut v = base;
-    v.yield_strategy = YieldStrategy::Cudnn;
-    let (_, tf) = conv.time_fused_mainloop(v);
-    t.row(vec![
-        "yield every 7 (cuDNN)".into(),
-        format!("{tf:.2}"),
-        format!("{:.3}x", tf / base_tf),
-    ]);
-    record("yield_cudnn", tf);
-
-    let mut v = base;
-    v.ldg = LdgStrategy::Ldg2;
-    let (_, tf) = conv.time_fused_mainloop(v);
-    t.row(vec![
-        "LDG2".into(),
-        format!("{tf:.2}"),
-        format!("{:.3}x", tf / base_tf),
-    ]);
-    record("ldg2", tf);
-
-    let mut v = base;
-    v.sts = StsStrategy::Sts2;
-    let (_, tf) = conv.time_fused_mainloop(v);
-    t.row(vec![
-        "STS2".into(),
-        format!("{tf:.2}"),
-        format!("{:.3}x", tf / base_tf),
-    ]);
-    record("sts2", tf);
-
-    // §8.4 port: same kernel, NCHW input partitioning — quantifies what the
-    // §4.2 CHWN layout choice buys.
-    let v = kernels::FusedConfig::ours_nchw(128, 28, 28, 64, 128);
-    let (_, tf) = conv.time_fused_mainloop(kernels::FusedConfig {
-        main_loop_only: true,
-        ..v
-    });
-    t.row(vec![
-        "NCHW input port (§8.4)".into(),
-        format!("{tf:.2}"),
-        format!("{:.3}x", tf / base_tf),
-    ]);
-    record("nchw_port", tf);
-
-    // §8.3 fp16 port: bn = 64, half2 arithmetic — two element-FLOPs per
-    // lane-instruction on the same FP32 pipe.
-    let v = kernels::FusedConfig::ours_fp16(128, 28, 28, 128, 128);
-    let (_, tf) = conv.time_fused_mainloop(kernels::FusedConfig {
-        main_loop_only: true,
-        ..v
-    });
-    t.row(vec![
-        "fp16 port, bn=64 (§8.3)".into(),
-        format!("{tf:.2}"),
-        format!("{:.3}x", tf / base_tf),
-    ]);
-    record("fp16_port", tf);
+    let rows = [
+        ("no P2R (recompute masks in loop)", "no_p2r"),
+        ("bk=32 (halved cache block)", "bk32"),
+        ("yield every 7 (cuDNN)", "yield_cudnn"),
+        ("LDG2", "ldg2"),
+        ("STS2", "sts2"),
+        ("NCHW input port (§8.4)", "nchw_port"),
+        ("fp16 port, bn=64 (§8.3)", "fp16_port"),
+    ];
+    for (title, key) in rows {
+        let tf = tf_it.next().unwrap();
+        t.row(vec![
+            title.into(),
+            format!("{tf:.2}"),
+            format!("{:.3}x", tf / base_tf),
+        ]);
+        record(key, tf);
+    }
 
     t.print();
     report.finish();

@@ -6,6 +6,7 @@
 //!            precomp|nonfused|fft|fft-tiling|all] [--n N] [--c C] [--hw HW]
 //!            [--k K] [--layer Conv2|Conv3|Conv4|Conv5] [--verify]
 //!            [--profile] [--json PATH] [--trace PATH]
+//!            [--jobs N] [--cache|--no-cache] [--cache-dir PATH] [--selfcheck]
 //! ```
 //!
 //! `--profile` runs the fused kernel through the cycle simulator with
@@ -110,6 +111,13 @@ fn parse_args() -> Result<Args, String> {
                 trace = Some(value(&args, i)?);
                 i += 2;
             }
+            // Sweep-engine flags, parsed by `SweepOptions::from_args` inside
+            // `time_sweep`; accepted here so the strict parser passes them.
+            "--jobs" | "--cache-dir" => {
+                value(&args, i)?;
+                i += 2;
+            }
+            "--cache" | "--no-cache" | "--selfcheck" => i += 1,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -180,6 +188,11 @@ fn main() {
         "{}  N={} C={} HxW={}x{} K={}",
         device.name, problem.n, problem.c, problem.h, problem.w, problem.k
     );
+    let points = algos
+        .iter()
+        .map(|&a| (Conv::new(problem, device.clone()), a))
+        .collect();
+    let timings = bench::time_sweep("convbench", points);
     let conv = Conv::new(problem, device);
 
     let reference = if verify {
@@ -201,8 +214,7 @@ fn main() {
         "{:<24} {:>10} {:>9} {:>11} {:>9}",
         "algorithm", "time (us)", "eff TF", "wkspc (MB)", "verify"
     );
-    for &algo in &algos {
-        let t = conv.time(algo);
+    for (&algo, t) in algos.iter().zip(&timings) {
         let v = match &reference {
             Some((input, filter, want)) => {
                 let got = conv.run(algo, input, filter);

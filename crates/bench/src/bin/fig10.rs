@@ -2,7 +2,7 @@
 //! kernel ("Total") and main loop. Paper: main loop 87.5-93%, total ≥ ~80%.
 
 use bench::report::Report;
-use bench::{configs, label, Table};
+use bench::{configs, label, time_sweep, Table};
 use gpusim::DeviceSpec;
 use wino_core::{Algo, Conv};
 
@@ -13,11 +13,16 @@ fn main() {
 pub fn run(dev: DeviceSpec, fig: &str, name: &str, experiment: &str) {
     println!("{fig}: Speed of Light (simulated {name})");
     println!("Paper: main loop up to ~93%, total above ~80% for large batch\n");
+    let points = configs()
+        .into_iter()
+        .map(|(layer, n)| (Conv::new(layer.problem(n), dev.clone()), Algo::OursFused))
+        .collect();
+    let mut timings = time_sweep(experiment, points).into_iter();
+
     let mut report = Report::from_args(experiment);
     let mut t = Table::new(&["layer", "Total %", "Main loop %"]);
     for (layer, n) in configs() {
-        let conv = Conv::new(layer.problem(n), dev.clone());
-        let timing = conv.time(Algo::OursFused);
+        let timing = timings.next().unwrap();
         let k = timing.kernel.expect("fused kernel timing");
         t.row(vec![
             label(&layer, n),

@@ -1,7 +1,7 @@
 //! Figure 11: Speed-of-Light on V100 (see fig10).
 
 use bench::report::Report;
-use bench::{configs, label, Table};
+use bench::{configs, label, time_sweep, Table};
 use gpusim::DeviceSpec;
 use wino_core::{Algo, Conv};
 
@@ -9,11 +9,16 @@ fn main() {
     let dev = DeviceSpec::v100();
     println!("Figure 11: Speed of Light (simulated V100)");
     println!("Paper: main loop up to ~93%, total ~75-95%\n");
+    let points = configs()
+        .into_iter()
+        .map(|(layer, n)| (Conv::new(layer.problem(n), dev.clone()), Algo::OursFused))
+        .collect();
+    let mut timings = time_sweep("fig11", points).into_iter();
+
     let mut report = Report::from_args("fig11");
     let mut t = Table::new(&["layer", "Total %", "Main loop %"]);
     for (layer, n) in configs() {
-        let conv = Conv::new(layer.problem(n), dev.clone());
-        let timing = conv.time(Algo::OursFused);
+        let timing = timings.next().unwrap();
         let k = timing.kernel.expect("fused kernel timing");
         t.row(vec![
             label(&layer, n),

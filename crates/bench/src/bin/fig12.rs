@@ -3,7 +3,7 @@
 //! all but WINOGRAD_NONFUSED on Conv5 (where F(4×4)'s 4× reduction wins).
 
 use bench::report::Report;
-use bench::{configs, label, x, Table};
+use bench::{configs, label, time_sweep, x, Table};
 use gpusim::DeviceSpec;
 use wino_core::{Algo, Conv};
 
@@ -17,7 +17,6 @@ pub fn run(dev: DeviceSpec, fig: &str, experiment: &str) {
         "{fig}: speedup of ours over all other algorithms (simulated {})\n",
         dev.name
     );
-    let mut report = Report::from_args(experiment);
     let algos = [
         Algo::Fft,
         Algo::FftTiling,
@@ -26,17 +25,26 @@ pub fn run(dev: DeviceSpec, fig: &str, experiment: &str) {
         Algo::ImplicitPrecompGemm,
         Algo::WinogradNonfused,
     ];
+    let mut points = Vec::new();
+    for (layer, n) in configs() {
+        points.push((Conv::new(layer.problem(n), dev.clone()), Algo::OursFused));
+        for a in algos {
+            points.push((Conv::new(layer.problem(n), dev.clone()), a));
+        }
+    }
+    let mut timings = time_sweep(experiment, points).into_iter();
+
+    let mut report = Report::from_args(experiment);
     let mut headers = vec!["layer"];
     for a in &algos {
         headers.push(a.name());
     }
     let mut t = Table::new(&headers);
     for (layer, n) in configs() {
-        let conv = Conv::new(layer.problem(n), dev.clone());
-        let ours = conv.time(Algo::OursFused).time_s;
+        let ours = timings.next().unwrap().time_s;
         let mut row = vec![label(&layer, n)];
         for a in algos {
-            let other = conv.time(a).time_s;
+            let other = timings.next().unwrap().time_s;
             row.push(x(other / ours));
             report.add(
                 dev.name,

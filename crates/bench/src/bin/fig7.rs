@@ -3,32 +3,37 @@
 //! 1.09× over NVCC's every-8 and 1.11× over cuDNN's every-7 heuristic.
 
 use bench::report::Report;
-use bench::{configs, label, Table};
+use bench::{configs, conv_for, label, mainloop_sweep, Table};
 use gpusim::DeviceSpec;
 use kernels::YieldStrategy;
-use wino_core::Conv;
 
 fn main() {
     println!("Figure 7: main-loop TFLOPS by yield strategy (simulated RTX 2070)");
     println!("Paper: Natural ~1.09-1.11x over NVCC/cuDNN heuristics\n");
     let dev = DeviceSpec::rtx2070();
+    let strategies = [
+        ("cudnn", YieldStrategy::Cudnn),
+        ("nvcc", YieldStrategy::Nvcc),
+        ("natural", YieldStrategy::Natural),
+    ];
+    let mut points = Vec::new();
+    for (layer, n) in configs() {
+        for (_, strat) in strategies {
+            let conv = conv_for(&layer, n, &dev);
+            let mut cfg = conv.ours_config();
+            cfg.yield_strategy = strat;
+            points.push((conv, cfg));
+        }
+    }
+    let mut tflops_it = mainloop_sweep("fig7", points).into_iter();
+
     let mut report = Report::from_args("fig7");
     let mut t = Table::new(&["layer", "cuDNN", "NVCC", "Natural"]);
     let mut sums = [0.0f64; 3];
     for (layer, n) in configs() {
-        let conv = Conv::new(layer.problem(n), dev.clone());
         let mut row = vec![label(&layer, n)];
-        for (i, (name, strat)) in [
-            ("cudnn", YieldStrategy::Cudnn),
-            ("nvcc", YieldStrategy::Nvcc),
-            ("natural", YieldStrategy::Natural),
-        ]
-        .iter()
-        .enumerate()
-        {
-            let mut cfg = conv.ours_config();
-            cfg.yield_strategy = *strat;
-            let (_, tflops) = conv.time_fused_mainloop(cfg);
+        for (i, (name, _)) in strategies.iter().enumerate() {
+            let tflops = tflops_it.next().unwrap();
             sums[i] += tflops;
             row.push(format!("{tflops:.2}"));
             report.add(

@@ -3,32 +3,37 @@
 //! to 1.24×.
 
 use bench::report::Report;
-use bench::{configs, label, Table};
+use bench::{configs, conv_for, label, mainloop_sweep, Table};
 use gpusim::DeviceSpec;
 use kernels::LdgStrategy;
-use wino_core::Conv;
 
 fn main() {
     println!("Figure 8: main-loop TFLOPS by LDG interleave (simulated RTX 2070)");
     println!("Paper: LDG8 up to 1.24x over LDG2\n");
     let dev = DeviceSpec::rtx2070();
+    let strategies = [
+        ("ldg2", LdgStrategy::Ldg2),
+        ("ldg4", LdgStrategy::Ldg4),
+        ("ldg8", LdgStrategy::Ldg8),
+    ];
+    let mut points = Vec::new();
+    for (layer, n) in configs() {
+        for (_, strat) in strategies {
+            let conv = conv_for(&layer, n, &dev);
+            let mut cfg = conv.ours_config();
+            cfg.ldg = strat;
+            points.push((conv, cfg));
+        }
+    }
+    let mut tflops_it = mainloop_sweep("fig8", points).into_iter();
+
     let mut report = Report::from_args("fig8");
     let mut t = Table::new(&["layer", "LDG2", "LDG4", "LDG8"]);
     let mut sums = [0.0f64; 3];
     for (layer, n) in configs() {
-        let conv = Conv::new(layer.problem(n), dev.clone());
         let mut row = vec![label(&layer, n)];
-        for (i, (name, strat)) in [
-            ("ldg2", LdgStrategy::Ldg2),
-            ("ldg4", LdgStrategy::Ldg4),
-            ("ldg8", LdgStrategy::Ldg8),
-        ]
-        .iter()
-        .enumerate()
-        {
-            let mut cfg = conv.ours_config();
-            cfg.ldg = *strat;
-            let (_, tflops) = conv.time_fused_mainloop(cfg);
+        for (i, (name, _)) in strategies.iter().enumerate() {
+            let tflops = tflops_it.next().unwrap();
             sums[i] += tflops;
             row.push(format!("{tflops:.2}"));
             report.add(

@@ -2,32 +2,37 @@
 //! (RTX 2070). Paper: STS6 is ~2% over STS2.
 
 use bench::report::Report;
-use bench::{configs, label, Table};
+use bench::{configs, conv_for, label, mainloop_sweep, Table};
 use gpusim::DeviceSpec;
 use kernels::StsStrategy;
-use wino_core::Conv;
 
 fn main() {
     println!("Figure 9: main-loop TFLOPS by STS interleave (simulated RTX 2070)");
     println!("Paper: STS6 ~2% over STS2\n");
     let dev = DeviceSpec::rtx2070();
+    let strategies = [
+        ("sts2", StsStrategy::Sts2),
+        ("sts4", StsStrategy::Sts4),
+        ("sts6", StsStrategy::Sts6),
+    ];
+    let mut points = Vec::new();
+    for (layer, n) in configs() {
+        for (_, strat) in strategies {
+            let conv = conv_for(&layer, n, &dev);
+            let mut cfg = conv.ours_config();
+            cfg.sts = strat;
+            points.push((conv, cfg));
+        }
+    }
+    let mut tflops_it = mainloop_sweep("fig9", points).into_iter();
+
     let mut report = Report::from_args("fig9");
     let mut t = Table::new(&["layer", "STS2", "STS4", "STS6"]);
     let mut sums = [0.0f64; 3];
     for (layer, n) in configs() {
-        let conv = Conv::new(layer.problem(n), dev.clone());
         let mut row = vec![label(&layer, n)];
-        for (i, (name, strat)) in [
-            ("sts2", StsStrategy::Sts2),
-            ("sts4", StsStrategy::Sts4),
-            ("sts6", StsStrategy::Sts6),
-        ]
-        .iter()
-        .enumerate()
-        {
-            let mut cfg = conv.ours_config();
-            cfg.sts = *strat;
-            let (_, tflops) = conv.time_fused_mainloop(cfg);
+        for (i, (name, _)) in strategies.iter().enumerate() {
+            let tflops = tflops_it.next().unwrap();
             sums[i] += tflops;
             row.push(format!("{tflops:.2}"));
             report.add(

@@ -5,7 +5,7 @@
 //! 2.25× multiplication reduction.
 
 use bench::report::Report;
-use bench::{conv_for, x, Table};
+use bench::{conv_for, time_sweep, x, Table};
 use gpusim::DeviceSpec;
 use wino_core::resnet::{BATCH_SIZES, RESNET_LAYERS};
 use wino_core::Algo;
@@ -14,15 +14,23 @@ fn main() {
     println!("Table 2: cuDNN-like Winograd vs GEMM-based convolution (simulated V100)");
     println!("Paper: 0.81x-1.67x, average 1.4x\n");
     let dev = DeviceSpec::v100();
+    let mut points = Vec::new();
+    for n in BATCH_SIZES {
+        for layer in RESNET_LAYERS {
+            points.push((conv_for(&layer, n, &dev), Algo::CudnnWinograd));
+            points.push((conv_for(&layer, n, &dev), Algo::ImplicitPrecompGemm));
+        }
+    }
+    let mut timings = time_sweep("table2", points).into_iter();
+
     let mut report = Report::from_args("table2");
     let mut t = Table::new(&["N", "Conv2", "Conv3", "Conv4", "Conv5"]);
     let mut all = Vec::new();
     for n in BATCH_SIZES {
         let mut row = vec![n.to_string()];
         for layer in RESNET_LAYERS {
-            let conv = conv_for(&layer, n, &dev);
-            let wino = conv.time(Algo::CudnnWinograd).time_s;
-            let gemm = conv.time(Algo::ImplicitPrecompGemm).time_s;
+            let wino = timings.next().unwrap().time_s;
+            let gemm = timings.next().unwrap().time_s;
             let sp = gemm / wino;
             all.push(sp);
             row.push(x(sp));

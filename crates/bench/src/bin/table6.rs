@@ -6,7 +6,7 @@
 //! RTX2070 speedups exceed V100's (cuDNN gets 2 blocks/SM on V100 only).
 
 use bench::report::Report;
-use bench::{conv_for, x, Table};
+use bench::{conv_for, time_sweep, x, Table};
 use gpusim::DeviceSpec;
 use wino_core::resnet::{BATCH_SIZES, RESNET_LAYERS};
 use wino_core::Algo;
@@ -14,17 +14,28 @@ use wino_core::Algo;
 fn main() {
     println!("Table 6: speedup over the cuDNN-like fused Winograd convolution");
     println!("Paper: RTX2070 1.65x-2.65x (avg 1.95x); V100 1.23x-2.13x (avg 1.5x)\n");
+    let devices = [DeviceSpec::rtx2070(), DeviceSpec::v100()];
+    let mut points = Vec::new();
+    for dev in &devices {
+        for n in BATCH_SIZES {
+            for layer in RESNET_LAYERS {
+                points.push((conv_for(&layer, n, dev), Algo::OursFused));
+                points.push((conv_for(&layer, n, dev), Algo::CudnnWinograd));
+            }
+        }
+    }
+    let mut timings = time_sweep("table6", points).into_iter();
+
     let mut report = Report::from_args("table6");
-    for dev in [DeviceSpec::rtx2070(), DeviceSpec::v100()] {
+    for dev in devices {
         println!("{}:", dev.name);
         let mut t = Table::new(&["N", "Conv2", "Conv3", "Conv4", "Conv5"]);
         let mut all = Vec::new();
         for n in BATCH_SIZES {
             let mut row = vec![n.to_string()];
             for layer in RESNET_LAYERS {
-                let conv = conv_for(&layer, n, &dev);
-                let ours = conv.time(Algo::OursFused).time_s;
-                let cudnn = conv.time(Algo::CudnnWinograd).time_s;
+                let ours = timings.next().unwrap().time_s;
+                let cudnn = timings.next().unwrap().time_s;
                 let sp = cudnn / ours;
                 all.push(sp);
                 row.push(x(sp));

@@ -1,7 +1,10 @@
 //! Table 7: parameters of our implementation vs cuDNN 7.6.1's Winograd,
 //! with the §7.1 occupancy consequence on both devices.
 
+use bench::json::{obj, Json};
 use bench::report::Report;
+use bench::simcache::CacheKey;
+use bench::sweep::Sweep;
 use bench::Table;
 use gpusim::DeviceSpec;
 use kernels::{FusedConfig, FusedKernel};
@@ -9,57 +12,106 @@ use perfmodel::kernel_table;
 
 fn main() {
     println!("Table 7: kernel parameters\n");
+    let devices = [DeviceSpec::v100(), DeviceSpec::rtx2070()];
+    let [ours, cudnn] = kernel_table();
+    let mut sw = Sweep::from_args("table7");
+    for (which, p) in [("ours", ours), ("cudnn", cudnn)] {
+        let devices = devices.clone();
+        let mut d = gpusim::Digest::new();
+        for dev in &devices {
+            dev.digest_into(&mut d);
+        }
+        d.str("table7")
+            .str(which)
+            .u64(bench::ANALYTIC_MODEL_VERSION);
+        sw.point(CacheKey::from_digest(&d), move || {
+            obj(&[
+                ("bk", p.bk.into()),
+                ("bn", p.bn.into()),
+                ("bc", p.bc.into()),
+                ("threads_per_block", p.threads_per_block.into()),
+                ("smem_per_block", p.smem_per_block.into()),
+                ("regs_per_thread", p.regs_per_thread.into()),
+                ("regs_per_block", p.regs_per_block().into()),
+                ("blocks_per_sm_v100", p.blocks_per_sm(&devices[0]).into()),
+                ("blocks_per_sm_rtx2070", p.blocks_per_sm(&devices[1]).into()),
+            ])
+        });
+    }
+    let results = sw.run().results;
+    let g = |r: &Json, k: &str| -> u64 {
+        r.get(k)
+            .and_then(|v| v.as_f64())
+            .expect("valid kernel-parameter record") as u64
+    };
+    let (r_ours, r_cudnn) = (&results[0], &results[1]);
+
     let mut report = Report::from_args("table7");
     let mut t = Table::new(&["Parameters", "Ours", "cuDNN's"]);
-    let [ours, cudnn] = kernel_table();
     t.row(vec![
         "(bk, bn, bc)".into(),
-        format!("({},{},{})", ours.bk, ours.bn, ours.bc),
-        format!("({},{},{})", cudnn.bk, cudnn.bn, cudnn.bc),
+        format!(
+            "({},{},{})",
+            g(r_ours, "bk"),
+            g(r_ours, "bn"),
+            g(r_ours, "bc")
+        ),
+        format!(
+            "({},{},{})",
+            g(r_cudnn, "bk"),
+            g(r_cudnn, "bn"),
+            g(r_cudnn, "bc")
+        ),
     ]);
     t.row(vec![
         "Threads per block".into(),
-        ours.threads_per_block.to_string(),
-        cudnn.threads_per_block.to_string(),
+        g(r_ours, "threads_per_block").to_string(),
+        g(r_cudnn, "threads_per_block").to_string(),
     ]);
     t.row(vec![
         "SMEM per block".into(),
-        format!("{}KB", ours.smem_per_block / 1024),
-        format!("{}KB", cudnn.smem_per_block / 1024),
+        format!("{}KB", g(r_ours, "smem_per_block") / 1024),
+        format!("{}KB", g(r_cudnn, "smem_per_block") / 1024),
     ]);
     t.row(vec![
         "Registers per thread".into(),
-        ours.regs_per_thread.to_string(),
-        cudnn.regs_per_thread.to_string(),
+        g(r_ours, "regs_per_thread").to_string(),
+        g(r_cudnn, "regs_per_thread").to_string(),
     ]);
     t.row(vec![
         "Registers per block".into(),
-        ours.regs_per_block().to_string(),
-        cudnn.regs_per_block().to_string(),
+        g(r_ours, "regs_per_block").to_string(),
+        g(r_cudnn, "regs_per_block").to_string(),
     ]);
-    for dev in [DeviceSpec::v100(), DeviceSpec::rtx2070()] {
+    for (dev, key) in [
+        (&devices[0], "blocks_per_sm_v100"),
+        (&devices[1], "blocks_per_sm_rtx2070"),
+    ] {
         t.row(vec![
             format!("Blocks/SM on {}", dev.name),
-            ours.blocks_per_sm(&dev).to_string(),
-            cudnn.blocks_per_sm(&dev).to_string(),
+            g(r_ours, key).to_string(),
+            g(r_cudnn, key).to_string(),
         ]);
     }
     t.print();
 
-    for (which, p) in [("ours", &ours), ("cudnn", &cudnn)] {
-        for dev in [DeviceSpec::v100(), DeviceSpec::rtx2070()] {
+    for (which, r) in [("ours", r_ours), ("cudnn", r_cudnn)] {
+        for (dev, key) in [
+            (&devices[0], "blocks_per_sm_v100"),
+            (&devices[1], "blocks_per_sm_rtx2070"),
+        ] {
             report.add(
                 dev.name,
                 &[("kernel", which.into())],
                 &[
-                    ("bk", p.bk.into()),
-                    ("bn", p.bn.into()),
-                    ("bc", p.bc.into()),
-                    ("threads_per_block", p.threads_per_block.into()),
-                    ("smem_per_block", p.smem_per_block.into()),
-                    ("regs_per_thread", p.regs_per_thread.into()),
-                    ("regs_per_block", p.regs_per_block().into()),
-                    ("blocks_per_sm", p.blocks_per_sm(&dev).into()),
+                    ("bk", g(r, "bk").into()),
+                    ("bn", g(r, "bn").into()),
+                    ("bc", g(r, "bc").into()),
+                    ("threads_per_block", g(r, "threads_per_block").into()),
+                    ("smem_per_block", g(r, "smem_per_block").into()),
+                    ("regs_per_thread", g(r, "regs_per_thread").into()),
+                    ("regs_per_block", g(r, "regs_per_block").into()),
+                    ("blocks_per_sm", g(r, key).into()),
                 ],
             );
         }

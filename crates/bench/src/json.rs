@@ -3,7 +3,7 @@
 //! dependencies, by design — the container builds offline.
 //!
 //! Every experiment binary accepts `--json <path>` and writes an array of
-//! records `{experiment, device, config, metrics}` via [`Report`], so
+//! records `{experiment, device, config, metrics}` via [`crate::report::Report`], so
 //! downstream tooling can consume the same numbers the printed tables show.
 
 use std::fmt::Write as _;

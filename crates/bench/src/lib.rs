@@ -11,10 +11,17 @@
 pub mod harness;
 pub mod json;
 pub mod report;
+pub mod simcache;
+pub mod sweep;
 
 use gpusim::DeviceSpec;
+use kernels::FusedConfig;
 use wino_core::resnet::{eval_grid, ResnetLayer};
-use wino_core::{Conv, ConvProblem};
+use wino_core::{AlgoTiming, Conv, ConvProblem};
+
+use crate::simcache::CacheKey;
+use crate::sweep::Sweep;
+pub use wino_core::Algo;
 
 /// The 16 `(layer, batch)` points used by Tables 2/6 and Figs. 7–13.
 pub fn configs() -> Vec<(ResnetLayer, usize)> {
@@ -34,6 +41,63 @@ pub fn conv_for(layer: &ResnetLayer, n: usize, dev: &DeviceSpec) -> Conv {
 /// A convolution problem for one grid point.
 pub fn problem_for(layer: &ResnetLayer, n: usize) -> ConvProblem {
     layer.problem(n)
+}
+
+/// Evaluate [`Conv::time`] for every `(conv, algo)` point on the sweep
+/// engine ([`sweep::Sweep::from_args`]: `--jobs/--cache/...` respected) and
+/// return the timings in registration order. Each point is content-addressed
+/// by [`Conv::time_digest`], so cached and fresh results are
+/// indistinguishable bit-for-bit.
+pub fn time_sweep(name: &str, points: Vec<(Conv, Algo)>) -> Vec<AlgoTiming> {
+    let mut sw = Sweep::from_args(name);
+    for (conv, algo) in points {
+        let key = CacheKey::from_digest(&conv.time_digest(algo));
+        sw.point(key, move || simcache::algo_timing_to_json(&conv.time(algo)));
+    }
+    sw.run()
+        .results
+        .iter()
+        .map(|r| simcache::algo_timing_from_json(r).expect("valid algo-timing cache record"))
+        .collect()
+}
+
+/// Evaluate [`Conv::time_fused_mainloop`] for every `(conv, cfg)` point on
+/// the sweep engine and return the main-loop region TFLOPS in registration
+/// order (the Figures 7–9 / ablation measurement). Points are
+/// content-addressed by [`Conv::mainloop_digest`].
+pub fn mainloop_sweep(name: &str, points: Vec<(Conv, FusedConfig)>) -> Vec<f64> {
+    let mut sw = Sweep::from_args(name);
+    for (conv, cfg) in points {
+        let key = CacheKey::from_digest(&conv.mainloop_digest(cfg));
+        sw.point(key, move || {
+            let (_, tflops) = conv.time_fused_mainloop(cfg);
+            json::obj(&[("mainloop_tflops", tflops.into())])
+        });
+    }
+    sw.run()
+        .results
+        .iter()
+        .map(|r| {
+            r.get("mainloop_tflops")
+                .and_then(json::Json::as_f64)
+                .expect("valid mainloop cache record")
+        })
+        .collect()
+}
+
+/// Version tag mixed into the cache keys of *analytic* experiment points
+/// (roofline/workspace/break-even formulas with no simulated kernel whose
+/// bytes could be hashed). Bump when any analytic model formula changes so
+/// stale cache entries invalidate.
+pub const ANALYTIC_MODEL_VERSION: u64 = 1;
+
+/// Cache key for an analytic point: device + a caller-chosen label that
+/// encodes every remaining input + [`ANALYTIC_MODEL_VERSION`].
+pub fn analytic_key(dev: &DeviceSpec, label: &str) -> CacheKey {
+    let mut d = gpusim::Digest::new();
+    dev.digest_into(&mut d);
+    d.str(label).u64(ANALYTIC_MODEL_VERSION);
+    CacheKey::from_digest(&d)
 }
 
 /// Render a simple aligned table.

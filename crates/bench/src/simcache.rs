@@ -1,0 +1,251 @@
+//! `simcache` — the persistent, content-addressed result cache behind the
+//! sweep engine ([`crate::sweep`]).
+//!
+//! Every cacheable grid point carries a [`CacheKey`]: a stable 128-bit
+//! digest (see [`gpusim::digest`]) of everything its simulation depends on —
+//! device spec, assembled program bytes, launch configuration and
+//! [`gpusim::TimingOptions`]. The point's result (a [`Json`] record) is
+//! stored under `<cache-dir>/<hex-digest>.json`, one file per point, so:
+//!
+//! * a warm rerun of a figure binary loads every point from disk and is
+//!   near-instant;
+//! * touching one kernel emitter changes that kernel's program bytes, hence
+//!   only the affected points' digests — everything else still hits;
+//! * the cache needs no invalidation logic, no manifest and no locking
+//!   beyond atomic file replacement (write-to-temp + rename), because a key
+//!   can only ever map to one value.
+//!
+//! The default location is `target/simcache/`; every experiment binary
+//! accepts `--cache-dir PATH` to relocate it and `--no-cache` to bypass it
+//! (see [`crate::sweep::SweepOptions`]).
+
+use std::path::{Path, PathBuf};
+
+use gpusim::KernelTiming;
+use wino_core::{Algo, AlgoTiming};
+
+use crate::json::{obj, parse, Json};
+
+/// Content address of one sweep point: 32 lowercase hex chars from
+/// [`gpusim::Digest`]. Also usable directly as a filename stem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheKey(String);
+
+impl CacheKey {
+    /// Wrap a finished digest. Accepts any non-empty string of `[0-9a-f]`;
+    /// panics otherwise — keys must come from a digest, not free text.
+    pub fn new(hex: String) -> Self {
+        assert!(
+            !hex.is_empty() && hex.bytes().all(|c| c.is_ascii_hexdigit()),
+            "cache key must be a hex digest, got {hex:?}"
+        );
+        CacheKey(hex.to_ascii_lowercase())
+    }
+
+    /// Finish a [`gpusim::Digest`] into a key.
+    pub fn from_digest(d: &gpusim::Digest) -> Self {
+        CacheKey(d.hex())
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A directory of `<key>.json` result files.
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Open (and create, on first write) a store at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Store { dir: dir.into() }
+    }
+
+    /// The default store location, shared by all experiment binaries.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("target/simcache")
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.as_str()))
+    }
+
+    /// Look a key up; `None` on miss or an unreadable/corrupt entry (a
+    /// corrupt file is treated as a miss and overwritten on store).
+    pub fn load(&self, key: &CacheKey) -> Option<Json> {
+        let text = std::fs::read_to_string(self.path_of(key)).ok()?;
+        parse(&text).ok()
+    }
+
+    /// Persist a value. Failures to write are reported on stderr but not
+    /// fatal — a broken cache must never break an experiment run.
+    pub fn store(&self, key: &CacheKey, value: &Json) {
+        if let Err(e) = self.try_store(key, value) {
+            eprintln!(
+                "[simcache] warning: failed to store {}: {e}",
+                self.path_of(key).display()
+            );
+        }
+    }
+
+    fn try_store(&self, key: &CacheKey, value: &Json) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let final_path = self.path_of(key);
+        // Atomic publish: concurrent writers of the same key (same content,
+        // by construction) race benignly on the rename.
+        let tmp = self
+            .dir
+            .join(format!("{}.tmp.{}", key.as_str(), std::process::id()));
+        std::fs::write(&tmp, value.render() + "\n")?;
+        std::fs::rename(&tmp, &final_path)
+    }
+}
+
+/// Serialize a [`KernelTiming`] to a JSON object. The per-line stall
+/// profile is intentionally dropped: it is an observability artifact, large,
+/// and never consulted by the experiment tables.
+pub fn timing_to_json(t: &KernelTiming) -> Json {
+    obj(&[
+        ("wave_cycles", t.wave_cycles.into()),
+        ("waves", t.waves.into()),
+        ("blocks_per_sm", t.blocks_per_sm.into()),
+        ("total_blocks", t.total_blocks.into()),
+        ("time_s", t.time_s.into()),
+        ("flops", t.flops.into()),
+        ("tflops", t.tflops.into()),
+        ("sol_pct", t.sol_pct.into()),
+        ("sol_total_pct", t.sol_total_pct.into()),
+        ("issue_util_pct", t.issue_util_pct.into()),
+        ("dram_bytes", t.dram_bytes.into()),
+        ("dram_time_s", t.dram_time_s.into()),
+        ("region_cycles", t.region_cycles.into()),
+        (
+            "reg_bank_conflict_cycles",
+            t.reg_bank_conflict_cycles.into(),
+        ),
+        ("smem_conflict_cycles", t.smem_conflict_cycles.into()),
+        ("yield_switch_cycles", t.yield_switch_cycles.into()),
+        (
+            "idle_breakdown",
+            Json::Arr(t.idle_breakdown.iter().map(|&v| v.into()).collect()),
+        ),
+    ])
+}
+
+/// Reconstruct a [`KernelTiming`] from [`timing_to_json`] output. Returns
+/// `None` if any field is missing or mistyped (`profile` is restored as
+/// `None`).
+pub fn timing_from_json(j: &Json) -> Option<KernelTiming> {
+    let f = |k: &str| j.get(k)?.as_f64();
+    let u = |k: &str| Some(f(k)? as u64);
+    let idle = j.get("idle_breakdown")?.as_arr()?;
+    if idle.len() != 5 {
+        return None;
+    }
+    let mut idle_breakdown = [0u64; 5];
+    for (slot, v) in idle_breakdown.iter_mut().zip(idle) {
+        *slot = v.as_f64()? as u64;
+    }
+    Some(KernelTiming {
+        wave_cycles: u("wave_cycles")?,
+        waves: u("waves")?,
+        blocks_per_sm: u("blocks_per_sm")? as u32,
+        total_blocks: u("total_blocks")?,
+        time_s: f("time_s")?,
+        flops: f("flops")?,
+        tflops: f("tflops")?,
+        sol_pct: f("sol_pct")?,
+        sol_total_pct: f("sol_total_pct")?,
+        issue_util_pct: f("issue_util_pct")?,
+        dram_bytes: u("dram_bytes")?,
+        dram_time_s: f("dram_time_s")?,
+        region_cycles: u("region_cycles")?,
+        reg_bank_conflict_cycles: u("reg_bank_conflict_cycles")?,
+        smem_conflict_cycles: u("smem_conflict_cycles")?,
+        yield_switch_cycles: u("yield_switch_cycles")?,
+        idle_breakdown,
+        profile: None,
+    })
+}
+
+/// Serialize a whole [`AlgoTiming`] (the [`wino_core::Conv::time`] result):
+/// algorithm, totals, phase breakdown, and the dominant kernel's
+/// [`KernelTiming`] when one ran.
+pub fn algo_timing_to_json(t: &AlgoTiming) -> Json {
+    obj(&[
+        ("algo", t.algo.name().into()),
+        ("time_s", t.time_s.into()),
+        ("tflops_effective", t.tflops_effective.into()),
+        (
+            "kernel",
+            match &t.kernel {
+                Some(k) => timing_to_json(k),
+                None => Json::Null,
+            },
+        ),
+        (
+            "phases",
+            Json::Arr(
+                t.phases
+                    .iter()
+                    .map(|(name, s)| obj(&[("phase", name.as_str().into()), ("s", (*s).into())]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Reconstruct an [`AlgoTiming`] from [`algo_timing_to_json`] output.
+pub fn algo_timing_from_json(j: &Json) -> Option<AlgoTiming> {
+    let name = j.get("algo")?.as_str()?;
+    let algo = Algo::ALL.into_iter().find(|a| a.name() == name)?;
+    let kernel = match j.get("kernel")? {
+        Json::Null => None,
+        k => Some(timing_from_json(k)?),
+    };
+    let mut phases = Vec::new();
+    for p in j.get("phases")?.as_arr()? {
+        phases.push((p.get("phase")?.as_str()?.to_string(), p.get("s")?.as_f64()?));
+    }
+    Some(AlgoTiming {
+        algo,
+        time_s: j.get("time_s")?.as_f64()?,
+        tflops_effective: j.get("tflops_effective")?.as_f64()?,
+        kernel,
+        phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_validates_hex() {
+        CacheKey::new("0123abcdef".into());
+    }
+
+    #[test]
+    #[should_panic(expected = "hex digest")]
+    fn key_rejects_free_text() {
+        CacheKey::new("../escape".into());
+    }
+
+    #[test]
+    fn store_round_trips() {
+        let dir = std::env::temp_dir().join(format!("simcache-test-{}", std::process::id()));
+        let store = Store::new(&dir);
+        let key = CacheKey::new("deadbeef".into());
+        assert_eq!(store.load(&key), None);
+        let v = obj(&[("time_us", 12.5.into()), ("label", "x".into())]);
+        store.store(&key, &v);
+        assert_eq!(store.load(&key), Some(v));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,137 @@
+//! Cache-correctness regression tests for the sweep engine: real simulator
+//! timings driven through `bench::sweep` + `bench::simcache`, pinning the
+//! properties the experiment binaries rely on —
+//!
+//! * determinism (selfcheck: every point evaluated twice yields identical
+//!   JSON);
+//! * a warm rerun hits every point and reproduces the cold run bit-for-bit;
+//! * changing one kernel's program invalidates exactly that point;
+//! * `KernelTiming` survives the JSON round trip (store → load → equal).
+
+use bench::json::obj;
+use bench::simcache::{timing_from_json, timing_to_json, CacheKey, Store};
+use bench::sweep::{Sweep, SweepOptions};
+use gpusim::{DeviceSpec, Gpu, LaunchDims, TimingOptions};
+use sass::assemble;
+
+const K1: &str = "MOV R0, 0x1;\nEXIT;";
+const K2: &str = "MOV R0, 0x2;\nEXIT;";
+const K3: &str = "MOV R0, 0x3;\nEXIT;";
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sweep-cache-{}-{}", tag, std::process::id()))
+}
+
+fn opts(dir: &std::path::Path, selfcheck: bool) -> SweepOptions {
+    SweepOptions {
+        jobs: 2,
+        cache: true,
+        cache_dir: dir.into(),
+        selfcheck,
+        quiet: true,
+    }
+}
+
+/// Register a real cycle-simulator timing of `src`, content-addressed the
+/// same way the experiment binaries do it.
+fn sim_point(sw: &mut Sweep, src: &'static str) {
+    let dev = DeviceSpec::rtx2070();
+    let module = assemble(src).unwrap();
+    let dims = LaunchDims::linear(2, 32);
+    let key = CacheKey::new(gpusim::timing_digest(
+        &dev,
+        &module,
+        dims,
+        &[],
+        TimingOptions::default(),
+    ));
+    sw.point(key, move || {
+        let mut gpu = Gpu::new(dev.clone(), 1 << 20);
+        let t = gpusim::timing::time_kernel(&mut gpu, &module, dims, &[], TimingOptions::default())
+            .expect("test kernel times");
+        timing_to_json(&t)
+    });
+}
+
+#[test]
+fn warm_rerun_hits_everything_and_matches_cold_bit_for_bit() {
+    let dir = tmpdir("warm");
+    std::fs::remove_dir_all(&dir).ok();
+    let run = |selfcheck| {
+        let mut sw = Sweep::new("it-warm", opts(&dir, selfcheck));
+        for src in [K1, K2, K3] {
+            sim_point(&mut sw, src);
+        }
+        sw.run()
+    };
+    // Cold, with the determinism audit on: every miss is evaluated twice
+    // and must produce identical JSON.
+    let cold = run(true);
+    assert_eq!((cold.hits, cold.misses), (0, 3));
+    let warm = run(false);
+    assert_eq!((warm.hits, warm.misses), (3, 0));
+    for (c, w) in cold.results.iter().zip(&warm.results) {
+        assert_eq!(c.render(), w.render());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn changing_one_kernel_invalidates_only_that_point() {
+    let dir = tmpdir("invalidate");
+    std::fs::remove_dir_all(&dir).ok();
+    let run = |srcs: [&'static str; 3]| {
+        let mut sw = Sweep::new("it-inv", opts(&dir, false));
+        for src in srcs {
+            sim_point(&mut sw, src);
+        }
+        sw.run()
+    };
+    let first = run([K1, K2, K3]);
+    assert_eq!((first.hits, first.misses), (0, 3));
+    // One program changed: exactly that point re-simulates.
+    let second = run([K1, "MOV R0, 0x7;\nEXIT;", K3]);
+    assert_eq!((second.hits, second.misses), (2, 1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kernel_timing_survives_json_round_trip() {
+    let dev = DeviceSpec::v100();
+    let module = assemble(K1).unwrap();
+    let mut gpu = Gpu::new(dev, 1 << 20);
+    let t = gpusim::timing::time_kernel(
+        &mut gpu,
+        &module,
+        LaunchDims::linear(2, 32),
+        &[],
+        TimingOptions::default(),
+    )
+    .expect("test kernel times");
+    let j = timing_to_json(&t);
+    let back = timing_from_json(&j).expect("timing record parses back");
+    assert_eq!(j.render(), timing_to_json(&back).render());
+    assert_eq!(t.time_s, back.time_s);
+    assert_eq!(t.wave_cycles, back.wave_cycles);
+    assert_eq!(t.idle_breakdown, back.idle_breakdown);
+    assert!(back.profile.is_none());
+}
+
+#[test]
+fn store_load_round_trips_awkward_floats_exactly() {
+    // store → load goes through render + parse; the JSON layer guarantees
+    // exact f64 round trips, so a cache hit is bit-identical to a miss.
+    let dir = tmpdir("floats");
+    std::fs::remove_dir_all(&dir).ok();
+    let store = Store::new(&dir);
+    let key = CacheKey::new("f00d".into());
+    let v = obj(&[
+        ("tenth", 0.1f64.into()),
+        ("third", (1.0f64 / 3.0).into()),
+        ("tiny", 4.9e-324f64.into()),
+        ("neg", (-0.0f64).into()),
+    ]);
+    store.store(&key, &v);
+    assert_eq!(store.load(&key), Some(v));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -17,7 +17,8 @@
 //! memory-bound phases cuDNN runs as separate kernels; DESIGN.md §1
 //! documents the substitution.
 
-use gpusim::{DeviceSpec, Gpu, KernelTiming, LaunchDims, ParamBuilder, TimingOptions};
+use gpusim::digest::module_digest;
+use gpusim::{DeviceSpec, Digest, Gpu, KernelTiming, LaunchDims, ParamBuilder, TimingOptions};
 use kernels::filter_transform::emit_filter_transform;
 use kernels::gemm::{GemmConfig, GemmKernel};
 use kernels::{FusedConfig, FusedKernel};
@@ -543,6 +544,76 @@ impl Conv {
         let cap = (bytes + bytes / 2 + (1 << 24)) as usize;
         Gpu::new(self.device.clone(), cap.next_power_of_two())
     }
+
+    // ---- content digests for the sweep cache -----------------------------------
+
+    /// Everything every timing path depends on besides the kernels: device,
+    /// problem shape, and the analytic-model constants.
+    fn base_digest(&self) -> Digest {
+        let p = &self.problem;
+        let mut d = Digest::new();
+        self.device.digest_into(&mut d);
+        for v in [p.n, p.c, p.h, p.w, p.k, p.r, p.s, p.pad] {
+            d.u64(v as u64);
+        }
+        d.f64(LAUNCH_OVERHEAD_S).f64(MEM_EFF);
+        d
+    }
+
+    /// Content address of [`Conv::time`] for `algo`: device + problem +
+    /// model constants + the exact bytes and launch geometry of every kernel
+    /// the path simulates. Emission is pure codegen (microseconds), so
+    /// computing the digest is cheap relative to a simulation; a change to a
+    /// kernel emitter changes the program bytes and hence the address, while
+    /// unrelated kernels keep their cache entries.
+    pub fn time_digest(&self, algo: Algo) -> Digest {
+        let p = &self.problem;
+        let mut d = self.base_digest();
+        d.str(algo.name());
+        match algo {
+            Algo::OursFused | Algo::CudnnWinograd => {
+                let fx = emit_filter_transform(p.c as u32, p.k as u32);
+                module_digest(&fx, &mut d);
+                LaunchDims::linear((p.c * p.k / 256) as u32, 256).digest_into(&mut d);
+                let kern = FusedKernel::emit(self.fused_config(algo));
+                module_digest(&kern.module, &mut d);
+                kern.launch_dims().digest_into(&mut d);
+                d.u32(kern.region.0).u32(kern.region.1);
+            }
+            Algo::Gemm | Algo::ImplicitGemm | Algo::ImplicitPrecompGemm => {
+                let kern = GemmKernel::emit(self.gemm_config(algo));
+                module_digest(&kern.module, &mut d);
+                kern.launch_dims().digest_into(&mut d);
+            }
+            Algo::WinogradNonfused => {
+                let tiles = (p.out_h().div_ceil(4) * p.out_w().div_ceil(4) * p.n) as u32;
+                let n_pad = tiles.div_ceil(128) * 128;
+                let cfg = GemmConfig::new(p.k as u32, n_pad, p.c as u32).batched(36);
+                let kern = GemmKernel::emit(cfg);
+                module_digest(&kern.module, &mut d);
+                kern.launch_dims().digest_into(&mut d);
+            }
+            // Purely analytic: device + problem + constants say it all.
+            Algo::Fft | Algo::FftTiling => {}
+        }
+        d
+    }
+
+    /// Content address of [`Conv::time_fused_mainloop`] for `cfg` (the
+    /// Figures 7–9 sweeps): device + problem + constants + the emitted
+    /// main-loop-only kernel's bytes, launch geometry, timed region, and the
+    /// FLOP count the region TFLOPS figure divides by.
+    pub fn mainloop_digest(&self, mut cfg: FusedConfig) -> Digest {
+        cfg.main_loop_only = true;
+        let kern = FusedKernel::emit(cfg);
+        let mut d = self.base_digest();
+        d.str("mainloop");
+        module_digest(&kern.module, &mut d);
+        kern.launch_dims().digest_into(&mut d);
+        d.u32(kern.region.0).u32(kern.region.1);
+        d.f64(cfg.mainloop_flops_per_block());
+        d
+    }
 }
 
 #[cfg(test)]
@@ -622,6 +693,24 @@ mod tests {
         assert!(conv.workspace_bytes(Algo::Fft) > 100 * ours);
         assert_eq!(conv.workspace_bytes(Algo::ImplicitGemm), 0);
         assert!(conv.workspace_bytes(Algo::WinogradNonfused) > ours);
+    }
+
+    #[test]
+    fn time_digests_separate_algos_and_problems() {
+        let conv = Conv::new(ConvProblem::resnet3x3(32, 64, 14, 64), DeviceSpec::v100());
+        let a = conv.time_digest(Algo::OursFused).hex();
+        // Deterministic, and sensitive to algorithm, problem, and device.
+        assert_eq!(a, conv.time_digest(Algo::OursFused).hex());
+        assert_ne!(a, conv.time_digest(Algo::CudnnWinograd).hex());
+        let bigger = Conv::new(ConvProblem::resnet3x3(64, 64, 14, 64), DeviceSpec::v100());
+        assert_ne!(a, bigger.time_digest(Algo::OursFused).hex());
+        let turing = Conv::new(
+            ConvProblem::resnet3x3(32, 64, 14, 64),
+            DeviceSpec::rtx2070(),
+        );
+        assert_ne!(a, turing.time_digest(Algo::OursFused).hex());
+        // The main-loop sweep digest is its own namespace.
+        assert_ne!(a, conv.mainloop_digest(conv.ours_config()).hex());
     }
 
     #[test]

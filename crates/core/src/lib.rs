@@ -10,7 +10,7 @@
 //! Layering:
 //!
 //! * [`transforms`] — the `F(m×m, 3×3)` Winograd transform matrices;
-//! * [`reference`], [`winograd_host`], [`im2col`], [`fft`] — host (CPU)
+//! * [`mod@reference`], [`winograd_host`], [`im2col`], [`fft`] — host (CPU)
 //!   implementations of every algorithm, used as correctness oracles;
 //! * [`conv`] — the GPU-facing API dispatching to the SASS kernels in the
 //!   `kernels` crate and the simulator in `gpusim`;

@@ -25,6 +25,7 @@
 //! analytic across waves (all blocks of these kernels are identical).
 
 pub mod device;
+pub mod digest;
 pub mod exec;
 pub mod launch;
 pub mod memory;
@@ -32,6 +33,7 @@ pub mod simprof;
 pub mod timing;
 
 pub use device::{Arch, DeviceSpec};
+pub use digest::{timing_digest, Digest};
 pub use exec::{ExecEnv, ExecError, StepEvent, Warp, WARP_SIZE};
 pub use launch::{Gpu, LaunchDims, LaunchError};
 pub use memory::{ConstBank, DevPtr, GlobalMemory, MemError, ParamBuilder, PARAM_BASE};
