@@ -18,4 +18,21 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== metricsdiff against committed baselines =="
+# Perf-regression gate: regenerate the three baseline experiments with
+# hardware counters on and compare metric-for-metric against baselines/.
+# Tolerances: 2% relative by default; 5% on the classifier-pressure
+# metrics (headroom_pct, *_pressure, eligible_warps_avg) — see
+# crates/bench/src/metricsdiff.rs. The simulator is deterministic, so a
+# clean tree reproduces the baselines exactly; any drift is a real
+# behaviour change and must come with regenerated baselines (see
+# EXPERIMENTS.md, "Metrics baselines").
+fresh="$(mktemp -d)"
+trap 'rm -rf "$fresh"' EXIT
+./target/release/table2 --metrics --json "$fresh/table2.json" > /dev/null
+./target/release/fig7 --metrics --json "$fresh/fig7.json" > /dev/null
+./target/release/ablation --metrics --json "$fresh/ablation.json" > /dev/null
+./target/release/metricsdiff --baseline baselines \
+  "$fresh/table2.json" "$fresh/fig7.json" "$fresh/ablation.json"
+
 echo "CI green."

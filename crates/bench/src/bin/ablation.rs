@@ -91,5 +91,37 @@ fn main() {
     }
 
     t.print();
+
+    if bench::metrics::wanted() {
+        let keys = [
+            "base",
+            "no_p2r",
+            "bk32",
+            "yield_cudnn",
+            "ldg2",
+            "sts2",
+            "nchw_port",
+            "fp16_port",
+        ];
+        let points = variants
+            .iter()
+            .map(|&cfg| (Conv::new(p, dev.clone()), cfg))
+            .collect();
+        bench::metrics::add_mainloop_metrics_records(
+            &mut report,
+            "ablation-metrics",
+            points,
+            |i| {
+                (
+                    dev.name.to_string(),
+                    vec![
+                        ("layer", "Conv3".into()),
+                        ("n", 64usize.into()),
+                        ("variant", keys[i].into()),
+                    ],
+                )
+            },
+        );
+    }
     report.finish();
 }

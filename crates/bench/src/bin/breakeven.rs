@@ -84,6 +84,22 @@ fn main() {
             );
         }
         println!();
+
+        // `--metrics`: roofline classification of the two contenders' batched
+        // GEMM steps — fused F(2x2) runs at bk=64 intensity, the non-fused
+        // F(4x4) pipeline at the bk=32 intensity cuDNN ships (§3.3).
+        if bench::metrics::wanted() {
+            for (kernel, bk) in [("fused_f2", 64.0), ("nonfused_f4", 32.0)] {
+                report.add(
+                    dev.name,
+                    &bench::metrics::metrics_config(&[("kernel", kernel.into())]),
+                    &bench::metrics::analytic_metrics(
+                        &dev,
+                        perfmodel::roofline::gemm_intensity(bk),
+                    ),
+                );
+            }
+        }
     }
     report.finish();
 }

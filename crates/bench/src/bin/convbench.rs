@@ -5,14 +5,17 @@
 //! convbench [--device v100|rtx2070] [--algo ours|winograd|gemm|implicit|
 //!            precomp|nonfused|fft|fft-tiling|all] [--n N] [--c C] [--hw HW]
 //!            [--k K] [--layer Conv2|Conv3|Conv4|Conv5] [--verify]
-//!            [--profile] [--json PATH] [--trace PATH]
+//!            [--profile] [--metrics] [--json PATH] [--trace PATH]
 //!            [--jobs N] [--cache|--no-cache] [--cache-dir PATH] [--selfcheck]
 //! ```
 //!
 //! `--profile` runs the fused kernel through the cycle simulator with
 //! per-instruction stall attribution on, and prints the top hot lines with
-//! their stall breakdown plus per-region totals. `--trace PATH` writes one
-//! wave's warp schedule as Chrome trace-event JSON (load in Perfetto or
+//! their stall breakdown plus per-region totals. `--metrics` re-times each
+//! algorithm's dominant kernel with hardware counters on, prints the
+//! bottleneck classification table and appends `kind=metrics` records to the
+//! `--json` report (see `bench::metrics`). `--trace PATH` writes one wave's
+//! warp schedule as Chrome trace-event JSON (load in Perfetto or
 //! `chrome://tracing`). `--json PATH` writes the measured numbers as JSON
 //! records.
 
@@ -28,6 +31,7 @@ struct Args {
     problem: ConvProblem,
     verify: bool,
     profile: bool,
+    metrics: bool,
     json: Option<String>,
     trace: Option<String>,
 }
@@ -39,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
     let (mut n, mut c, mut hw, mut k) = (32usize, 64usize, 56usize, 64usize);
     let mut verify = false;
     let mut profile = false;
+    let mut metrics = false;
     let mut json = None;
     let mut trace = None;
     let mut i = 0;
@@ -103,6 +108,10 @@ fn parse_args() -> Result<Args, String> {
                 profile = true;
                 i += 1;
             }
+            "--metrics" => {
+                metrics = true;
+                i += 1;
+            }
             "--json" => {
                 json = Some(value(&args, i)?);
                 i += 2;
@@ -160,6 +169,7 @@ fn parse_args() -> Result<Args, String> {
         problem: ConvProblem::resnet3x3(n, c, hw, k),
         verify,
         profile,
+        metrics,
         json,
         trace,
     })
@@ -172,6 +182,7 @@ fn main() {
         problem,
         verify,
         profile,
+        metrics,
         json,
         trace,
     } = match parse_args() {
@@ -253,6 +264,45 @@ fn main() {
         );
     }
 
+    if metrics {
+        let points: Vec<(Conv, Algo)> = algos
+            .iter()
+            .map(|&a| (Conv::new(problem, conv.device.clone()), a))
+            .collect();
+        let records = bench::metrics::conv_metrics_sweep("convbench-metrics", points);
+        println!("\n== hardware counters & bottleneck classification ==");
+        let rows: Vec<(String, bench::json::Json)> = algos
+            .iter()
+            .zip(&records)
+            .filter_map(|(&a, r)| r.clone().map(|m| (a.name().to_string(), m)))
+            .collect();
+        bench::metrics::print_metrics_table(&rows);
+        for (&algo, rec) in algos.iter().zip(&records) {
+            let Some(m) = rec else {
+                println!("{:<24} (analytic model, no simulated kernel)", algo.name());
+                continue;
+            };
+            let bench::json::Json::Obj(fields) = m else {
+                unreachable!("metrics records are objects")
+            };
+            let owned: Vec<(&str, bench::json::Json)> = fields
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect();
+            report.add(
+                dev_name,
+                &bench::metrics::metrics_config(&[
+                    ("algo", algo.name().into()),
+                    ("n", problem.n.into()),
+                    ("c", problem.c.into()),
+                    ("hw", problem.h.into()),
+                    ("k", problem.k.into()),
+                ]),
+                &owned,
+            );
+        }
+    }
+
     if profile || trace.is_some() {
         let algo = algos
             .iter()
@@ -276,6 +326,13 @@ fn main() {
                     ""
                 }
             );
+            if p.issue_events_truncated {
+                eprintln!(
+                    "[trace] warning: issue-event buffer hit its cap; the trace covers only \
+                     the first {} events of the wave (the file carries \"truncated\": true)",
+                    p.issue_events.len()
+                );
+            }
         }
     }
     report.finish();

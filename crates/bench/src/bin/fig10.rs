@@ -39,5 +39,29 @@ pub fn run(dev: DeviceSpec, fig: &str, name: &str, experiment: &str) {
         );
     }
     t.print();
+
+    if bench::metrics::wanted() {
+        let points = configs()
+            .into_iter()
+            .map(|(layer, n)| (Conv::new(layer.problem(n), dev.clone()), Algo::OursFused))
+            .collect();
+        let cfgs = configs();
+        bench::metrics::add_conv_metrics_records(
+            &mut report,
+            &format!("{experiment}-metrics"),
+            points,
+            |i, a| {
+                let (layer, n) = &cfgs[i];
+                (
+                    dev.name.to_string(),
+                    vec![
+                        ("layer", layer.name.into()),
+                        ("n", (*n).into()),
+                        ("algo", a.name().into()),
+                    ],
+                )
+            },
+        );
+    }
     report.finish();
 }

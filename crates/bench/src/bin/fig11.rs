@@ -35,5 +35,24 @@ fn main() {
         );
     }
     t.print();
+
+    if bench::metrics::wanted() {
+        let points = configs()
+            .into_iter()
+            .map(|(layer, n)| (Conv::new(layer.problem(n), dev.clone()), Algo::OursFused))
+            .collect();
+        let cfgs = configs();
+        bench::metrics::add_conv_metrics_records(&mut report, "fig11-metrics", points, |i, a| {
+            let (layer, n) = &cfgs[i];
+            (
+                dev.name.to_string(),
+                vec![
+                    ("layer", layer.name.into()),
+                    ("n", (*n).into()),
+                    ("algo", a.name().into()),
+                ],
+            )
+        });
+    }
     report.finish();
 }

@@ -63,5 +63,33 @@ pub fn run(dev: DeviceSpec, fig: &str, experiment: &str) {
         t.row(row);
     }
     t.print();
+
+    // FFT points drop out inside the sweep (analytic model, no kernel).
+    if bench::metrics::wanted() {
+        let mut points = Vec::new();
+        let mut cfgs = Vec::new();
+        for (layer, n) in configs() {
+            for a in std::iter::once(Algo::OursFused).chain(algos) {
+                points.push((Conv::new(layer.problem(n), dev.clone()), a));
+                cfgs.push((layer.name, n));
+            }
+        }
+        bench::metrics::add_conv_metrics_records(
+            &mut report,
+            &format!("{experiment}-metrics"),
+            points,
+            |i, a| {
+                let (layer, n) = cfgs[i];
+                (
+                    dev.name.to_string(),
+                    vec![
+                        ("layer", layer.into()),
+                        ("n", n.into()),
+                        ("algo", a.name().into()),
+                    ],
+                )
+            },
+        );
+    }
     report.finish();
 }

@@ -66,5 +66,31 @@ fn main() {
         t.row(row);
     }
     t.print();
+
+    // `--metrics`: counter-based classification of our kernel per config
+    // (the other columns are workspace formulas with no simulated kernel).
+    if bench::metrics::wanted() {
+        let points = configs()
+            .into_iter()
+            .map(|(layer, n)| {
+                (
+                    Conv::new(layer.problem(n), DeviceSpec::v100()),
+                    Algo::OursFused,
+                )
+            })
+            .collect();
+        let cfgs = configs();
+        bench::metrics::add_conv_metrics_records(&mut report, "fig14-metrics", points, |i, a| {
+            let (layer, n) = &cfgs[i];
+            (
+                "V100".to_string(),
+                vec![
+                    ("layer", layer.name.into()),
+                    ("n", (*n).into()),
+                    ("algo", a.name().into()),
+                ],
+            )
+        });
+    }
     report.finish();
 }

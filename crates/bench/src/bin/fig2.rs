@@ -72,6 +72,14 @@ fn main() {
                 ("l2_roof_tflops", l2_roof.into()),
             ],
         );
+        // `--metrics`: classify each step straight off the roofline.
+        if bench::metrics::wanted() {
+            report.add(
+                dev.name,
+                &bench::metrics::metrics_config(&[("step", name.into())]),
+                &bench::metrics::analytic_metrics(&dev, i),
+            );
+        }
     }
     println!(
         "\nbk=64 raises the GEMM step's intensity by {:.0}% over bk=32 (paper: +33%)",

@@ -54,5 +54,30 @@ fn main() {
         sums[2] / sums[0],
         sums[2] / sums[1]
     );
+
+    if bench::metrics::wanted() {
+        let mut points = Vec::new();
+        let mut cfgs = Vec::new();
+        for (layer, n) in configs() {
+            for (name, strat) in strategies {
+                let conv = conv_for(&layer, n, &dev);
+                let mut cfg = conv.ours_config();
+                cfg.yield_strategy = strat;
+                points.push((conv, cfg));
+                cfgs.push((layer.name, n, name));
+            }
+        }
+        bench::metrics::add_mainloop_metrics_records(&mut report, "fig7-metrics", points, |i| {
+            let (layer, n, strat) = cfgs[i];
+            (
+                dev.name.to_string(),
+                vec![
+                    ("layer", layer.into()),
+                    ("n", n.into()),
+                    ("yield", strat.into()),
+                ],
+            )
+        });
+    }
     report.finish();
 }

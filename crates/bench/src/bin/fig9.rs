@@ -49,5 +49,30 @@ fn main() {
     }
     t.print();
     println!("\nSTS6/STS2 = {:.3}x", sums[2] / sums[0]);
+
+    if bench::metrics::wanted() {
+        let mut points = Vec::new();
+        let mut cfgs = Vec::new();
+        for (layer, n) in configs() {
+            for (name, strat) in strategies {
+                let conv = conv_for(&layer, n, &dev);
+                let mut cfg = conv.ours_config();
+                cfg.sts = strat;
+                points.push((conv, cfg));
+                cfgs.push((layer.name, n, name));
+            }
+        }
+        bench::metrics::add_mainloop_metrics_records(&mut report, "fig9-metrics", points, |i| {
+            let (layer, n, strat) = cfgs[i];
+            (
+                dev.name.to_string(),
+                vec![
+                    ("layer", layer.into()),
+                    ("n", n.into()),
+                    ("sts", strat.into()),
+                ],
+            )
+        });
+    }
     report.finish();
 }

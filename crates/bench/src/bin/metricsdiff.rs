@@ -1,0 +1,7 @@
+//! Perf-regression gate: diff experiment `--json` reports against committed
+//! baselines. See `bench::metricsdiff` for semantics and exit codes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(bench::metricsdiff::run_cli(&args));
+}

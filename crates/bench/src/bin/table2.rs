@@ -54,5 +54,29 @@ fn main() {
         &[("aggregate", "average".into())],
         &[("speedup", avg.into())],
     );
+
+    if bench::metrics::wanted() {
+        let mut points = Vec::new();
+        let mut cfgs = Vec::new();
+        for n in BATCH_SIZES {
+            for layer in RESNET_LAYERS {
+                for a in [Algo::CudnnWinograd, Algo::ImplicitPrecompGemm] {
+                    points.push((conv_for(&layer, n, &dev), a));
+                    cfgs.push((layer.name, n));
+                }
+            }
+        }
+        bench::metrics::add_conv_metrics_records(&mut report, "table2-metrics", points, |i, a| {
+            let (layer, n) = cfgs[i];
+            (
+                dev.name.to_string(),
+                vec![
+                    ("layer", layer.into()),
+                    ("n", n.into()),
+                    ("algo", a.name().into()),
+                ],
+            )
+        });
+    }
     report.finish();
 }

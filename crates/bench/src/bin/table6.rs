@@ -60,5 +60,31 @@ fn main() {
             &[("speedup", avg.into())],
         );
     }
+
+    if bench::metrics::wanted() {
+        let mut points = Vec::new();
+        let mut cfgs = Vec::new();
+        for dev in [DeviceSpec::rtx2070(), DeviceSpec::v100()] {
+            for n in BATCH_SIZES {
+                for layer in RESNET_LAYERS {
+                    for a in [Algo::OursFused, Algo::CudnnWinograd] {
+                        points.push((conv_for(&layer, n, &dev), a));
+                        cfgs.push((dev.name, layer.name, n));
+                    }
+                }
+            }
+        }
+        bench::metrics::add_conv_metrics_records(&mut report, "table6-metrics", points, |i, a| {
+            let (dev_name, layer, n) = cfgs[i];
+            (
+                dev_name.to_string(),
+                vec![
+                    ("layer", layer.into()),
+                    ("n", n.into()),
+                    ("algo", a.name().into()),
+                ],
+            )
+        });
+    }
     report.finish();
 }

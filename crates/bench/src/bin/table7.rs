@@ -114,6 +114,18 @@ fn main() {
                     ("blocks_per_sm", g(r, key).into()),
                 ],
             );
+            // `--metrics`: each kernel's batched-GEMM step classified at the
+            // intensity its bk implies (§3.3: bk=64 → 10.67, bk=32 → 8).
+            if bench::metrics::wanted() {
+                report.add(
+                    dev.name,
+                    &bench::metrics::metrics_config(&[("kernel", which.into())]),
+                    &bench::metrics::analytic_metrics(
+                        dev,
+                        perfmodel::roofline::gemm_intensity(g(r, "bk") as f64),
+                    ),
+                );
+            }
         }
     }
     report.finish();

@@ -10,6 +10,8 @@
 
 pub mod harness;
 pub mod json;
+pub mod metrics;
+pub mod metricsdiff;
 pub mod report;
 pub mod simcache;
 pub mod sweep;

@@ -1,0 +1,314 @@
+//! `metricsdiff` — the perf-regression gate over `--json` reports.
+//!
+//! Compares two experiment report files (as written by
+//! [`crate::report::Report`]), or a set of fresh reports against the
+//! committed `baselines/` directory, and fails — non-zero exit — when any
+//! metric drifts past its tolerance. CI regenerates the gated reports from
+//! the simulator on every push and runs this diff, so a change that shifts a
+//! timing, a counter or a bottleneck classification must either be
+//! intentional (regenerate the baseline, reviewable in the PR diff) or is a
+//! regression caught at the gate.
+//!
+//! Matching: records pair up by `(experiment, device, config)` — config
+//! compared by rendered JSON, so the `kind` marker separates timing /
+//! profile / metrics records of the same grid point. Every **baseline**
+//! record must appear in the new report with every baseline metric present;
+//! extra new records or metrics pass (adding coverage never fails the gate,
+//! removing it does).
+//!
+//! Tolerances are **relative**: `|new − old| ≤ tol·max(|new|, |old|) + 1e-9`
+//! (the additive term keeps exact zeros comparable). The default is
+//! [`DEFAULT_TOL`]; [`METRIC_TOLERANCES`] widens individual metrics whose
+//! value is a ratio of two near-equal numbers (classification pressures,
+//! headroom) and therefore amplifies small shifts. String metrics — the
+//! `bound` classification — must match exactly. The simulator is
+//! deterministic, so a same-commit rerun diffs clean at *any* tolerance;
+//! the slack only absorbs deliberate micro-tuning of model constants.
+
+use std::collections::HashMap;
+
+use crate::json::{parse, Json};
+
+/// Default relative tolerance for numeric metrics.
+pub const DEFAULT_TOL: f64 = 0.02;
+
+/// Per-metric tolerance overrides (metric name, relative tolerance).
+/// Pressures and headroom are ratios near their ceilings where tiny cycle
+/// shifts move the last digit; averages over small histograms wobble more
+/// than totals.
+pub const METRIC_TOLERANCES: &[(&str, f64)] = &[
+    ("headroom_pct", 0.05),
+    ("compute_pressure", 0.05),
+    ("dram_pressure", 0.05),
+    ("smem_pressure", 0.05),
+    ("eligible_warps_avg", 0.05),
+];
+
+/// Tolerance for `metric`, honoring overrides.
+pub fn tolerance(metric: &str, default_tol: f64) -> f64 {
+    METRIC_TOLERANCES
+        .iter()
+        .find(|(m, _)| *m == metric)
+        .map_or(default_tol, |(_, t)| *t)
+}
+
+/// Outcome of diffing one baseline report against one new report.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Metrics compared across all matched records.
+    pub compared: usize,
+    /// Human-readable regression lines (`record :: metric: old -> new`).
+    pub diffs: Vec<String>,
+}
+
+impl DiffReport {
+    pub fn clean(&self) -> bool {
+        self.diffs.is_empty()
+    }
+}
+
+fn record_id(r: &Json) -> String {
+    let field = |k: &str| r.get(k).map_or_else(|| "null".into(), Json::render);
+    format!(
+        "{} / {} / {}",
+        r.get("experiment")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_owned(),
+        r.get("device").and_then(Json::as_str).unwrap_or("?"),
+        field("config"),
+    )
+}
+
+fn numbers_match(old: f64, new: f64, tol: f64) -> bool {
+    (new - old).abs() <= tol * old.abs().max(new.abs()) + 1e-9
+}
+
+/// Diff parsed reports: every baseline record and metric must survive in
+/// `new` within tolerance. Returns `Err` on malformed reports.
+pub fn diff_reports(baseline: &Json, new: &Json, default_tol: f64) -> Result<DiffReport, String> {
+    let base_recs = baseline
+        .as_arr()
+        .ok_or("baseline report is not a JSON array")?;
+    let new_recs = new.as_arr().ok_or("new report is not a JSON array")?;
+
+    let mut new_by_id: HashMap<String, &Json> = HashMap::new();
+    for r in new_recs {
+        new_by_id.insert(record_id(r), r);
+    }
+
+    let mut out = DiffReport::default();
+    for b in base_recs {
+        let id = record_id(b);
+        let Some(n) = new_by_id.get(&id) else {
+            out.diffs
+                .push(format!("{id} :: record missing from new report"));
+            continue;
+        };
+        let (Some(Json::Obj(bm)), nm) = (b.get("metrics"), n.get("metrics")) else {
+            return Err(format!("{id} :: baseline record has no metrics object"));
+        };
+        for (key, old_v) in bm {
+            out.compared += 1;
+            let Some(new_v) = nm.and_then(|m| m.get(key)) else {
+                out.diffs.push(format!("{id} :: metric {key} missing"));
+                continue;
+            };
+            let ok = match (old_v, new_v) {
+                (Json::Num(o), Json::Num(w)) => numbers_match(*o, *w, tolerance(key, default_tol)),
+                (o, w) => o.render() == w.render(),
+            };
+            if !ok {
+                out.diffs.push(format!(
+                    "{id} :: {key}: {} -> {} (tol {})",
+                    old_v.render(),
+                    new_v.render(),
+                    tolerance(key, default_tol),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn diff_files(base_path: &str, new_path: &str, tol: f64) -> Result<DiffReport, String> {
+    let base = load(base_path)?;
+    let new = load(new_path)?;
+    diff_reports(&base, &new, tol)
+}
+
+const USAGE: &str = "usage: metricsdiff OLD.json NEW.json [--tol T]\n\
+       metricsdiff --baseline DIR NEW.json... [--tol T]\n\
+  exit 0: no drift; 1: regression past tolerance; 2: bad usage/input";
+
+/// The `metricsdiff` binary, testable: returns the process exit code.
+/// `--baseline DIR` pairs each new report with `DIR/<file name>`.
+pub fn run_cli(args: &[String]) -> i32 {
+    let mut tol = DEFAULT_TOL;
+    let mut baseline_dir: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tol" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => tol = v,
+                _ => {
+                    eprintln!("metricsdiff: --tol needs a non-negative number\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(d) => baseline_dir = Some(d.clone()),
+                None => {
+                    eprintln!("metricsdiff: --baseline needs a directory\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => {
+                eprintln!("metricsdiff: unknown flag {other}\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+
+    let pairs: Vec<(String, String)> = match &baseline_dir {
+        Some(dir) => {
+            if files.is_empty() {
+                eprintln!("metricsdiff: --baseline needs at least one new report\n{USAGE}");
+                return 2;
+            }
+            files
+                .iter()
+                .map(|f| {
+                    let name = std::path::Path::new(f)
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| f.clone());
+                    (format!("{dir}/{name}"), f.clone())
+                })
+                .collect()
+        }
+        None => {
+            if files.len() != 2 {
+                eprintln!("metricsdiff: need exactly OLD and NEW\n{USAGE}");
+                return 2;
+            }
+            vec![(files[0].clone(), files[1].clone())]
+        }
+    };
+
+    let mut regressions = 0usize;
+    for (base, new) in &pairs {
+        match diff_files(base, new, tol) {
+            Ok(d) if d.clean() => {
+                eprintln!(
+                    "[metricsdiff] {base} vs {new}: {} metrics, no drift",
+                    d.compared
+                );
+            }
+            Ok(d) => {
+                regressions += d.diffs.len();
+                eprintln!(
+                    "[metricsdiff] {base} vs {new}: {} metrics, {} REGRESSED:",
+                    d.compared,
+                    d.diffs.len()
+                );
+                for line in &d.diffs {
+                    println!("  {line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("metricsdiff: {e}");
+                return 2;
+            }
+        }
+    }
+    i32::from(regressions > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::obj;
+
+    fn rec(dev: &str, layer: &str, v: f64, bound: &str) -> Json {
+        obj(&[
+            ("experiment", "t".into()),
+            ("device", dev.into()),
+            ("config", obj(&[("layer", layer.into())])),
+            (
+                "metrics",
+                obj(&[("speedup", v.into()), ("bound", bound.into())]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_reports_diff_clean() {
+        let r = Json::Arr(vec![rec("V100", "Conv2", 1.5, "dram")]);
+        let d = diff_reports(&r, &r, DEFAULT_TOL).unwrap();
+        assert!(d.clean());
+        assert_eq!(d.compared, 2);
+    }
+
+    #[test]
+    fn drift_and_missing_records_are_caught() {
+        let base = Json::Arr(vec![
+            rec("V100", "Conv2", 1.5, "dram"),
+            rec("V100", "Conv3", 2.0, "dram"),
+        ]);
+        // Conv2 drifts 10% ≫ 2% tol; Conv3 vanished entirely.
+        let new = Json::Arr(vec![rec("V100", "Conv2", 1.65, "dram")]);
+        let d = diff_reports(&base, &new, DEFAULT_TOL).unwrap();
+        assert_eq!(d.diffs.len(), 2, "{:?}", d.diffs);
+        // Within tolerance passes; bound flip fails even with huge tol.
+        let near = Json::Arr(vec![rec("V100", "Conv2", 1.5004, "dram")]);
+        assert!(diff_reports(
+            &base.as_arr().unwrap()[0..1].to_vec().into(),
+            &near,
+            DEFAULT_TOL
+        )
+        .unwrap()
+        .clean());
+        let flipped = Json::Arr(vec![rec("V100", "Conv2", 1.5, "smem")]);
+        let d = diff_reports(
+            &Json::Arr(vec![rec("V100", "Conv2", 1.5, "dram")]),
+            &flipped,
+            10.0,
+        )
+        .unwrap();
+        assert_eq!(d.diffs.len(), 1);
+    }
+
+    #[test]
+    fn extra_new_records_and_metrics_pass() {
+        let base = Json::Arr(vec![rec("V100", "Conv2", 1.5, "dram")]);
+        let mut extra = rec("V100", "Conv2", 1.5, "dram");
+        if let Json::Obj(fields) = &mut extra {
+            if let Some((_, Json::Obj(m))) = fields.iter_mut().find(|(k, _)| k == "metrics") {
+                m.push(("new_metric".into(), 7.0.into()));
+            }
+        }
+        let new = Json::Arr(vec![extra, rec("RTX2070", "Conv2", 9.9, "smem")]);
+        assert!(diff_reports(&base, &new, DEFAULT_TOL).unwrap().clean());
+    }
+
+    #[test]
+    fn tolerance_overrides_apply() {
+        assert_eq!(tolerance("speedup", DEFAULT_TOL), DEFAULT_TOL);
+        assert_eq!(tolerance("headroom_pct", DEFAULT_TOL), 0.05);
+        assert!(numbers_match(0.0, 0.0, 0.0));
+        assert!(numbers_match(100.0, 101.9, 0.02));
+        assert!(!numbers_match(100.0, 103.0, 0.02));
+    }
+}

@@ -139,8 +139,10 @@ pub fn timing_to_json(t: &KernelTiming) -> Json {
 }
 
 /// Reconstruct a [`KernelTiming`] from [`timing_to_json`] output. Returns
-/// `None` if any field is missing or mistyped (`profile` is restored as
-/// `None`).
+/// `None` if any field is missing or mistyped (the observability artifacts
+/// `profile` and `counters` are restored as `None` — they are never cached,
+/// which is what lets instrumented and plain runs share a cache key; see
+/// `gpusim::digest`).
 pub fn timing_from_json(j: &Json) -> Option<KernelTiming> {
     let f = |k: &str| j.get(k)?.as_f64();
     let u = |k: &str| Some(f(k)? as u64);
@@ -171,6 +173,7 @@ pub fn timing_from_json(j: &Json) -> Option<KernelTiming> {
         yield_switch_cycles: u("yield_switch_cycles")?,
         idle_breakdown,
         profile: None,
+        counters: None,
     })
 }
 

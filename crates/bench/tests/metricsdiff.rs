@@ -1,0 +1,86 @@
+//! End-to-end test of the `metricsdiff` gate binary: a report diffed
+//! against itself is clean (exit 0), an injected perturbation is caught
+//! (exit 1), and bad input is a usage error (exit 2) — the acceptance
+//! criterion for the CI perf-regression gate.
+
+use std::process::Command;
+
+fn report(speedup: f64, bound: &str) -> String {
+    format!(
+        r#"[
+  {{"experiment":"table2","device":"V100","config":{{"layer":"Conv2","n":64,"kind":"metrics"}},"metrics":{{"speedup":{speedup},"bound":"{bound}"}}}}
+]
+"#
+    )
+}
+
+fn run(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_metricsdiff"))
+        .args(args)
+        .output()
+        .expect("run metricsdiff");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn gate_passes_clean_and_catches_perturbation() {
+    let dir = std::env::temp_dir().join(format!("metricsdiff-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(dir.join("baselines")).unwrap();
+    let base = dir.join("baselines/table2.json");
+    let fresh = dir.join("table2.json");
+    std::fs::write(&base, report(1.80, "dram")).unwrap();
+
+    // Same numbers: clean gate.
+    std::fs::write(&fresh, report(1.80, "dram")).unwrap();
+    let (code, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 0, "identical reports must pass");
+
+    // 10% perturbation blows the 2% default tolerance — and the --baseline
+    // directory form CI uses resolves the same pair by file name.
+    std::fs::write(&fresh, report(1.98, "dram")).unwrap();
+    let (code, stdout) = run(&[
+        "--baseline",
+        dir.join("baselines").to_str().unwrap(),
+        fresh.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "perturbed report must fail the gate");
+    assert!(
+        stdout.contains("speedup"),
+        "diff names the metric: {stdout}"
+    );
+
+    // A flipped bottleneck classification fails even with a huge tolerance.
+    std::fs::write(&fresh, report(1.80, "smem")).unwrap();
+    let (code, _) = run(&[
+        "--tol",
+        "100",
+        base.to_str().unwrap(),
+        fresh.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "bound flip must fail the gate");
+
+    // Widened tolerance lets the numeric drift pass.
+    std::fs::write(&fresh, report(1.98, "dram")).unwrap();
+    let (code, _) = run(&[
+        "--tol",
+        "0.2",
+        base.to_str().unwrap(),
+        fresh.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_input_is_a_usage_error() {
+    let (code, _) = run(&["only-one-file.json"]);
+    assert_eq!(code, 2);
+    let (code, _) = run(&["/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert_eq!(code, 2);
+    let (code, _) = run(&["--frobnicate"]);
+    assert_eq!(code, 2);
+}

@@ -302,7 +302,7 @@ impl Conv {
     }
 
     fn time_fused(&self, algo: Algo) -> (f64, KernelTiming) {
-        self.time_fused_opts(algo, false)
+        self.time_fused_opts(algo, false, false)
     }
 
     /// Fused-kernel timing with the `simprof` per-line stall profile
@@ -310,10 +310,29 @@ impl Conv {
     /// output transform) are copied into the profile so reports can fold
     /// lines into kernel phases.
     pub fn time_fused_profiled(&self, algo: Algo) -> KernelTiming {
-        self.time_fused_opts(algo, true).1
+        self.time_fused_opts(algo, true, false).1
     }
 
-    fn time_fused_opts(&self, algo: Algo, profile: bool) -> (f64, KernelTiming) {
+    /// Cycle-model timing of the algorithm's dominant kernel with hardware
+    /// counters attached (`t.counters` is `Some`; see `gpusim::counters`).
+    /// `None` for the analytically-modeled FFT algorithms, which run no
+    /// simulated kernel. The timing numbers are bit-identical to the
+    /// uncounted run, so this shares its cache digest with [`Conv::time`]
+    /// (see `gpusim::digest`).
+    pub fn time_counted(&self, algo: Algo) -> Option<KernelTiming> {
+        match algo {
+            Algo::OursFused | Algo::CudnnWinograd => {
+                Some(self.time_fused_opts(algo, false, true).1)
+            }
+            Algo::Gemm | Algo::ImplicitGemm | Algo::ImplicitPrecompGemm => {
+                Some(self.time_gemm_kernel_opts(algo, true))
+            }
+            Algo::WinogradNonfused => Some(self.time_nonfused_gemm_opts(true)),
+            Algo::Fft | Algo::FftTiling => None,
+        }
+    }
+
+    fn time_fused_opts(&self, algo: Algo, profile: bool, counters: bool) -> (f64, KernelTiming) {
         let p = &self.problem;
         let cfg = self.fused_config(algo);
         let kern = FusedKernel::emit(cfg);
@@ -346,6 +365,7 @@ impl Conv {
             TimingOptions {
                 region: Some(kern.region),
                 profile,
+                counters,
                 ..Default::default()
             },
         )
@@ -357,7 +377,20 @@ impl Conv {
     }
 
     /// Main-loop-only timing of a fused configuration (Figures 7–9, §7.2).
-    pub fn time_fused_mainloop(&self, mut cfg: FusedConfig) -> (KernelTiming, f64) {
+    pub fn time_fused_mainloop(&self, cfg: FusedConfig) -> (KernelTiming, f64) {
+        self.time_fused_mainloop_opts(cfg, false)
+    }
+
+    /// [`Conv::time_fused_mainloop`] with hardware counters attached.
+    pub fn time_fused_mainloop_counted(&self, cfg: FusedConfig) -> (KernelTiming, f64) {
+        self.time_fused_mainloop_opts(cfg, true)
+    }
+
+    fn time_fused_mainloop_opts(
+        &self,
+        mut cfg: FusedConfig,
+        counters: bool,
+    ) -> (KernelTiming, f64) {
         let p = &self.problem;
         cfg.main_loop_only = true;
         let kern = FusedKernel::emit(cfg);
@@ -376,6 +409,7 @@ impl Conv {
             &params,
             TimingOptions {
                 region: Some(kern.region),
+                counters,
                 ..Default::default()
             },
         )
@@ -455,6 +489,10 @@ impl Conv {
     }
 
     fn time_gemm_kernel(&self, algo: Algo) -> KernelTiming {
+        self.time_gemm_kernel_opts(algo, false)
+    }
+
+    fn time_gemm_kernel_opts(&self, algo: Algo, counters: bool) -> KernelTiming {
         let (m, n_pad, kd) = self.gemm_dims();
         let kern = GemmKernel::emit(self.gemm_config(algo));
         let mut gpu = self.gpu_for(((kd * m + kd * n_pad + m * n_pad) as u64) * 4 + (1 << 20));
@@ -466,12 +504,19 @@ impl Conv {
             &kern.module,
             kern.launch_dims(),
             &kern.params(da, db, dc),
-            TimingOptions::default(),
+            TimingOptions {
+                counters,
+                ..Default::default()
+            },
         )
         .expect("gemm timing")
     }
 
     fn time_nonfused_gemm(&self) -> KernelTiming {
+        self.time_nonfused_gemm_opts(false)
+    }
+
+    fn time_nonfused_gemm_opts(&self, counters: bool) -> KernelTiming {
         let p = &self.problem;
         // 36 batches of [K×C] × [C×tiles] with F(4×4,3×3) tiling.
         let tiles = (p.out_h().div_ceil(4) * p.out_w().div_ceil(4) * p.n) as u32;
@@ -490,7 +535,10 @@ impl Conv {
             &kern.module,
             kern.launch_dims(),
             &kern.params(da, db, dc),
-            TimingOptions::default(),
+            TimingOptions {
+                counters,
+                ..Default::default()
+            },
         )
         .expect("nonfused gemm timing")
     }

@@ -123,10 +123,17 @@ impl LaunchDims {
 
 impl TimingOptions {
     /// Absorb every option that influences the timing result into `d`.
-    /// `profile` is deliberately excluded: it never changes the timing
-    /// numbers (asserted by `gpusim/tests/profile_invariants.rs`), only
-    /// attaches the per-line profile, so profiled and unprofiled runs share
-    /// a cache entry.
+    ///
+    /// `profile` and `counters` are deliberately excluded: observability
+    /// flags never change the timing numbers — with either flag off the
+    /// cycle loop takes the exact same path and every `KernelTiming` field
+    /// is bit-identical (asserted by `gpusim/tests/profile_invariants.rs`
+    /// and `gpusim/tests/counter_invariants.rs`); the flags only attach the
+    /// per-line profile / counter set to the result. Keeping them out of the
+    /// digest means an instrumented run and a plain run share one cache
+    /// entry, so turning observability on never invalidates a warm cache
+    /// (the cached value stores neither artifact — `bench::simcache`
+    /// restores both as `None`).
     pub fn digest_into(&self, d: &mut Digest) {
         match self.blocks_per_sm {
             Some(b) => d.bool(true).u32(b),
@@ -180,6 +187,7 @@ fn assert_sim_state_send() {
     is_send::<TimingOptions>();
     is_send::<crate::timing::KernelTiming>();
     is_send::<crate::simprof::KernelProfile>();
+    is_send::<crate::counters::HwCounters>();
     is_send::<sass::Module>();
 }
 
@@ -288,20 +296,25 @@ mod tests {
                 },
             )
         );
-        // Profile flag does NOT change the key (bit-identical timing).
-        assert_eq!(
-            base(),
-            timing_digest(
-                &DeviceSpec::v100(),
-                &m,
-                LaunchDims::linear(4, 32),
-                &[],
-                TimingOptions {
-                    profile: true,
-                    ..Default::default()
-                },
-            )
-        );
+        // Observability flags do NOT change the key (bit-identical timing):
+        // profiled, counted, or both, the cache entry is shared.
+        for (profile, counters) in [(true, false), (false, true), (true, true)] {
+            assert_eq!(
+                base(),
+                timing_digest(
+                    &DeviceSpec::v100(),
+                    &m,
+                    LaunchDims::linear(4, 32),
+                    &[],
+                    TimingOptions {
+                        profile,
+                        counters,
+                        ..Default::default()
+                    },
+                ),
+                "digest must ignore profile={profile} counters={counters}"
+            );
+        }
     }
 
     #[test]

@@ -7,8 +7,9 @@
 use sass::Module;
 
 use crate::device::DeviceSpec;
-use crate::exec::{step, ExecEnv, ExecError, StepEvent, Warp, WARP_SIZE};
+use crate::exec::{step, ExecEnv, ExecError, MemTrace, StepEvent, Warp, WARP_SIZE};
 use crate::memory::{ConstBank, DevPtr, GlobalMemory};
+use crate::timing::{global_sectors, smem_phases};
 
 /// Grid/block shape for a launch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +75,82 @@ impl std::fmt::Display for LaunchError {
 }
 
 impl std::error::Error for LaunchError {}
+
+/// Memory-shape counters of a functional launch — the `exec`-path sibling of
+/// [`crate::HwCounters`], for kernels run via [`Gpu::launch_counted`] where
+/// the timing model never sees the addresses (e.g. the transform kernels the
+/// harness executes only functionally). Counts cover the *whole grid*, one
+/// entry per executed memory instruction with at least one active lane
+/// (fully predicated-off accesses leave no trace on this path).
+///
+/// Exactness invariants: `smem_phases == smem_ideal_phases +
+/// smem_extra_phases`, `global_sectors == global_load_sectors +
+/// global_store_sectors`, and on a grid the timed wave fully covers, the
+/// per-access phase and sector analysis agrees exactly with the counters
+/// `time_kernel` collects (asserted by `gpusim/tests/counter_invariants.rs`)
+/// — both paths call the same [`smem_phases`] / [`global_sectors`] analysis.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Thread blocks executed.
+    pub blocks: u64,
+    /// Shared-memory warp accesses (LDS + STS).
+    pub smem_accesses: u64,
+    /// Total MIO phases the shared accesses would need (bank-exact).
+    pub smem_phases: u64,
+    /// Conflict-free phase floor.
+    pub smem_ideal_phases: u64,
+    /// Extra phases from bank conflicts.
+    pub smem_extra_phases: u64,
+    /// Global-memory warp accesses (LDG + STG).
+    pub global_accesses: u64,
+    /// Distinct 32 B sectors the global accesses touched (post-coalescing).
+    pub global_sectors: u64,
+    /// Sector count from loads only.
+    pub global_load_sectors: u64,
+    /// Sector count from stores only.
+    pub global_store_sectors: u64,
+}
+
+impl ExecCounters {
+    fn record(&mut self, t: &MemTrace) {
+        if !t.shared_addrs.is_empty() {
+            let phases = smem_phases(&t.shared_addrs, t.width) as u64;
+            let ideal = (t.width as u64 * t.shared_addrs.len() as u64).div_ceil(128);
+            let extra = phases.saturating_sub(ideal.max(1));
+            self.smem_accesses += 1;
+            self.smem_phases += phases;
+            self.smem_extra_phases += extra;
+            self.smem_ideal_phases += phases - extra;
+        }
+        if !t.global_addrs.is_empty() {
+            let sectors = global_sectors(&t.global_addrs, t.width).len() as u64;
+            self.global_accesses += 1;
+            self.global_sectors += sectors;
+            if t.is_store {
+                self.global_store_sectors += sectors;
+            } else {
+                self.global_load_sectors += sectors;
+            }
+        }
+    }
+
+    /// Check the documented internal identities.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.smem_phases != self.smem_ideal_phases + self.smem_extra_phases {
+            return Err(format!(
+                "smem_phases {} != ideal {} + extra {}",
+                self.smem_phases, self.smem_ideal_phases, self.smem_extra_phases
+            ));
+        }
+        if self.global_sectors != self.global_load_sectors + self.global_store_sectors {
+            return Err(format!(
+                "global_sectors {} != load {} + store {}",
+                self.global_sectors, self.global_load_sectors, self.global_store_sectors
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// A simulated GPU: device description plus its global memory.
 pub struct Gpu {
@@ -153,6 +230,38 @@ impl Gpu {
         Ok(())
     }
 
+    /// Run the kernel functionally like [`Gpu::launch`], collecting
+    /// [`ExecCounters`] from every block's memory traces. Sequential over
+    /// blocks (the counters are a whole-grid aggregate; determinism matters
+    /// more than wall-clock on this opt-in path).
+    pub fn launch_counted(
+        &mut self,
+        module: &Module,
+        dims: LaunchDims,
+        params: &[u8],
+    ) -> Result<ExecCounters, LaunchError> {
+        self.validate(module, &dims)?;
+        let cbank = ConstBank::new(dims.block, dims.grid, params);
+        let mut counters = ExecCounters::default();
+        for bz in 0..dims.grid[2] {
+            for by in 0..dims.grid[1] {
+                for bx in 0..dims.grid[0] {
+                    run_block_traced(
+                        module,
+                        &mut self.mem,
+                        &cbank,
+                        [bx, by, bz],
+                        dims.block,
+                        &mut |t| counters.record(t),
+                    )
+                    .map_err(LaunchError::Exec)?;
+                    counters.blocks += 1;
+                }
+            }
+        }
+        Ok(counters)
+    }
+
     /// Run the kernel functionally, blocks distributed over host threads.
     ///
     /// # Safety contract (checked only by convention)
@@ -223,6 +332,19 @@ pub fn run_block(
     ctaid: [u32; 3],
     block_dim: [u32; 3],
 ) -> Result<(), ExecError> {
+    run_block_traced(module, global, cbank, ctaid, block_dim, &mut |_| {})
+}
+
+/// [`run_block`] with a memory-trace observer: `on_trace` sees every
+/// executed instruction's [`MemTrace`] (the [`ExecCounters`] feed).
+pub fn run_block_traced(
+    module: &Module,
+    global: &mut GlobalMemory,
+    cbank: &ConstBank,
+    ctaid: [u32; 3],
+    block_dim: [u32; 3],
+    on_trace: &mut dyn FnMut(&MemTrace),
+) -> Result<(), ExecError> {
     let tpb = block_dim[0] * block_dim[1] * block_dim[2];
     let num_warps = tpb.div_ceil(WARP_SIZE);
     let mut smem = vec![0u8; module.info.smem_bytes as usize];
@@ -253,7 +375,9 @@ pub fn run_block(
                     ctaid,
                     block_dim,
                 };
-                let (event, _) = step(&mut warps[w], module.insts.as_slice(), &mut env, w as u32)?;
+                let (event, trace) =
+                    step(&mut warps[w], module.insts.as_slice(), &mut env, w as u32)?;
+                on_trace(&trace);
                 steps += 1;
                 if steps > STEP_LIMIT {
                     return Err(ExecError {

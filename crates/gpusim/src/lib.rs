@@ -24,6 +24,7 @@
 //! ([`timing`]) is cycle-level for one wave of resident blocks on one SM and
 //! analytic across waves (all blocks of these kernels are identical).
 
+pub mod counters;
 pub mod device;
 pub mod digest;
 pub mod exec;
@@ -32,10 +33,11 @@ pub mod memory;
 pub mod simprof;
 pub mod timing;
 
+pub use counters::HwCounters;
 pub use device::{Arch, DeviceSpec};
 pub use digest::{timing_digest, Digest};
 pub use exec::{ExecEnv, ExecError, StepEvent, Warp, WARP_SIZE};
-pub use launch::{Gpu, LaunchDims, LaunchError};
+pub use launch::{ExecCounters, Gpu, LaunchDims, LaunchError};
 pub use memory::{ConstBank, DevPtr, GlobalMemory, MemError, ParamBuilder, PARAM_BASE};
 pub use simprof::{IssueEvent, KernelProfile, LineProfile, Region, StallBreakdown, StallCause};
 pub use timing::{KernelTiming, TimingOptions};

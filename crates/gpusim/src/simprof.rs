@@ -233,10 +233,16 @@ impl KernelProfile {
     /// Serialize the recorded warp-level schedule as Chrome trace-event JSON
     /// (open in `chrome://tracing` or Perfetto). One complete event per
     /// issued instruction: pid = SM, tid = warp slot, ts/dur in "µs" (1 cycle
-    /// = 1 µs so the viewer's zoom math stays sane).
+    /// = 1 µs so the viewer's zoom math stays sane). A top-level
+    /// `"truncated"` field says whether the wave issued more instructions
+    /// than [`ISSUE_EVENT_CAP`] kept — a truncated trace ends mid-wave and
+    /// must not be read as the whole schedule.
     pub fn to_chrome_trace(&self) -> String {
         let mut out = String::with_capacity(self.issue_events.len() * 96 + 64);
-        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        out.push_str(&format!(
+            "{{\"displayTimeUnit\":\"ns\",\"truncated\":{},\"traceEvents\":[",
+            self.issue_events_truncated
+        ));
         let mut first = true;
         for ev in &self.issue_events {
             let name = self
@@ -452,6 +458,10 @@ mod tests {
         assert!(t.contains("\"ts\":7"));
         assert!(t.contains("\"tid\":3"));
         assert!(t.contains("warp 3"));
+        assert!(t.contains("\"truncated\":false"));
+        let mut p = p;
+        p.issue_events_truncated = true;
+        assert!(p.to_chrome_trace().contains("\"truncated\":true"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ use sass::isa::{Instruction, MemSpace, Op};
 use sass::reg::Reg;
 use sass::Module;
 
+use crate::counters::{CounterCollector, HwCounters};
 use crate::device::DeviceSpec;
 use crate::exec::{step, ExecEnv, StepEvent, Warp, WARP_SIZE};
 use crate::launch::{Gpu, LaunchDims, LaunchError};
@@ -59,6 +60,10 @@ pub struct TimingOptions {
     /// wave (see [`crate::simprof`]). Off by default: the profiling path is
     /// fully skipped and `KernelTiming` is unchanged except `profile: None`.
     pub profile: bool,
+    /// Collect per-launch hardware counters (see [`crate::counters`]). Off
+    /// by default, and zero-cost like `profile`: `KernelTiming` is unchanged
+    /// except `counters: None`.
+    pub counters: bool,
 }
 
 /// Result of timing one kernel.
@@ -105,6 +110,9 @@ pub struct KernelTiming {
     /// Per-instruction stall-attribution profile of the simulated wave,
     /// present when [`TimingOptions::profile`] was set.
     pub profile: Option<KernelProfile>,
+    /// Per-launch hardware counters of the simulated wave, present when
+    /// [`TimingOptions::counters`] was set.
+    pub counters: Option<HwCounters>,
 }
 
 impl KernelTiming {
@@ -457,6 +465,14 @@ pub fn time_kernel(
     // charged to exactly one SASS line (or the empty bucket), so the
     // per-line sums reconcile with `schedulers * wave_cycles`.
     let mut prof: Option<Collector> = opts.profile.then(|| Collector::new(module, schedulers));
+    // Hardware counters: same zero-cost gating as the profiler.
+    let mut ctr: Option<CounterCollector> = opts.counters.then(|| {
+        CounterCollector::new(
+            schedulers,
+            num_warps as u32,
+            device.max_threads_per_sm / WARP_SIZE,
+        )
+    });
     // Region accounting.
     let region = opts.region;
     let mut region_first: Option<u64> = None;
@@ -593,6 +609,9 @@ pub fn time_kernel(
                 }
                 candidates.push(w);
             }
+            if let Some(cc) = ctr.as_mut() {
+                cc.eligible[s] = candidates.len();
+            }
             if candidates.is_empty() {
                 if fp_busy[s] <= cycle {
                     // Attribute the idle issue slot to the highest-priority
@@ -689,6 +708,16 @@ pub fn time_kernel(
             if let Some(p) = prof.as_mut() {
                 p.issued(s, chosen, pc, cycle);
             }
+            if let Some(cc) = ctr.as_mut() {
+                cc.c.issued += 1;
+                let pipe = match pipe_of(&inst.op) {
+                    PipeKind::Fp32 => 0,
+                    PipeKind::Int => 1,
+                    PipeKind::Mio => 2,
+                    PipeKind::Ctrl | PipeKind::None => 3,
+                };
+                cc.c.issued_by_pipe[pipe] += 1;
+            }
 
             // Strict writeback: capture the freshly-loaded destination
             // registers, poison them, and defer the real values to the
@@ -728,11 +757,31 @@ pub fn time_kernel(
             match pipe_of(&inst.op) {
                 PipeKind::Fp32 => {
                     let mut occ = 2u64;
-                    if reg_bank_conflict(&inst, &slots[chosen].reuse_cache) {
+                    let conflict = reg_bank_conflict(&inst, &slots[chosen].reuse_cache);
+                    if conflict {
                         occ += 1;
                         reg_conflicts += 1;
                         if let Some(p) = prof.as_mut() {
                             p.bank_conflict(pc, 1);
+                        }
+                    }
+                    if let Some(cc) = ctr.as_mut() {
+                        cc.c.fp_issues += 1;
+                        cc.c.fp_pipe_busy_cycles += occ;
+                        if conflict {
+                            cc.c.reg_bank_conflicts += 1;
+                        }
+                        // Operand-fetch reuse accounting: RZ never reads a
+                        // bank, a latched register is served by the cache.
+                        for (sl, r) in inst.op.src_regs() {
+                            if r.is_rz() {
+                                continue;
+                            }
+                            if slots[chosen].reuse_cache[sl as usize] == Some(r) {
+                                cc.c.reuse_hits[sl as usize] += 1;
+                            } else {
+                                cc.c.reuse_misses[sl as usize] += 1;
+                            }
                         }
                     }
                     fp_busy[s] = cycle + occ;
@@ -767,6 +816,22 @@ pub fn time_kernel(
                                     p.bank_conflict(pc, extra);
                                 }
                             }
+                            if let Some(cc) = ctr.as_mut() {
+                                cc.c.smem_accesses += 1;
+                                let wi = match trace.width {
+                                    0..=4 => 0,
+                                    8 => 1,
+                                    _ => 2,
+                                };
+                                cc.c.smem_accesses_by_width[wi] += 1;
+                                cc.c.smem_phases += phases;
+                                cc.c.smem_extra_phases += extra;
+                                // `phases - extra` keeps the per-access split
+                                // exact even when predication leaves fewer
+                                // phases than the conflict-free floor.
+                                cc.c.smem_ideal_phases += phases - extra;
+                                cc.c.smem_mio_cycles += phases.max(1);
+                            }
                             mio_busy = start + phases.max(1);
                             let done = mio_busy + device.smem_latency as u64;
                             if let Some(b) = inst.ctrl.write_bar {
@@ -799,6 +864,11 @@ pub fn time_kernel(
                             let sectors = global_sectors(&trace.global_addrs, trace.width);
                             let occ = (sectors.len() as u64).div_ceil(4).max(1);
                             mio_busy = start + occ;
+                            if let Some(cc) = ctr.as_mut() {
+                                cc.c.global_accesses += 1;
+                                cc.c.global_sectors += sectors.len() as u64;
+                                cc.c.global_mio_cycles += occ;
+                            }
                             let mut worst = device.l1_latency as u64;
                             let mut service = 0.0f64;
                             for &sec in &sectors {
@@ -813,9 +883,20 @@ pub fn time_kernel(
                                     } else {
                                         service += l2_cycles_per_sector;
                                     }
+                                    if let Some(cc) = ctr.as_mut() {
+                                        if hit {
+                                            cc.c.l2_sector_hits += 1;
+                                        } else {
+                                            cc.c.l2_sector_misses += 1;
+                                            cc.c.dram_write_bytes += 32;
+                                        }
+                                    }
                                     continue;
                                 }
                                 if l1.access(sec * 32) {
+                                    if let Some(cc) = ctr.as_mut() {
+                                        cc.c.l1_sector_hits += 1;
+                                    }
                                     continue; // L1 hit: no backend traffic
                                 }
                                 let hit = l2.access(sec * 32);
@@ -826,6 +907,14 @@ pub fn time_kernel(
                                 } else {
                                     worst = worst.max(device.l2_hit_latency as u64);
                                     service += l2_cycles_per_sector;
+                                }
+                                if let Some(cc) = ctr.as_mut() {
+                                    if hit {
+                                        cc.c.l2_sector_hits += 1;
+                                    } else {
+                                        cc.c.l2_sector_misses += 1;
+                                        cc.c.dram_read_bytes += 32;
+                                    }
                                 }
                             }
                             mem_q = mem_q.max(cycle as f64) + service;
@@ -946,6 +1035,9 @@ pub fn time_kernel(
             if let Some(p) = prof.as_mut() {
                 p.commit(1);
             }
+            if let Some(cc) = ctr.as_mut() {
+                cc.commit(1);
+            }
             cycle += 1;
         } else {
             let mut next = u64::MAX;
@@ -984,6 +1076,11 @@ pub fn time_kernel(
             // window: nothing changes before `next` by construction.
             if let Some(p) = prof.as_mut() {
                 p.commit(new_cycle - cycle);
+            }
+            if let Some(cc) = ctr.as_mut() {
+                // During a jumped window no scheduler had an eligible warp,
+                // so the scratch (reset to zero) classification holds.
+                cc.commit(new_cycle - cycle);
             }
             cycle = new_cycle;
         }
@@ -1033,6 +1130,7 @@ pub fn time_kernel(
         yield_switch_cycles: yield_switches,
         idle_breakdown: idle_attr,
         profile: prof.map(|p| p.finish(wave_cycles)),
+        counters: ctr.map(|cc| cc.finish(wave_cycles)),
     })
 }
 
@@ -1141,6 +1239,20 @@ mod tests {
         // ...whereas a uniform 512 B split across *phases* is conflict-free.
         let addrs: Vec<u32> = (0..32).map(|l| (l % 8) * 16 + (l / 8 % 2) * 512).collect();
         assert_eq!(smem_phases(&addrs, 16), 4);
+        // 128-bit at a 4 B-misaligned base: each lane's four words rotate
+        // the bank assignment but still cover each bank exactly once per
+        // phase — crossing the bank "pair" boundary alone is free.
+        let addrs: Vec<u32> = (0..32).map(|l| l * 16 + 8).collect();
+        assert_eq!(smem_phases(&addrs, 16), 4);
+        // 128-bit at stride 20 (misaligned *and* drifting): within every
+        // 8-lane phase the 33rd-word wraparound doubles up four banks.
+        let addrs: Vec<u32> = (0..32).map(|l| l * 20).collect();
+        assert_eq!(smem_phases(&addrs, 16), 8);
+        // 64-bit broadcast: both half-warp phases read the same word pair.
+        let addrs: Vec<u32> = vec![0; 32];
+        assert_eq!(smem_phases(&addrs, 8), 2);
+        // Predicated-off access (no active lanes) takes no phases.
+        assert_eq!(smem_phases(&[], 4), 0);
     }
 
     #[test]
@@ -1154,6 +1266,17 @@ mod tests {
         // 128-bit coalesced: 16 sectors.
         let addrs: Vec<u64> = (0..32).map(|l| 0x1000 + l * 16).collect();
         assert_eq!(global_sectors(&addrs, 16).len(), 16);
+        // Unaligned 128-bit: a 16 B read at sector offset 24 splits across
+        // two sectors; at stride 32 the splits chain into 33 distinct
+        // sectors — one more than the access count.
+        let addrs: Vec<u64> = (0..32).map(|l| 0x1000 + l * 32 + 24).collect();
+        assert_eq!(global_sectors(&addrs, 16).len(), 33);
+        // Misaligned but within one sector: offset 8 still fits 8..24.
+        let addrs: Vec<u64> = (0..32).map(|l| 0x1000 + l * 32 + 8).collect();
+        assert_eq!(global_sectors(&addrs, 16).len(), 32);
+        // Broadcast: every lane reads the same word — one sector.
+        let addrs: Vec<u64> = vec![0x1000; 32];
+        assert_eq!(global_sectors(&addrs, 4).len(), 1);
     }
 
     /// A pure-FFMA kernel should run the FP32 pipe near 100% and achieve

@@ -1,0 +1,128 @@
+//! Edge cases of the two address-level cost models the counters are built
+//! on: `timing::smem_phases` (bank conflicts, §4.3's Fig. 3 motivation)
+//! and `timing::global_sectors` (32 B sector coalescing).
+
+use gpusim::timing::{global_sectors, smem_phases};
+
+// ---- shared-memory phases ----------------------------------------------------
+
+/// All 32 lanes reading the same 4 B word is a broadcast: one phase.
+#[test]
+fn smem_full_warp_broadcast_is_one_phase() {
+    let addrs = [100u32 * 4; 32];
+    assert_eq!(smem_phases(&addrs, 4), 1);
+}
+
+/// Stride-4 32-bit: one word per bank, one phase. Stride-128 puts every
+/// lane in bank 0 with *distinct* words: 32 serialized phases.
+#[test]
+fn smem_32bit_stride_extremes() {
+    let unit: Vec<u32> = (0..32).map(|i| i * 4).collect();
+    assert_eq!(smem_phases(&unit, 4), 1);
+    let stride128: Vec<u32> = (0..32).map(|i| i * 128).collect();
+    assert_eq!(smem_phases(&stride128, 4), 32);
+}
+
+/// 64-bit accesses go out in two half-warp phases; unit stride keeps each
+/// phase conflict-free, so the whole warp costs exactly 2.
+#[test]
+fn smem_64bit_unit_stride_is_two_phases() {
+    let addrs: Vec<u32> = (0..32).map(|i| i * 8).collect();
+    assert_eq!(smem_phases(&addrs, 8), 2);
+}
+
+/// A 64-bit access whose two words land in the same bank (stride 128
+/// between the words is impossible for one access, but *between lanes* a
+/// 128 B stride folds both words of all 16 lanes of a phase onto two
+/// banks): 16 distinct words per bank per phase.
+#[test]
+fn smem_64bit_bank_pair_crossing_serializes() {
+    // Lane i reads 8 B at i*128: words 32i and 32i+1, i.e. banks 0 and 1
+    // for every lane. Each half-warp phase has 16 distinct words in each
+    // of the two banks -> degree 16, two phases -> 32.
+    let addrs: Vec<u32> = (0..32).map(|i| i * 128).collect();
+    assert_eq!(smem_phases(&addrs, 8), 32);
+}
+
+/// 128-bit accesses go out in four quarter-warp phases. Unit stride:
+/// each phase's 8 lanes cover all 32 banks once -> 4 phases total.
+#[test]
+fn smem_128bit_unit_stride_is_four_phases() {
+    let addrs: Vec<u32> = (0..32).map(|i| i * 16).collect();
+    assert_eq!(smem_phases(&addrs, 16), 4);
+}
+
+/// The hardware broadcast rule is per-phase: all lanes reading the same
+/// 16 B still cost four phases (one per quarter-warp), never one.
+#[test]
+fn smem_128bit_broadcast_still_pays_four_phases() {
+    let addrs = [64u32; 32];
+    assert_eq!(smem_phases(&addrs, 16), 4);
+}
+
+/// The Fig. 3 failure mode: 128-bit reads at a 128 B stride look
+/// broadcast-friendly across the warp but conflict inside every
+/// quarter-warp phase (8 lanes x 4 words folded onto banks 0-3).
+#[test]
+fn smem_128bit_stride128_conflicts_within_phases() {
+    let addrs: Vec<u32> = (0..32).map(|i| i * 128).collect();
+    // Per phase: 8 lanes, words 32i..32i+3 -> banks 0..3 each hold 8
+    // distinct words -> degree 8; 4 phases -> 32.
+    assert_eq!(smem_phases(&addrs, 16), 32);
+}
+
+/// A partially-active warp (predication/tail) only pays for the lanes
+/// that issued, and an empty access costs nothing.
+#[test]
+fn smem_partial_and_empty_warps() {
+    assert_eq!(smem_phases(&[], 4), 0);
+    let three: Vec<u32> = (0..3).map(|i| i * 4).collect();
+    assert_eq!(smem_phases(&three, 4), 1);
+    // 9 lanes of a 128-bit access: two phases (8 + 1 lanes), unit stride.
+    let nine: Vec<u32> = (0..9).map(|i| i * 16).collect();
+    assert_eq!(smem_phases(&nine, 16), 2);
+}
+
+// ---- global sectors ----------------------------------------------------------
+
+/// Fully coalesced 32-bit loads: 32 lanes x 4 B = 128 B = four 32 B
+/// sectors, regardless of lane order.
+#[test]
+fn sectors_coalesced_warp_is_four() {
+    let mut addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+    assert_eq!(global_sectors(&addrs, 4).len(), 4);
+    addrs.reverse();
+    assert_eq!(global_sectors(&addrs, 4).len(), 4);
+}
+
+/// Aligned 128-bit loads: each lane owns a half sector; 32 lanes cover
+/// 512 B = 16 sectors.
+#[test]
+fn sectors_aligned_128bit_warp_is_sixteen() {
+    let addrs: Vec<u64> = (0..32).map(|i| i * 16).collect();
+    assert_eq!(global_sectors(&addrs, 16).len(), 16);
+}
+
+/// Misaligned 128-bit loads split across sector boundaries: offset the
+/// same warp by 24 B and every lane straddles two sectors, inflating the
+/// footprint from 16 sectors to 17 (the splits overlap pairwise).
+#[test]
+fn sectors_unaligned_128bit_splits() {
+    let addrs: Vec<u64> = (0..32).map(|i| i * 16 + 24).collect();
+    let s = global_sectors(&addrs, 16);
+    assert_eq!(s.len(), 17);
+    // Sanity: one straddling access alone touches exactly two sectors.
+    assert_eq!(global_sectors(&[24], 16).len(), 2);
+    // ... and an aligned one exactly one.
+    assert_eq!(global_sectors(&[32], 16).len(), 1);
+}
+
+/// Same-sector accesses dedup: a warp gathering 32 words from one 32 B
+/// sector costs one sector, and sectors come back sorted and unique.
+#[test]
+fn sectors_dedup_and_sort() {
+    let addrs: Vec<u64> = (0..32).map(|i| (i % 8) * 4).collect();
+    assert_eq!(global_sectors(&addrs, 4), vec![0]);
+    let scattered = [96u64, 0, 64, 0, 96];
+    assert_eq!(global_sectors(&scattered, 4), vec![0, 2, 3]);
+}

@@ -7,12 +7,16 @@
 //! * [`breakeven`] — the §8.1 fused-F(2×2) vs non-fused-F(4×4) break-even
 //!   model, predicting the crossover at K ≈ 129 (V100) / 127 (RTX 2070);
 //! * [`occupancy`] — Table 7: kernel parameters and resident blocks per SM,
-//!   the mechanism behind §7.1's V100-vs-RTX2070 speedup difference.
+//!   the mechanism behind §7.1's V100-vs-RTX2070 speedup difference;
+//! * [`bottleneck`] — roofline-driven classification of a simulated run as
+//!   compute-/DRAM-/smem-/latency-bound, with headroom to the ceiling.
 
+pub mod bottleneck;
 pub mod breakeven;
 pub mod occupancy;
 pub mod roofline;
 
+pub use bottleneck::{BottleneckReport, Bound, BOUND_THRESHOLD};
 pub use breakeven::{break_even_k, fused_f2_time, nonfused_f4_time};
 pub use occupancy::{kernel_table, KernelParams};
 pub use roofline::{attainable_tflops, RooflinePoint, WINOGRAD_STEPS};
