@@ -35,4 +35,12 @@ trap 'rm -rf "$fresh"' EXIT
 ./target/release/metricsdiff --baseline baselines \
   "$fresh/table2.json" "$fresh/fig7.json" "$fresh/ablation.json"
 
+echo "== simspeed smoke =="
+# Host-throughput sanity check of the timing hot loop: runs the tracked
+# simspeed matrix once and verifies every point produces sane cycle and
+# issue counts. No wall-clock gate — CI machines are too noisy for that;
+# the tracked numbers live in BENCH_simspeed.json (see EXPERIMENTS.md,
+# "Simulator speed").
+./target/release/simspeed --smoke --json "$fresh/simspeed.json" > /dev/null
+
 echo "CI green."

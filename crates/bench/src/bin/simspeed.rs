@@ -1,0 +1,189 @@
+//! `simspeed` — host-side throughput of the timing simulator itself.
+//!
+//! Every experiment binary is bottlenecked on `gpusim::timing::time_kernel`;
+//! this benchmark tracks how fast that loop runs on the host, independent of
+//! what the simulated kernels score. It times a fixed kernel matrix (three
+//! algorithm families × both devices) cold — no simcache involvement — and
+//! reports, per point:
+//!
+//! * `wall_ms`            — best-of-N wall-clock for one full timing run
+//! * `wave_cycles`        — simulated cycles of the dominant kernel's wave
+//! * `issued`             — warp-instructions issued during that wave
+//! * `sim_cycles_per_sec` — simulated cycles advanced per host second
+//! * `sim_instr_per_sec`  — instructions issued per host second
+//!
+//! The committed `BENCH_simspeed.json` at the repo root is this binary's
+//! output (see EXPERIMENTS.md "Simulator throughput"); CI runs `--smoke`
+//! to assert the numbers are sane but never gates on wall-clock.
+//!
+//! Flags: `--iters N` (default 3), `--json PATH` (default
+//! `BENCH_simspeed.json`), `--smoke` (1 iteration + sanity asserts),
+//! `--baseline PATH` (adds `speedup_vs_baseline` per point and prints the
+//! geomean). `--cache`/`--no-cache` are accepted for flag parity with the
+//! other binaries and ignored: simspeed always simulates cold.
+
+use std::time::Instant;
+
+use bench::json::parse;
+use bench::report::{flag_value, Report};
+use bench::Table;
+use gpusim::DeviceSpec;
+use wino_core::{Algo, Conv, ConvProblem};
+
+/// The fixed matrix: one mid-size ResNet-like layer, three algorithm
+/// families covering the fused Winograd path (ours + cuDNN-like schedule)
+/// and the tiled-GEMM path. Sized so a full pre-optimization run finishes
+/// in about a minute on one core.
+const ALGOS: [Algo; 3] = [
+    Algo::OursFused,
+    Algo::CudnnWinograd,
+    Algo::ImplicitPrecompGemm,
+];
+
+fn problem() -> ConvProblem {
+    ConvProblem::resnet3x3(32, 64, 14, 64)
+}
+
+struct Point {
+    device: &'static str,
+    algo: Algo,
+    wall_ms: f64,
+    wave_cycles: u64,
+    issued: u64,
+    sim_time_s: f64,
+}
+
+fn measure(iters: u32) -> Vec<Point> {
+    let prob = problem();
+    let mut points = Vec::new();
+    for dev in [DeviceSpec::v100(), DeviceSpec::rtx2070()] {
+        for algo in ALGOS {
+            let conv = Conv::new(prob, dev.clone());
+            // One counted run for the exact work totals (identical timing
+            // result; counters only add observation).
+            let counted = conv
+                .time_counted(algo)
+                .expect("matrix algorithm has no cycle-level kernel");
+            let ctr = counted.counters.as_ref().expect("counters requested");
+            // Best-of-N plain runs for the wall-clock (simulation is
+            // deterministic; min discards scheduler noise).
+            let mut best = f64::INFINITY;
+            for _ in 0..iters.max(1) {
+                let t0 = Instant::now();
+                let timing = conv.time(algo);
+                best = best.min(t0.elapsed().as_secs_f64());
+                assert!(timing.time_s > 0.0);
+            }
+            points.push(Point {
+                device: dev.name,
+                algo,
+                wall_ms: best * 1e3,
+                wave_cycles: counted.wave_cycles,
+                issued: ctr.issued,
+                sim_time_s: counted.time_s,
+            });
+        }
+    }
+    points
+}
+
+/// Look up `wall_ms` for the same (device, algo) point in a previous
+/// `BENCH_simspeed.json`.
+fn baseline_wall_ms(base: &bench::json::Json, device: &str, algo: &str) -> Option<f64> {
+    base.as_arr()?.iter().find_map(|r| {
+        (r.get("device")?.as_str()? == device && r.get("config")?.get("algo")?.as_str()? == algo)
+            .then(|| r.get("metrics")?.get("wall_ms")?.as_f64())?
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let iters: u32 = if smoke {
+        1
+    } else {
+        flag_value(&args, "--iters").map_or(3, |v| v.parse().expect("--iters N"))
+    };
+    let json_path = flag_value(&args, "--json").unwrap_or_else(|| "BENCH_simspeed.json".into());
+    let baseline = flag_value(&args, "--baseline").map(|p| {
+        let text = std::fs::read_to_string(&p)
+            .unwrap_or_else(|e| panic!("failed to read --baseline {p}: {e}"));
+        parse(&text).unwrap_or_else(|e| panic!("bad JSON in --baseline {p}: {e}"))
+    });
+
+    let prob = problem();
+    println!(
+        "simspeed: host throughput of time_kernel on {}x{}x{}x{} c={} ({} iters)",
+        prob.n, prob.c, prob.h, prob.w, prob.k, iters
+    );
+
+    let points = measure(iters);
+
+    let mut report = Report::to_path("simspeed", Some(json_path));
+    let mut t = Table::new(&[
+        "device",
+        "algo",
+        "wall ms",
+        "wave cycles",
+        "issued",
+        "Mcyc/s",
+        "Minstr/s",
+    ]);
+    let mut speedups = Vec::new();
+    for p in &points {
+        let wall_s = p.wall_ms / 1e3;
+        let cps = p.wave_cycles as f64 / wall_s;
+        let ips = p.issued as f64 / wall_s;
+        if smoke {
+            assert!(p.wall_ms > 0.0, "non-positive wall time");
+            assert!(p.wave_cycles > 0 && p.issued > 0, "empty simulation");
+            assert!(p.issued <= p.wave_cycles * 8, "issue rate impossible");
+            assert!(p.sim_time_s > 0.0, "non-positive simulated time");
+        }
+        t.row(vec![
+            p.device.to_string(),
+            p.algo.name().to_string(),
+            format!("{:.1}", p.wall_ms),
+            p.wave_cycles.to_string(),
+            p.issued.to_string(),
+            format!("{:.2}", cps / 1e6),
+            format!("{:.2}", ips / 1e6),
+        ]);
+        let mut metrics: Vec<(&str, bench::json::Json)> = vec![
+            ("wall_ms", p.wall_ms.into()),
+            ("wave_cycles", p.wave_cycles.into()),
+            ("issued", p.issued.into()),
+            ("sim_cycles_per_sec", cps.into()),
+            ("sim_instr_per_sec", ips.into()),
+            ("sim_time_s", p.sim_time_s.into()),
+        ];
+        if let Some(base) = &baseline {
+            if let Some(b) = baseline_wall_ms(base, p.device, p.algo.name()) {
+                let s = b / p.wall_ms;
+                speedups.push(s);
+                metrics.push(("speedup_vs_baseline", s.into()));
+            }
+        }
+        report.add(
+            p.device,
+            &[
+                ("algo", p.algo.name().into()),
+                ("n", prob.n.into()),
+                ("c", prob.c.into()),
+                ("hw", prob.h.into()),
+                ("k", prob.k.into()),
+                ("iters", iters.into()),
+            ],
+            &metrics,
+        );
+    }
+    t.print();
+    if !speedups.is_empty() {
+        let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        println!("\nspeedup vs baseline: geomean {geomean:.2}x");
+    }
+    if smoke {
+        println!("\nsmoke OK: {} points, all sane", points.len());
+    }
+    report.finish();
+}

@@ -258,13 +258,20 @@ pub fn step(
         msg,
     };
 
-    // Per-lane guard evaluation.
+    // Per-lane guard evaluation. Unpredicated instructions (@PT, the common
+    // case) execute every context lane.
     let mut exec_mask = 0u32;
-    for lane in 0..32 {
-        if ctx.mask & (1 << lane) != 0 {
-            let p = warp.read_pred(inst.guard.pred, lane);
-            if p != inst.guard.neg {
-                exec_mask |= 1 << lane;
+    if inst.guard.pred.is_pt() {
+        if !inst.guard.neg {
+            exec_mask = ctx.mask;
+        }
+    } else {
+        for lane in 0..32 {
+            if ctx.mask & (1 << lane) != 0 {
+                let p = warp.read_pred(inst.guard.pred, lane);
+                if p != inst.guard.neg {
+                    exec_mask |= 1 << lane;
+                }
             }
         }
     }
@@ -343,6 +350,29 @@ pub fn step(
         };
     }
 
+    // Full-warp row fast paths: when every lane executes and the destination
+    // is a real register, operate on whole 32-lane register rows. Source
+    // rows are copied to the stack first (sources may alias the
+    // destination; per-lane order then matches the general path exactly),
+    // which hoists all bounds checks and lets the lane loop vectorize. Lane
+    // arithmetic is identical to the general path, so results stay
+    // bit-identical.
+    let full = exec_mask == u32::MAX;
+    let row = |warp: &Warp, r: Reg| -> [u32; 32] {
+        if r.is_rz() {
+            [0u32; 32]
+        } else {
+            warp.regs[r.0 as usize]
+        }
+    };
+    let row_b = |warp: &Warp, b: SrcB| -> [u32; 32] {
+        match b {
+            SrcB::Reg(r) => row(warp, r),
+            SrcB::Imm(v) => [v; 32],
+            SrcB::Const(off) => [cbank.read_u32(off); 32],
+        }
+    };
+
     match inst.op {
         Op::Ffma {
             d,
@@ -352,11 +382,18 @@ pub fn step(
             neg_b,
             neg_c,
         } => {
-            for lane in lanes(exec_mask) {
-                let va = f(warp.read_reg(a, lane));
-                let vb = f(neg_f(srcb!(b, lane), neg_b));
-                let vc = f(neg_f(warp.read_reg(c, lane), neg_c));
-                warp.write_reg(d, lane, va.mul_add(vb, vc).to_bits());
+            if full && !d.is_rz() {
+                let ra = row(warp, a);
+                let rb = row_b(warp, b);
+                let rc = row(warp, c);
+                ffma_rows(&ra, &rb, &rc, &mut warp.regs[d.0 as usize], neg_b, neg_c);
+            } else {
+                for lane in lanes(exec_mask) {
+                    let va = f(warp.read_reg(a, lane));
+                    let vb = f(neg_f(srcb!(b, lane), neg_b));
+                    let vc = f(neg_f(warp.read_reg(c, lane), neg_c));
+                    warp.write_reg(d, lane, va.mul_add(vb, vc).to_bits());
+                }
             }
         }
         Op::Fadd {
@@ -366,17 +403,39 @@ pub fn step(
             b,
             neg_b,
         } => {
-            for lane in lanes(exec_mask) {
-                let va = f(neg_f(warp.read_reg(a, lane), neg_a));
-                let vb = f(neg_f(srcb!(b, lane), neg_b));
-                warp.write_reg(d, lane, (va + vb).to_bits());
+            if full && !d.is_rz() {
+                let ra = row(warp, a);
+                let rb = row_b(warp, b);
+                let rd = &mut warp.regs[d.0 as usize];
+                for lane in 0..32 {
+                    let va = f(neg_f(ra[lane], neg_a));
+                    let vb = f(neg_f(rb[lane], neg_b));
+                    rd[lane] = (va + vb).to_bits();
+                }
+            } else {
+                for lane in lanes(exec_mask) {
+                    let va = f(neg_f(warp.read_reg(a, lane), neg_a));
+                    let vb = f(neg_f(srcb!(b, lane), neg_b));
+                    warp.write_reg(d, lane, (va + vb).to_bits());
+                }
             }
         }
         Op::Fmul { d, a, b, neg_b } => {
-            for lane in lanes(exec_mask) {
-                let va = f(warp.read_reg(a, lane));
-                let vb = f(neg_f(srcb!(b, lane), neg_b));
-                warp.write_reg(d, lane, (va * vb).to_bits());
+            if full && !d.is_rz() {
+                let ra = row(warp, a);
+                let rb = row_b(warp, b);
+                let rd = &mut warp.regs[d.0 as usize];
+                for lane in 0..32 {
+                    let va = f(ra[lane]);
+                    let vb = f(neg_f(rb[lane], neg_b));
+                    rd[lane] = (va * vb).to_bits();
+                }
+            } else {
+                for lane in lanes(exec_mask) {
+                    let va = f(warp.read_reg(a, lane));
+                    let vb = f(neg_f(srcb!(b, lane), neg_b));
+                    warp.write_reg(d, lane, (va * vb).to_bits());
+                }
             }
         }
         Op::Hfma2 { d, a, b, c } => {
@@ -599,42 +658,84 @@ pub fn step(
             trace.is_store = false;
             match space {
                 MemSpace::Global => {
+                    trace.global_addrs.reserve(exec_mask.count_ones() as usize);
                     for lane in lanes(exec_mask) {
                         let lo = warp.read_reg(addr.base, lane) as u64;
                         let hi = warp.read_reg(addr.base.offset(1), lane) as u64;
                         let a = (lo | (hi << 32)).wrapping_add(addr.offset as i64 as u64);
                         trace.global_addrs.push(a);
-                        let bytes = env
-                            .global
-                            .read(a, width.bytes() as usize)
-                            .map_err(|e: MemError| fail(format!("lane {lane}: {e}")))?
-                            .to_vec();
-                        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+                        // Widest access is 16 bytes; stage through a stack
+                        // buffer so the per-lane path never heap-allocates.
+                        let mut buf = [0u8; 16];
+                        let n = width.bytes() as usize;
+                        buf[..n].copy_from_slice(
+                            env.global
+                                .read(a, n)
+                                .map_err(|e: MemError| fail(format!("lane {lane}: {e}")))?,
+                        );
+                        for i in 0..width.regs() {
+                            let off = i as usize * 4;
                             warp.write_reg(
-                                d.offset(i as u8),
+                                d.offset(i),
                                 lane,
-                                u32::from_le_bytes(chunk.try_into().unwrap()),
+                                u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()),
                             );
                         }
                     }
                 }
                 MemSpace::Shared => {
-                    for lane in lanes(exec_mask) {
-                        let a = warp
-                            .read_reg(addr.base, lane)
-                            .wrapping_add(addr.offset as u32);
-                        trace.shared_addrs.push(a);
-                        let end = a as usize + width.bytes() as usize;
-                        if end > env.smem.len() {
-                            return Err(fail(format!(
-                                "lane {lane}: shared load at {a:#x} past smem size {:#x}",
-                                env.smem.len()
-                            )));
+                    trace.shared_addrs.reserve(exec_mask.count_ones() as usize);
+                    if full {
+                        // Row path: resolve and bounds-check all lane
+                        // addresses up front (addresses come from the
+                        // pre-copied base row, so a destination overlapping
+                        // the address register reads the same values the
+                        // lane-order path would), then fill each destination
+                        // row with one tight pass over the lanes.
+                        let base = row(warp, addr.base);
+                        let mut addrs = [0u32; 32];
+                        for (lane, slot) in addrs.iter_mut().enumerate() {
+                            let a = base[lane].wrapping_add(addr.offset as u32);
+                            trace.shared_addrs.push(a);
+                            if a as usize + width.bytes() as usize > env.smem.len() {
+                                return Err(fail(format!(
+                                    "lane {lane}: shared load at {a:#x} past smem size {:#x}",
+                                    env.smem.len()
+                                )));
+                            }
+                            *slot = a;
                         }
                         for i in 0..width.regs() {
-                            let off = a as usize + i as usize * 4;
-                            let v = u32::from_le_bytes(env.smem[off..off + 4].try_into().unwrap());
-                            warp.write_reg(d.offset(i), lane, v);
+                            let di = d.offset(i);
+                            if di.is_rz() {
+                                continue;
+                            }
+                            let rd = &mut warp.regs[di.0 as usize];
+                            for lane in 0..32 {
+                                let off = addrs[lane] as usize + i as usize * 4;
+                                rd[lane] =
+                                    u32::from_le_bytes(env.smem[off..off + 4].try_into().unwrap());
+                            }
+                        }
+                    } else {
+                        for lane in lanes(exec_mask) {
+                            let a = warp
+                                .read_reg(addr.base, lane)
+                                .wrapping_add(addr.offset as u32);
+                            trace.shared_addrs.push(a);
+                            let end = a as usize + width.bytes() as usize;
+                            if end > env.smem.len() {
+                                return Err(fail(format!(
+                                    "lane {lane}: shared load at {a:#x} past smem size {:#x}",
+                                    env.smem.len()
+                                )));
+                            }
+                            for i in 0..width.regs() {
+                                let off = a as usize + i as usize * 4;
+                                let v =
+                                    u32::from_le_bytes(env.smem[off..off + 4].try_into().unwrap());
+                                warp.write_reg(d.offset(i), lane, v);
+                            }
                         }
                     }
                 }
@@ -650,39 +751,67 @@ pub fn step(
             trace.is_store = true;
             match space {
                 MemSpace::Global => {
+                    trace.global_addrs.reserve(exec_mask.count_ones() as usize);
                     for lane in lanes(exec_mask) {
                         let lo = warp.read_reg(addr.base, lane) as u64;
                         let hi = warp.read_reg(addr.base.offset(1), lane) as u64;
                         let a = (lo | (hi << 32)).wrapping_add(addr.offset as i64 as u64);
                         trace.global_addrs.push(a);
-                        let mut bytes = Vec::with_capacity(width.bytes() as usize);
+                        let mut buf = [0u8; 16];
                         for i in 0..width.regs() {
-                            bytes.extend_from_slice(
-                                &warp.read_reg(src.offset(i), lane).to_le_bytes(),
-                            );
+                            buf[i as usize * 4..i as usize * 4 + 4]
+                                .copy_from_slice(&warp.read_reg(src.offset(i), lane).to_le_bytes());
                         }
                         env.global
-                            .write(a, &bytes)
+                            .write(a, &buf[..width.bytes() as usize])
                             .map_err(|e| fail(format!("lane {lane}: {e}")))?;
                     }
                 }
                 MemSpace::Shared => {
-                    for lane in lanes(exec_mask) {
-                        let a = warp
-                            .read_reg(addr.base, lane)
-                            .wrapping_add(addr.offset as u32);
-                        trace.shared_addrs.push(a);
-                        let end = a as usize + width.bytes() as usize;
-                        if end > env.smem.len() {
-                            return Err(fail(format!(
-                                "lane {lane}: shared store at {a:#x} past smem size {:#x}",
-                                env.smem.len()
-                            )));
+                    trace.shared_addrs.reserve(exec_mask.count_ones() as usize);
+                    if full {
+                        // Stores only read registers, so staging the source
+                        // rows is purely a bounds-check hoist. Writes stay
+                        // lane-major like the general path, so overlapping
+                        // lane addresses resolve identically.
+                        let base = row(warp, addr.base);
+                        let mut rows = [[0u32; 32]; 4];
+                        for (i, r) in rows.iter_mut().take(width.regs() as usize).enumerate() {
+                            *r = row(warp, src.offset(i as u8));
                         }
-                        for i in 0..width.regs() {
-                            let off = a as usize + i as usize * 4;
-                            env.smem[off..off + 4]
-                                .copy_from_slice(&warp.read_reg(src.offset(i), lane).to_le_bytes());
+                        for (lane, &b) in base.iter().enumerate() {
+                            let a = b.wrapping_add(addr.offset as u32);
+                            trace.shared_addrs.push(a);
+                            if a as usize + width.bytes() as usize > env.smem.len() {
+                                return Err(fail(format!(
+                                    "lane {lane}: shared store at {a:#x} past smem size {:#x}",
+                                    env.smem.len()
+                                )));
+                            }
+                            for (i, r) in rows.iter().take(width.regs() as usize).enumerate() {
+                                let off = a as usize + i * 4;
+                                env.smem[off..off + 4].copy_from_slice(&r[lane].to_le_bytes());
+                            }
+                        }
+                    } else {
+                        for lane in lanes(exec_mask) {
+                            let a = warp
+                                .read_reg(addr.base, lane)
+                                .wrapping_add(addr.offset as u32);
+                            trace.shared_addrs.push(a);
+                            let end = a as usize + width.bytes() as usize;
+                            if end > env.smem.len() {
+                                return Err(fail(format!(
+                                    "lane {lane}: shared store at {a:#x} past smem size {:#x}",
+                                    env.smem.len()
+                                )));
+                            }
+                            for i in 0..width.regs() {
+                                let off = a as usize + i as usize * 4;
+                                env.smem[off..off + 4].copy_from_slice(
+                                    &warp.read_reg(src.offset(i), lane).to_le_bytes(),
+                                );
+                            }
                         }
                     }
                 }
@@ -698,6 +827,57 @@ pub fn step(
 
 fn lanes(mask: u32) -> impl Iterator<Item = usize> {
     (0..32).filter(move |l| mask & (1 << l) != 0)
+}
+
+/// 32-lane FFMA row kernel: `rd = ra * (±rb) + (±rc)` per lane, fused
+/// rounding. On x86-64 with FMA support this compiles with the FMA target
+/// feature enabled, so `mul_add` inlines to `vfmadd` instead of calling
+/// libm's `fmaf` per lane; both are IEEE correctly-rounded, so the result
+/// bits are identical on every path.
+#[inline]
+fn ffma_rows(
+    ra: &[u32; 32],
+    rb: &[u32; 32],
+    rc: &[u32; 32],
+    rd: &mut [u32; 32],
+    neg_b: bool,
+    neg_c: bool,
+) {
+    #[inline(always)]
+    fn rows(
+        ra: &[u32; 32],
+        rb: &[u32; 32],
+        rc: &[u32; 32],
+        rd: &mut [u32; 32],
+        neg_b: bool,
+        neg_c: bool,
+    ) {
+        for lane in 0..32 {
+            let va = f(ra[lane]);
+            let vb = f(neg_f(rb[lane], neg_b));
+            let vc = f(neg_f(rc[lane], neg_c));
+            rd[lane] = va.mul_add(vb, vc).to_bits();
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        #[target_feature(enable = "fma")]
+        unsafe fn rows_hw(
+            ra: &[u32; 32],
+            rb: &[u32; 32],
+            rc: &[u32; 32],
+            rd: &mut [u32; 32],
+            neg_b: bool,
+            neg_c: bool,
+        ) {
+            rows(ra, rb, rc, rd, neg_b, neg_c)
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            // SAFETY: the FMA feature was just detected at runtime.
+            return unsafe { rows_hw(ra, rb, rc, rd, neg_b, neg_c) };
+        }
+    }
+    rows(ra, rb, rc, rd, neg_b, neg_c)
 }
 
 fn remove_ctx(warp: &mut Warp, pc: u32) {

@@ -25,6 +25,7 @@
 //! analytic across waves (all blocks of these kernels are identical).
 
 pub mod counters;
+pub(crate) mod decode;
 pub mod device;
 pub mod digest;
 pub mod exec;

@@ -27,11 +27,11 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use sass::isa::{Instruction, MemSpace, Op};
 use sass::reg::Reg;
 use sass::Module;
 
 use crate::counters::{CounterCollector, HwCounters};
+use crate::decode::{decode_module, InstDesc, MemKind, PipeKind};
 use crate::device::DeviceSpec;
 use crate::exec::{step, ExecEnv, StepEvent, Warp, WARP_SIZE};
 use crate::launch::{Gpu, LaunchDims, LaunchError};
@@ -205,35 +205,50 @@ pub fn smem_phases(addrs: &[u32], width_bytes: u32) -> u32 {
     let lanes_per_phase = (32 / words_per_lane).max(1) as usize;
     let mut total = 0u32;
     for chunk in addrs.chunks(lanes_per_phase) {
-        // All words of all lanes in this phase go out together.
-        let mut per_bank: std::collections::HashMap<u32, std::collections::HashSet<u32>> =
-            std::collections::HashMap::new();
+        // All words of all lanes in this phase go out together: at most 32
+        // words (`lanes_per_phase × words_per_lane`), so a fixed buffer
+        // replaces the per-phase hash maps the hot loop used to allocate.
+        let mut words = [0u32; 32];
+        let mut n = 0usize;
         for &a in chunk {
             for w in 0..words_per_lane {
-                let word = a / 4 + w;
-                let bank = word % 32;
-                per_bank.entry(bank).or_default().insert(word);
+                words[n] = a / 4 + w;
+                n += 1;
             }
         }
-        let degree = per_bank.values().map(|s| s.len() as u32).max().unwrap_or(1);
-        total += degree;
+        words[..n].sort_unstable();
+        // Distinct words per bank; the per-phase cost is the busiest bank.
+        let mut per_bank = [0u32; 32];
+        let mut prev = None;
+        for &word in &words[..n] {
+            if prev != Some(word) {
+                per_bank[(word % 32) as usize] += 1;
+                prev = Some(word);
+            }
+        }
+        total += per_bank.iter().copied().max().unwrap().max(1);
     }
     total
 }
 
 /// Number of distinct 32 B sectors touched by a global warp access.
 pub fn global_sectors(addrs: &[u64], width_bytes: u32) -> Vec<u64> {
-    let mut sectors: Vec<u64> = addrs
-        .iter()
-        .flat_map(|&a| {
-            let first = a / 32;
-            let last = (a + width_bytes as u64 - 1) / 32;
-            first..=last
-        })
-        .collect();
+    let mut sectors = Vec::new();
+    global_sectors_into(addrs, width_bytes, &mut sectors);
+    sectors
+}
+
+/// [`global_sectors`] into a caller-owned scratch buffer, so the timing loop
+/// reuses one allocation across every global access of a launch.
+fn global_sectors_into(addrs: &[u64], width_bytes: u32, sectors: &mut Vec<u64>) {
+    sectors.clear();
+    for &a in addrs {
+        let first = a / 32;
+        let last = (a + width_bytes as u64 - 1) / 32;
+        sectors.extend(first..=last);
+    }
     sectors.sort_unstable();
     sectors.dedup();
-    sectors
 }
 
 // ---- per-warp scheduling state -----------------------------------------------
@@ -243,11 +258,33 @@ struct WarpSlot {
     block: usize,
     ready_at: u64,
     sb_pending: [u32; 6],
+    /// Bit `b` set iff `sb_pending[b] > 0` — the scheduler's wait check is
+    /// one AND against the instruction's wait mask.
+    pending_mask: u8,
     at_barrier: bool,
+    /// Current PC, cached across scheduler passes (recomputed only after
+    /// this warp steps); `None` once no context remains.
+    cur_pc: Option<u32>,
     /// Reuse cache: operand slot -> latched register, per §5.1.4.
     reuse_cache: [Option<Reg>; 4],
     /// Yield flag of the last issued instruction.
     last_yield: bool,
+}
+
+impl WarpSlot {
+    /// Adjust `sb_pending[b]` and keep `pending_mask` in sync.
+    fn sb_add(&mut self, b: u8) {
+        self.sb_pending[b as usize] += 1;
+        self.pending_mask |= 1 << b;
+    }
+
+    fn sb_release(&mut self, b: u8) {
+        let p = &mut self.sb_pending[b as usize];
+        *p = p.saturating_sub(1);
+        if *p == 0 {
+            self.pending_mask &= !(1 << b);
+        }
+    }
 }
 
 struct Event {
@@ -275,82 +312,6 @@ impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.cycle, self.warp, self.barrier).cmp(&(other.cycle, other.warp, other.barrier))
     }
-}
-
-/// Classification for pipe assignment.
-#[derive(PartialEq, Eq, Clone, Copy)]
-enum PipeKind {
-    Fp32,
-    Int,
-    Mio,
-    Ctrl,
-    None,
-}
-
-fn pipe_of(op: &Op) -> PipeKind {
-    match op {
-        Op::Ffma { .. }
-        | Op::Fadd { .. }
-        | Op::Fmul { .. }
-        | Op::Fsetp { .. }
-        | Op::Hfma2 { .. }
-        | Op::Hadd2 { .. }
-        | Op::Hmul2 { .. } => PipeKind::Fp32,
-        Op::Iadd3 { .. }
-        | Op::Imad { .. }
-        | Op::ImadHi { .. }
-        | Op::ImadWide { .. }
-        | Op::Lea { .. }
-        | Op::Lop3 { .. }
-        | Op::Shf { .. }
-        | Op::Mov { .. }
-        | Op::Sel { .. }
-        | Op::Isetp { .. }
-        | Op::P2r { .. }
-        | Op::R2p { .. }
-        | Op::S2r { .. } => PipeKind::Int,
-        Op::Ld { .. } | Op::St { .. } => PipeKind::Mio,
-        Op::Bra { .. } | Op::Exit | Op::BarSync => PipeKind::Ctrl,
-        Op::Nop => PipeKind::None,
-    }
-}
-
-/// FP32 FLOPs per lane for an op.
-fn flops_of(op: &Op) -> u64 {
-    match op {
-        Op::Ffma { .. } => 2,
-        Op::Fadd { .. } | Op::Fmul { .. } => 1,
-        // Paired fp16 ops do two element-operations per lane (§8.3's 2×).
-        Op::Hfma2 { .. } => 4,
-        Op::Hadd2 { .. } | Op::Hmul2 { .. } => 2,
-        _ => 0,
-    }
-}
-
-/// Extra FP32-pipe cycles from register-bank conflicts.
-///
-/// Volta/Turing have two 64-bit banks (even/odd register index). Per the
-/// paper's footnote 6, an FFMA whose three source registers all fall in one
-/// bank occupies the pipe one extra cycle; operands served from the reuse
-/// cache don't touch the bank.
-fn reg_bank_conflict(inst: &Instruction, reuse_cache: &[Option<Reg>; 4]) -> bool {
-    let mut even = Vec::new();
-    let mut odd = Vec::new();
-    for (slot, r) in inst.op.src_regs() {
-        if r.is_rz() {
-            continue;
-        }
-        // Served by the reuse cache? The latch is armed by the *previous*
-        // instruction's reuse flag; the consumer needs no flag of its own.
-        if reuse_cache[slot as usize] == Some(r) {
-            continue;
-        }
-        let v = if r.0 & 1 == 0 { &mut even } else { &mut odd };
-        if !v.contains(&r) {
-            v.push(r);
-        }
-    }
-    even.len() >= 3 || odd.len() >= 3
 }
 
 /// Time one kernel launch on `gpu`. Executes the simulated wave functionally
@@ -392,12 +353,16 @@ pub fn time_kernel(
             let w = (i % warps_per_block) as u32;
             let base = w * WARP_SIZE;
             let lanes = (tpb - base).min(WARP_SIZE);
+            let warp = Warp::new(module.info.num_regs.max(1), base, lanes);
+            let cur_pc = warp.current_ctx().map(|c| c.pc);
             WarpSlot {
-                warp: Warp::new(module.info.num_regs.max(1), base, lanes),
+                warp,
                 block,
                 ready_at: 0,
                 sb_pending: [0; 6],
+                pending_mask: 0,
                 at_barrier: false,
+                cur_pc,
                 reuse_cache: [None; 4],
                 last_yield: true,
             }
@@ -419,8 +384,16 @@ pub fn time_kernel(
     };
 
     let schedulers = device.schedulers_per_sm as usize;
-    // Warp -> scheduler assignment, round-robin like hardware.
-    let sched_of = |w: usize| w % schedulers;
+    // Decoded-instruction descriptor table: one flat entry per PC, so the
+    // per-cycle path below never pattern-matches `Op` (see `crate::decode`).
+    let table: Vec<InstDesc> = decode_module(&module.insts, opts.region);
+    // Warp -> scheduler assignment, round-robin like hardware. The lists are
+    // fixed for the wave, so build them once; ascending warp order preserves
+    // the scheduler's candidate iteration order.
+    let mut sched_warps: Vec<Vec<usize>> = vec![Vec::new(); schedulers];
+    for w in 0..num_warps {
+        sched_warps[w % schedulers].push(w);
+    }
 
     let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
     let mut l2 = L2Cache::new(device.l2_bytes);
@@ -479,11 +452,16 @@ pub fn time_kernel(
     let mut region_last: u64 = 0;
     let mut region_fp_active: u64 = 0;
 
-    let live = |slots: &Vec<WarpSlot>| slots.iter().any(|s| !s.warp.exited);
+    // Live-warp counter (decremented on exit) replaces the old per-cycle
+    // `slots.iter().any(..)` scan. Scratch buffers below are reused across
+    // iterations so the scheduler pass performs no heap allocation.
+    let mut live_warps = num_warps;
+    let mut idle_idx: Vec<Option<usize>> = vec![None; schedulers];
+    let mut sector_scratch: Vec<u64> = Vec::new();
     let mut guard_iter: u64 = 0;
     let max_cycles: u64 = 5_000_000_000;
 
-    while live(&slots) {
+    while live_warps > 0 {
         guard_iter += 1;
         if cycle > max_cycles || guard_iter > max_cycles {
             return Err(LaunchError::BadBlockShape(
@@ -506,12 +484,13 @@ pub fn time_kernel(
                     }
                 }
             }
-            let p = &mut slots[ev.warp].sb_pending[ev.barrier as usize];
-            *p = p.saturating_sub(1);
+            slots[ev.warp].sb_release(ev.barrier);
         }
 
-        let mut any_issue_possible_later = false;
+        let mut issued_any = false;
+        let mut recovering_any = false;
         for s in 0..schedulers {
+            idle_idx[s] = None;
             if sched_free[s] > cycle {
                 // Recovering from a warp switch or cleared yield flag; the
                 // profile charges the slot to the line that caused it.
@@ -520,12 +499,19 @@ pub fn time_kernel(
                         p.class[s] = SchedClass::YieldRecover(pc);
                     }
                 }
-                any_issue_possible_later = true;
+                recovering_any = true;
                 continue;
             }
-            // Candidate warps on this scheduler; classify blockers for the
-            // idle-attribution counters.
-            let mut candidates: Vec<usize> = Vec::new();
+            // One scan over this scheduler's warps: count eligibles and
+            // track the round-robin winner directly (the old loop collected
+            // a candidate `Vec` per scheduler per cycle). Classify blockers
+            // for the idle-attribution counters.
+            let prev = last_warp[s];
+            let start = prev.map_or(0, |p| p + 1) % num_warps;
+            let mut eligible = 0usize;
+            let mut prev_eligible = false;
+            let mut best_key = usize::MAX;
+            let mut best_w = 0usize;
             let mut blockers = [false; 5]; // barrier, sb, mio, stall, empty
                                            // Profiling: the line each first-blocked warp would issue next,
                                            // indexed by `StallCause`.
@@ -539,7 +525,7 @@ pub fn time_kernel(
                     }
                 }
             };
-            for w in (0..num_warps).filter(|&w| sched_of(w) == s) {
+            for &w in &sched_warps[s] {
                 let slot = &slots[w];
                 if slot.warp.exited {
                     continue;
@@ -547,37 +533,23 @@ pub fn time_kernel(
                 if slot.at_barrier {
                     blockers[0] = true;
                     if profiling {
-                        note_block(StallCause::Barrier, slot.warp.current_ctx().map(|c| c.pc));
+                        note_block(StallCause::Barrier, slot.cur_pc);
                     }
                     continue;
                 }
                 if slot.ready_at > cycle {
                     blockers[3] = true;
                     if profiling {
-                        note_block(
-                            StallCause::StallCount,
-                            slot.warp.current_ctx().map(|c| c.pc),
-                        );
+                        note_block(StallCause::StallCount, slot.cur_pc);
                     }
                     continue;
                 }
-                let pc = match slot.warp.current_ctx() {
-                    Some(c) => c.pc,
-                    None => continue,
+                let Some(pc) = slot.cur_pc else { continue };
+                let Some(desc) = table.get(pc as usize) else {
+                    continue; // out-of-range PC is never schedulable
                 };
-                let inst = match module.insts.get(pc as usize) {
-                    Some(i) => i,
-                    None => continue, // will fault at issue; let it through
-                };
-                // Scoreboard waits.
-                let mut blocked = false;
-                for b in 0..6 {
-                    if inst.ctrl.wait_mask & (1 << b) != 0 && slot.sb_pending[b] > 0 {
-                        blocked = true;
-                        break;
-                    }
-                }
-                if blocked {
+                // Scoreboard waits: one mask test against the pending bits.
+                if desc.wait_mask & slot.pending_mask != 0 {
                     blockers[1] = true;
                     if profiling {
                         note_block(StallCause::Scoreboard, Some(pc));
@@ -585,7 +557,7 @@ pub fn time_kernel(
                     continue;
                 }
                 // Structural hazards.
-                match pipe_of(&inst.op) {
+                match desc.pipe {
                     PipeKind::Fp32 if fp_busy[s] > cycle => {
                         if profiling {
                             note_block(StallCause::PipeBusy, Some(pc));
@@ -607,17 +579,30 @@ pub fn time_kernel(
                     }
                     _ => {}
                 }
-                candidates.push(w);
+                // Candidate. Round-robin keys are distinct per warp, so
+                // tracking the running minimum reproduces the old
+                // `min_by_key` over a collected list exactly.
+                eligible += 1;
+                if prev == Some(w) {
+                    prev_eligible = true;
+                }
+                let key = (w + num_warps - start) % num_warps;
+                if key < best_key {
+                    best_key = key;
+                    best_w = w;
+                }
             }
             if let Some(cc) = ctr.as_mut() {
-                cc.eligible[s] = candidates.len();
+                cc.eligible[s] = eligible;
             }
-            if candidates.is_empty() {
+            if eligible == 0 {
                 if fp_busy[s] <= cycle {
                     // Attribute the idle issue slot to the highest-priority
-                    // blocker observed.
+                    // blocker observed; remember the bucket so a skipped
+                    // recovery window can bulk-charge its remaining cycles.
                     let idx = blockers.iter().position(|&b| b).unwrap_or(4);
                     idle_attr[idx] += 1;
+                    idle_idx[s] = Some(idx);
                 }
                 if let Some(p) = prof.as_mut() {
                     // Charge the slot to the highest-priority blocked line;
@@ -632,22 +617,13 @@ pub fn time_kernel(
                 }
                 continue;
             }
-            any_issue_possible_later = true;
+            issued_any = true;
 
             // Yield policy: prefer the last warp when its last instruction
-            // had the yield flag set; otherwise prefer a different warp.
-            let prev = last_warp[s];
-            let stay = prev.filter(|p| candidates.contains(p) && slots[*p].last_yield);
-            let chosen = match stay {
-                Some(p) => p,
-                None => {
-                    // Round-robin away from prev.
-                    let start = prev.map_or(0, |p| p + 1);
-                    *candidates
-                        .iter()
-                        .min_by_key(|&&w| (w + num_warps - start % num_warps) % num_warps)
-                        .unwrap()
-                }
+            // had the yield flag set; otherwise round-robin away from it.
+            let chosen = match prev {
+                Some(p) if prev_eligible && slots[p].last_yield => p,
+                _ => best_w,
             };
             let switched = prev != Some(chosen);
             if switched && prev.is_some() {
@@ -661,15 +637,12 @@ pub fn time_kernel(
             // Issue: execute functionally.
             let block = slots[chosen].block;
             let ctaid = block_coord(block);
-            let pc = slots[chosen].warp.current_ctx().unwrap().pc;
-            let inst = module.insts[pc as usize];
+            let pc = slots[chosen].cur_pc.unwrap();
+            let desc = &table[pc as usize];
             if opts.strict_writeback {
                 // Direct poison detection: reading a register whose load has
                 // not completed is a schedule hazard — report it precisely.
-                for (_, r) in inst.op.src_regs() {
-                    if r.is_rz() {
-                        continue;
-                    }
+                for &(_, r) in desc.srcs() {
                     let regs = &slots[chosen].warp.regs[r.0 as usize];
                     for (lane, &rv) in regs.iter().enumerate() {
                         if rv == 0x7fba_dbad {
@@ -677,7 +650,7 @@ pub fn time_kernel(
                                 ctaid,
                                 warp: (chosen % warps_per_block) as u32,
                                 pc,
-                                inst: sass::disasm::inst_text(&inst),
+                                inst: sass::disasm::inst_text(&module.insts[pc as usize]),
                                 msg: format!(
                                     "schedule hazard: {} lane {} read before its load completed (poison)",
                                     r, lane
@@ -710,7 +683,7 @@ pub fn time_kernel(
             }
             if let Some(cc) = ctr.as_mut() {
                 cc.c.issued += 1;
-                let pipe = match pipe_of(&inst.op) {
+                let pipe = match desc.pipe {
                     PipeKind::Fp32 => 0,
                     PipeKind::Int => 1,
                     PipeKind::Mio => 2,
@@ -724,26 +697,24 @@ pub fn time_kernel(
             // scoreboard-completion event.
             let mut wb: Option<(u8, u32, Vec<[u32; 32]>)> = None;
             if opts.strict_writeback && !trace.is_store && trace.exec_mask != 0 {
-                if let Op::Ld { d, width, .. } = inst.op {
-                    if !d.is_rz() && inst.ctrl.write_bar.is_some() {
-                        let n = width.regs() as usize;
-                        let mut vals = Vec::with_capacity(n);
-                        let slot = &mut slots[chosen];
-                        for j in 0..n {
-                            let r = d.0 as usize + j;
-                            vals.push(slot.warp.regs[r]);
-                            for lane in 0..32 {
-                                if trace.exec_mask & (1 << lane) != 0 {
-                                    slot.warp.regs[r][lane] = 0x7fba_dbad; // poison NaN
-                                }
+                if let Some((reg0, nregs)) = desc.strict_ld {
+                    let n = nregs as usize;
+                    let mut vals = Vec::with_capacity(n);
+                    let slot = &mut slots[chosen];
+                    for j in 0..n {
+                        let r = reg0 as usize + j;
+                        vals.push(slot.warp.regs[r]);
+                        for lane in 0..32 {
+                            if trace.exec_mask & (1 << lane) != 0 {
+                                slot.warp.regs[r][lane] = 0x7fba_dbad; // poison NaN
                             }
                         }
-                        wb = Some((d.0, trace.exec_mask, vals));
                     }
+                    wb = Some((reg0, trace.exec_mask, vals));
                 }
             }
 
-            let in_region = region.is_none_or(|(a, b)| pc >= a && pc < b);
+            let in_region = desc.in_region;
             if in_region {
                 if region_first.is_none() {
                     region_first = Some(cycle);
@@ -754,10 +725,10 @@ pub fn time_kernel(
             // Account cost per pipe.
             let active_lanes = 32u64; // cost is per warp instruction
             let _ = active_lanes;
-            match pipe_of(&inst.op) {
+            match desc.pipe {
                 PipeKind::Fp32 => {
                     let mut occ = 2u64;
-                    let conflict = reg_bank_conflict(&inst, &slots[chosen].reuse_cache);
+                    let conflict = desc.bank_conflict(&slots[chosen].reuse_cache);
                     if conflict {
                         occ += 1;
                         reg_conflicts += 1;
@@ -772,11 +743,9 @@ pub fn time_kernel(
                             cc.c.reg_bank_conflicts += 1;
                         }
                         // Operand-fetch reuse accounting: RZ never reads a
-                        // bank, a latched register is served by the cache.
-                        for (sl, r) in inst.op.src_regs() {
-                            if r.is_rz() {
-                                continue;
-                            }
+                        // bank (pre-filtered at decode), a latched register
+                        // is served by the cache.
+                        for &(sl, r) in desc.srcs() {
                             if slots[chosen].reuse_cache[sl as usize] == Some(r) {
                                 cc.c.reuse_hits[sl as usize] += 1;
                             } else {
@@ -789,23 +758,15 @@ pub fn time_kernel(
                     if in_region {
                         region_fp_active += 2;
                     }
-                    let fl = flops_of(&inst.op) * 32;
-                    flops_wave += fl;
+                    flops_wave += desc.flops_x32;
                 }
                 PipeKind::Int => {
                     int_busy[s] = cycle + 2;
                 }
                 PipeKind::Mio => {
                     let start = mio_busy.max(cycle);
-                    match inst.op {
-                        Op::Ld {
-                            space: MemSpace::Shared,
-                            ..
-                        }
-                        | Op::St {
-                            space: MemSpace::Shared,
-                            ..
-                        } => {
+                    match desc.mem {
+                        MemKind::Shared => {
                             let phases = smem_phases(&trace.shared_addrs, trace.width) as u64;
                             let ideal = (trace.width as u64 * trace.shared_addrs.len() as u64)
                                 .div_ceil(128);
@@ -834,8 +795,8 @@ pub fn time_kernel(
                             }
                             mio_busy = start + phases.max(1);
                             let done = mio_busy + device.smem_latency as u64;
-                            if let Some(b) = inst.ctrl.write_bar {
-                                slots[chosen].sb_pending[b as usize] += 1;
+                            if let Some(b) = desc.write_bar {
+                                slots[chosen].sb_add(b);
                                 events.push(Reverse(Event {
                                     cycle: done,
                                     warp: chosen,
@@ -843,8 +804,8 @@ pub fn time_kernel(
                                     writeback: wb.take(),
                                 }));
                             }
-                            if let Some(b) = inst.ctrl.read_bar {
-                                slots[chosen].sb_pending[b as usize] += 1;
+                            if let Some(b) = desc.read_bar {
+                                slots[chosen].sb_add(b);
                                 events.push(Reverse(Event {
                                     cycle: mio_busy + 2,
                                     warp: chosen,
@@ -853,25 +814,22 @@ pub fn time_kernel(
                                 }));
                             }
                         }
-                        Op::Ld {
-                            space: MemSpace::Global,
-                            ..
-                        }
-                        | Op::St {
-                            space: MemSpace::Global,
-                            ..
-                        } => {
-                            let sectors = global_sectors(&trace.global_addrs, trace.width);
-                            let occ = (sectors.len() as u64).div_ceil(4).max(1);
+                        MemKind::Global => {
+                            global_sectors_into(
+                                &trace.global_addrs,
+                                trace.width,
+                                &mut sector_scratch,
+                            );
+                            let occ = (sector_scratch.len() as u64).div_ceil(4).max(1);
                             mio_busy = start + occ;
                             if let Some(cc) = ctr.as_mut() {
                                 cc.c.global_accesses += 1;
-                                cc.c.global_sectors += sectors.len() as u64;
+                                cc.c.global_sectors += sector_scratch.len() as u64;
                                 cc.c.global_mio_cycles += occ;
                             }
                             let mut worst = device.l1_latency as u64;
                             let mut service = 0.0f64;
-                            for &sec in &sectors {
+                            for &sec in &sector_scratch {
                                 if trace.is_store {
                                     // Write-through, no-allocate; keep L1
                                     // coherent by dropping the stale sector.
@@ -922,8 +880,8 @@ pub fn time_kernel(
                             let backend_done = mem_q as u64;
                             if trace.is_store {
                                 // Stores: sources are read at MIO entry.
-                                if let Some(b) = inst.ctrl.read_bar {
-                                    slots[chosen].sb_pending[b as usize] += 1;
+                                if let Some(b) = desc.read_bar {
+                                    slots[chosen].sb_add(b);
                                     events.push(Reverse(Event {
                                         cycle: mio_busy + 2,
                                         warp: chosen,
@@ -933,8 +891,8 @@ pub fn time_kernel(
                                 }
                             } else {
                                 let done = (mio_busy + worst).max(backend_done);
-                                if let Some(b) = inst.ctrl.write_bar {
-                                    slots[chosen].sb_pending[b as usize] += 1;
+                                if let Some(b) = desc.write_bar {
+                                    slots[chosen].sb_add(b);
                                     events.push(Reverse(Event {
                                         cycle: done,
                                         warp: chosen,
@@ -942,8 +900,8 @@ pub fn time_kernel(
                                         writeback: wb.take(),
                                     }));
                                 }
-                                if let Some(b) = inst.ctrl.read_bar {
-                                    slots[chosen].sb_pending[b as usize] += 1;
+                                if let Some(b) = desc.read_bar {
+                                    slots[chosen].sb_add(b);
                                     events.push(Reverse(Event {
                                         cycle: mio_busy + 2,
                                         warp: chosen,
@@ -953,7 +911,7 @@ pub fn time_kernel(
                                 }
                             }
                         }
-                        _ => unreachable!(),
+                        MemKind::NotMem => unreachable!(),
                     }
                 }
                 PipeKind::Ctrl | PipeKind::None => {
@@ -966,31 +924,35 @@ pub fn time_kernel(
             // (§5.1.4: "this will take one more clock cycle") — an
             // unhidable slot loss, which is why the paper's "Natural"
             // strategy wins (§6.1).
-            if !inst.ctrl.yield_flag {
+            if !desc.yield_flag {
                 sched_free[s] = sched_free[s].max(cycle + 3);
             }
             let slot = &mut slots[chosen];
-            slot.ready_at = cycle + (inst.ctrl.stall.max(1)) as u64;
-            slot.last_yield = inst.ctrl.yield_flag;
-            // Update reuse cache: latch flagged operand registers. A cleared
+            slot.ready_at = cycle + desc.stall_cycles;
+            slot.last_yield = desc.yield_flag;
+            // Update reuse cache: latch flagged operand registers (resolved
+            // at decode to the first source occurrence per slot). A cleared
             // yield flag disables the instruction's own reuse latch (§5.1.4:
             // switching "disables the register reuse cache").
-            let srcs = inst.op.src_regs();
-            for sl in 0..4u8 {
-                if inst.ctrl.reuse & (1 << sl) != 0 && inst.ctrl.yield_flag {
-                    slot.reuse_cache[sl as usize] =
-                        srcs.iter().find(|(s2, _)| *s2 == sl).map(|(_, r)| *r);
-                } else if pipe_of(&inst.op) == PipeKind::Fp32 {
-                    slot.reuse_cache[sl as usize] = None;
+            for sl in 0..4 {
+                if desc.reuse & (1 << sl) != 0 && desc.yield_flag {
+                    slot.reuse_cache[sl] = desc.reuse_latch[sl];
+                } else if desc.pipe == PipeKind::Fp32 {
+                    slot.reuse_cache[sl] = None;
                 }
             }
+            slot.cur_pc = slot.warp.current_ctx().map(|c| c.pc);
 
+            // Warps of a block occupy a contiguous slot range by
+            // construction, so barrier scans touch only that range.
+            let block_range =
+                block * warps_per_block..((block + 1) * warps_per_block).min(num_warps);
             match event {
                 StepEvent::Barrier => {
                     slot.at_barrier = true;
                     // Release when all live warps of the block arrived.
                     let (mut waiting, mut live_block) = (0, 0);
-                    for w2 in (0..num_warps).filter(|&w2| slots[w2].block == block) {
+                    for w2 in block_range.clone() {
                         if !slots[w2].warp.exited {
                             live_block += 1;
                             if slots[w2].at_barrier {
@@ -999,17 +961,16 @@ pub fn time_kernel(
                         }
                     }
                     if waiting == live_block {
-                        for s in slots.iter_mut().take(num_warps) {
-                            if s.block == block {
-                                s.at_barrier = false;
-                            }
+                        for w2 in block_range {
+                            slots[w2].at_barrier = false;
                         }
                     }
                 }
                 StepEvent::Exited => {
+                    live_warps -= 1;
                     // May release a barrier the exiting warp was gating.
                     let (mut waiting, mut live_block) = (0, 0);
-                    for w2 in (0..num_warps).filter(|&w2| slots[w2].block == block) {
+                    for w2 in block_range.clone() {
                         if !slots[w2].warp.exited {
                             live_block += 1;
                             if slots[w2].at_barrier {
@@ -1018,10 +979,8 @@ pub fn time_kernel(
                         }
                     }
                     if live_block > 0 && waiting == live_block {
-                        for s in slots.iter_mut().take(num_warps) {
-                            if s.block == block {
-                                s.at_barrier = false;
-                            }
+                        for w2 in block_range {
+                            slots[w2].at_barrier = false;
                         }
                     }
                 }
@@ -1029,9 +988,15 @@ pub fn time_kernel(
             }
         }
 
-        // Advance time: either 1 cycle, or jump to the next interesting time
-        // when nothing can issue.
-        if any_issue_possible_later {
+        // Advance time. Three regimes:
+        //   issue     — some scheduler issued; state changed, step 1 cycle.
+        //   recovery  — nothing issued but a scheduler is inside a yield /
+        //               switch window; skip straight to the first cycle at
+        //               which anything can change.
+        //   quiescent — nothing issued and no recovery window; jump to the
+        //               next wake-up (ready warp, event, pipe drain) or
+        //               report a deadlock.
+        if issued_any {
             if let Some(p) = prof.as_mut() {
                 p.commit(1);
             }
@@ -1039,12 +1004,56 @@ pub fn time_kernel(
                 cc.commit(1);
             }
             cycle += 1;
-        } else {
+        } else if recovering_any {
+            // No scheduler can issue until one of: a sched_free window ends,
+            // a pipe drains enough to accept, the MIO queue shortens below
+            // the admission bound, a warp's stall count elapses, or a
+            // scoreboard event lands. Each predicate flips exactly at the
+            // bound included here, so every intermediate cycle would replay
+            // this evaluation verbatim — skip them in one hop.
             let mut next = u64::MAX;
             for s in 0..schedulers {
                 if sched_free[s] > cycle {
                     next = next.min(sched_free[s]);
                 }
+                if fp_busy[s] > cycle {
+                    next = next.min(fp_busy[s]);
+                }
+                if int_busy[s] > cycle {
+                    next = next.min(int_busy[s]);
+                }
+            }
+            if mio_busy > cycle + 3 {
+                next = next.min(mio_busy - 3);
+            }
+            for slot in &slots {
+                if !slot.warp.exited && !slot.at_barrier && slot.ready_at > cycle {
+                    next = next.min(slot.ready_at);
+                }
+            }
+            if let Some(Reverse(ev)) = events.peek() {
+                next = next.min(ev.cycle);
+            }
+            // `recovering_any` guarantees at least one sched_free bound, so
+            // `next` is finite and strictly ahead of `cycle`.
+            let span = next - cycle;
+            if let Some(p) = prof.as_mut() {
+                p.commit(span);
+            }
+            if let Some(cc) = ctr.as_mut() {
+                cc.commit(span);
+            }
+            if span > 1 {
+                // The cycle-by-cycle loop re-attributed each idle issue slot
+                // every cycle of the window; bulk-charge the remainder.
+                for idx in idle_idx.iter().take(schedulers).flatten() {
+                    idle_attr[*idx] += span - 1;
+                }
+            }
+            cycle = next;
+        } else {
+            let mut next = u64::MAX;
+            for s in 0..schedulers {
                 if fp_busy[s] > cycle {
                     next = next.min(fp_busy[s]);
                 }
@@ -1064,7 +1073,7 @@ pub fn time_kernel(
                 next = next.min(ev.cycle);
             }
             if next == u64::MAX {
-                if live(&slots) {
+                if live_warps > 0 {
                     return Err(LaunchError::BadBlockShape(
                         "timing deadlock: live warps but nothing schedulable".into(),
                     ));

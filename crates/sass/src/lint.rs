@@ -420,32 +420,50 @@ pub fn fix_schedule(insts: &mut Vec<Instruction>) -> u32 {
 /// (e.g. region boundaries for timing accounting) consistent across NOP
 /// insertions: any marker at or after an insertion point shifts with it.
 pub fn fix_schedule_marked(insts: &mut Vec<Instruction>, markers: &mut [u32]) -> u32 {
-    use std::collections::{BTreeSet, HashMap};
-
     let mut total = 0u32;
-    // Fixpoint: each round re-walks with updated stalls/waits. A round that
-    // absorbs a stall deficit restarts the walk, so allow one round per
-    // potential deficit.
-    let rounds = insts.len() * 4 + 64;
-    for _ in 0..rounds {
-        let mut leaders: BTreeSet<usize> = BTreeSet::new();
-        leaders.insert(0);
-        for (i, inst) in insts.iter().enumerate() {
-            if let Op::Bra { target } = inst.op {
-                leaders.insert(target as usize);
-                leaders.insert(i + 1);
-            }
-        }
+    // Fixpoint: each walk re-checks with updated stalls/waits. A walk that
+    // absorbs a stall deficit restarts, so allow one walk per potential
+    // deficit.
+    let mut rounds = insts.len() * 4 + 64;
+
+    // Source registers never change under repair (stall counts and wait
+    // masks live in the control word, not the op), so decode them once.
+    // A NOP insertion splices in an empty entry.
+    let mut srcs: Vec<Vec<u8>> = insts
+        .iter()
+        .map(|inst| inst.op.src_regs().into_iter().map(|(_, r)| r.0).collect())
+        .collect();
+
+    // Block leaders only change when a NOP insertion shifts the stream;
+    // stall/wait repairs leave them untouched.
+    let mut is_leader = compute_leaders(insts);
+
+    // reg -> cycle when its pending fixed-latency write lands (0 = none;
+    // land times are always >= the op latency, so 0 is free as a sentinel).
+    let mut pending_fixed: [u64; 256];
+    let mut pending_mem = RegBarMap::new();
+    let mut store_srcs = RegBarMap::new();
+
+    // Every repair touches only the block it was found in, and branch
+    // retargets across an insertion don't perturb walk state (BRA carries
+    // no register effects; leaders before the insertion point keep their
+    // positions). The stream before that block is therefore already at
+    // fixpoint, and each walk can resume from the block's leader instead
+    // of instruction 0.
+    let mut resume = 0usize;
+    'walks: while rounds > 0 {
+        rounds -= 1;
         let mut changed = false;
-        let mut pending_fixed: HashMap<u8, u64> = HashMap::new();
-        let mut pending_mem: HashMap<u8, u8> = HashMap::new();
-        let mut store_srcs: HashMap<u8, u8> = HashMap::new();
-        let mut block_start = 0usize;
+        pending_fixed = [0u64; 256];
+        pending_mem.clear();
+        store_srcs.clear();
+        let mut block_start = resume;
         let mut now: u64 = 0;
 
-        for i in 0..insts.len() {
-            if leaders.contains(&i) {
-                pending_fixed.clear();
+        let mut i = resume;
+        while i < insts.len() {
+            if is_leader[i] {
+                pending_fixed = [0u64; 256];
                 pending_mem.clear();
                 store_srcs.clear();
                 block_start = i;
@@ -453,38 +471,37 @@ pub fn fix_schedule_marked(insts: &mut Vec<Instruction>, markers: &mut [u32]) ->
             }
             let wait = insts[i].ctrl.wait_mask;
             if wait != 0 {
-                pending_mem.retain(|_, b| wait & (1 << *b) == 0);
-                store_srcs.retain(|_, b| wait & (1 << *b) == 0);
+                pending_mem.retire(wait);
+                store_srcs.retire(wait);
             }
 
             // RAW deficits on sources → absorb in preceding stalls.
             let mut deficit: u64 = 0;
             let mut wait_bits: u8 = 0;
-            for (_, r) in insts[i].op.src_regs() {
-                if let Some(&lands) = pending_fixed.get(&r.0) {
-                    if now < lands {
-                        deficit = deficit.max(lands - now);
-                    }
+            for &r in &srcs[i] {
+                let lands = pending_fixed[r as usize];
+                if now < lands {
+                    deficit = deficit.max(lands - now);
                 }
-                if let Some(&b) = pending_mem.get(&r.0) {
+                if let Some(b) = pending_mem.get(r) {
                     wait_bits |= 1 << b;
                 }
             }
             if let Some((d, n)) = insts[i].op.dst_regs() {
                 for j in 0..n {
                     let reg = d.offset(j);
-                    if let Some(&b) = store_srcs.get(&reg.0) {
+                    if let Some(b) = store_srcs.get(reg.0) {
                         wait_bits |= 1 << b;
                     }
-                    if let Some(&b) = pending_mem.get(&reg.0) {
+                    if let Some(b) = pending_mem.get(reg.0) {
                         wait_bits |= 1 << b;
                     }
                 }
             }
             if wait_bits & !insts[i].ctrl.wait_mask != 0 {
                 insts[i].ctrl.wait_mask |= wait_bits;
-                pending_mem.retain(|_, b| wait_bits & (1 << *b) == 0);
-                store_srcs.retain(|_, b| wait_bits & (1 << *b) == 0);
+                pending_mem.retire(wait_bits);
+                store_srcs.retire(wait_bits);
                 total += 1;
                 changed = true;
             }
@@ -501,7 +518,6 @@ pub fn fix_schedule_marked(insts: &mut Vec<Instruction>, markers: &mut [u32]) ->
                         insts[j].ctrl.stall = (cur + take) as u8;
                         need -= take;
                         total += 1;
-                        changed = true;
                     }
                 }
                 if need > 0 {
@@ -511,6 +527,7 @@ pub fn fix_schedule_marked(insts: &mut Vec<Instruction>, markers: &mut [u32]) ->
                     let mut nop = Instruction::new(Op::Nop);
                     nop.ctrl.stall = need.min(15) as u8;
                     insts.insert(i, nop);
+                    srcs.insert(i, Vec::new());
                     for inst in insts.iter_mut() {
                         if let Op::Bra { target } = &mut inst.op {
                             if *target as usize >= i {
@@ -524,10 +541,11 @@ pub fn fix_schedule_marked(insts: &mut Vec<Instruction>, markers: &mut [u32]) ->
                         }
                     }
                     total += 1;
-                    changed = true;
+                    is_leader = compute_leaders(insts);
                 }
-                // Re-walk from scratch with the new stalls.
-                break;
+                // Re-walk this block with the new stalls.
+                resume = block_start;
+                continue 'walks;
             }
 
             // Record effects.
@@ -539,7 +557,7 @@ pub fn fix_schedule_marked(insts: &mut Vec<Instruction>, markers: &mut [u32]) ->
                             if let Some(b) = insts[i].ctrl.write_bar {
                                 pending_mem.insert(reg.0, b);
                             }
-                            pending_fixed.remove(&reg.0);
+                            pending_fixed[reg.0 as usize] = 0;
                         }
                     }
                 }
@@ -560,21 +578,104 @@ pub fn fix_schedule_marked(insts: &mut Vec<Instruction>, markers: &mut [u32]) ->
                         for j in 0..n {
                             let reg = d.offset(j);
                             if !reg.is_rz() {
-                                pending_fixed.insert(reg.0, now + lat);
-                                pending_mem.remove(&reg.0);
-                                store_srcs.remove(&reg.0);
+                                pending_fixed[reg.0 as usize] = now + lat;
+                                pending_mem.remove(reg.0);
+                                store_srcs.remove(reg.0);
                             }
                         }
                     }
                 }
             }
             now += insts[i].ctrl.stall.max(1) as u64;
+            i += 1;
         }
         if !changed {
             break;
         }
     }
     total
+}
+
+/// Block-leader bitmap: entry, branch targets, instructions after branches.
+fn compute_leaders(insts: &[Instruction]) -> Vec<bool> {
+    let mut is_leader = vec![false; insts.len()];
+    if !is_leader.is_empty() {
+        is_leader[0] = true;
+    }
+    for (i, inst) in insts.iter().enumerate() {
+        if let Op::Bra { target } = inst.op {
+            if (target as usize) < insts.len() {
+                is_leader[target as usize] = true;
+            }
+            if i + 1 < insts.len() {
+                is_leader[i + 1] = true;
+            }
+        }
+    }
+    is_leader
+}
+
+/// reg -> scoreboard map with O(1) lookup and O(pending) retirement:
+/// a flat per-register barrier array paired with per-barrier register
+/// bitsets. Replaces the `HashMap<u8, u8>` state of the repair walk.
+struct RegBarMap {
+    /// Barrier per register; `NONE` = no pending entry.
+    bar: [u8; 256],
+    /// Registers pending on each barrier, as a 256-bit set.
+    regs: [[u64; 4]; 8],
+}
+
+impl RegBarMap {
+    const NONE: u8 = 0xff;
+
+    fn new() -> Self {
+        RegBarMap {
+            bar: [Self::NONE; 256],
+            regs: [[0; 4]; 8],
+        }
+    }
+
+    fn clear(&mut self) {
+        self.bar = [Self::NONE; 256];
+        self.regs = [[0; 4]; 8];
+    }
+
+    fn get(&self, reg: u8) -> Option<u8> {
+        let b = self.bar[reg as usize];
+        (b != Self::NONE).then_some(b)
+    }
+
+    fn insert(&mut self, reg: u8, b: u8) {
+        self.remove(reg);
+        self.bar[reg as usize] = b;
+        self.regs[b as usize][(reg >> 6) as usize] |= 1 << (reg & 63);
+    }
+
+    fn remove(&mut self, reg: u8) {
+        let old = self.bar[reg as usize];
+        if old != Self::NONE {
+            self.regs[old as usize][(reg >> 6) as usize] &= !(1 << (reg & 63));
+            self.bar[reg as usize] = Self::NONE;
+        }
+    }
+
+    /// Drop every entry whose barrier is set in `mask`.
+    fn retire(&mut self, mask: u8) {
+        for b in 0..8 {
+            if mask & (1 << b) == 0 {
+                continue;
+            }
+            for (w, word) in self.regs[b].iter_mut().enumerate() {
+                let mut bits = *word;
+                while bits != 0 {
+                    let r = w * 64 + bits.trailing_zeros() as usize;
+                    self.bar[r] = Self::NONE;
+                    bits &= bits - 1;
+                }
+                *word = 0;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
