@@ -43,4 +43,11 @@ echo "== simspeed smoke =="
 # "Simulator speed").
 ./target/release/simspeed --smoke --json "$fresh/simspeed.json" > /dev/null
 
+echo "== tune smoke =="
+# Schedule-autotuner smoke: tiny fixed-seed search on V100, asserting at
+# least one accepted improving move and that every visited candidate passes
+# sass::lint. Deterministic (fixed seed, --no-cache) — the full tracked run
+# lives in BENCH_tune.json (see EXPERIMENTS.md, "Schedule autotuner").
+./target/release/tune --smoke --no-cache --json "$fresh/tune.json" > /dev/null
+
 echo "CI green."

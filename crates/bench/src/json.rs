@@ -174,8 +174,9 @@ fn render_str(v: &str, s: &mut String) {
     s.push('"');
 }
 
-/// Parse a JSON document (full grammar minus `\uXXXX` surrogate pairs —
-/// enough to validate our own output in tests).
+/// Parse a JSON document (full grammar, `\uXXXX` surrogate pairs included —
+/// tuner move logs embed instruction and control-code text in region names,
+/// so strings must round-trip whatever an external tool re-escapes).
 pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         b: text.as_bytes(),
@@ -281,6 +282,13 @@ impl Parser<'_> {
         }
     }
 
+    /// Four hex digits starting at byte `at`, as a code unit.
+    fn hex4(&self, at: usize) -> Result<u32, String> {
+        let hex = self.b.get(at..at + 4).ok_or("truncated \\u escape")?;
+        u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+            .map_err(|e| e.to_string())
+    }
+
     fn string(&mut self) -> Result<String, String> {
         self.eat(b'"')?;
         let mut out = String::new();
@@ -303,17 +311,28 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .b
-                                .get(self.i + 1..self.i + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            let code = self.hex4(self.i + 1)?;
                             self.i += 4;
+                            let ch = match code {
+                                // High surrogate: must pair with a following
+                                // `\uDC00..=\uDFFF` low surrogate (JSON
+                                // encodes astral-plane characters this way).
+                                0xd800..=0xdbff => {
+                                    if self.b.get(self.i + 1..self.i + 3) != Some(b"\\u") {
+                                        return Err("lone high surrogate".into());
+                                    }
+                                    let low = self.hex4(self.i + 3)?;
+                                    if !(0xdc00..=0xdfff).contains(&low) {
+                                        return Err("lone high surrogate".into());
+                                    }
+                                    self.i += 6;
+                                    let c = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                    char::from_u32(c).ok_or("bad surrogate pair")?
+                                }
+                                0xdc00..=0xdfff => return Err("lone low surrogate".into()),
+                                _ => char::from_u32(code).ok_or("bad \\u escape")?,
+                            };
+                            out.push(ch);
                         }
                         other => return Err(format!("bad escape {other:?}")),
                     }
@@ -383,6 +402,46 @@ mod tests {
         let s = Json::from("a\nb\t\"q\"\\\u{1}").render();
         assert_eq!(s, "\"a\\nb\\t\\\"q\\\"\\\\\\u0001\"");
         assert_eq!(parse(&s).unwrap().as_str(), Some("a\nb\t\"q\"\\\u{1}"));
+    }
+
+    #[test]
+    fn instruction_text_region_names_round_trip() {
+        // Tuner move logs embed disassembled instruction and control-code
+        // text in region/move fields: brackets, dots, quotes, backslashes
+        // and maxas-style `--:-:0:Y:4` prefixes must all survive a render →
+        // parse → render cycle unchanged.
+        for name in [
+            "LDS.128 R32, [R70]",
+            "--:-:0:Y:4  LDG.E.128 R4, [R2+0x10];",
+            "01:-:2:Y:4",
+            r#"region "main_loop" \ pass 2"#,
+            "path\\to\\kernel \"ours\"",
+        ] {
+            let v = obj(&[("region", name.into()), ("cycles", 42u64.into())]);
+            let text = v.render();
+            let back = parse(&text).unwrap();
+            assert_eq!(back.get("region").unwrap().as_str(), Some(name));
+            assert_eq!(back.render(), text, "unstable render for {name:?}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_parse_and_lone_halves_fail() {
+        // Astral-plane char via a JSON surrogate pair (external re-escapers
+        // write these even though our renderer emits raw UTF-8).
+        let escaped = "\"\\ud83d\\ude00\"";
+        assert_eq!(parse(escaped).unwrap().as_str(), Some("\u{1f600}"));
+        let embedded = "\"a\\ud83d\\ude00b\"";
+        assert_eq!(parse(embedded).unwrap().as_str(), Some("a\u{1f600}b"));
+        // Round trip through our own renderer (raw UTF-8 form).
+        let v = Json::from("mark \u{1f600} end");
+        assert_eq!(parse(&v.render()).unwrap(), v);
+        // Lone or malformed halves are errors, not silent replacement.
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\ud83dx""#).is_err());
+        assert!(parse(r#""\ud83dA""#).is_err());
+        assert!(parse(r#""\ude00""#).is_err());
+        assert!(parse(r#""\ud83d\ud83d""#).is_err());
     }
 
     #[test]

@@ -80,8 +80,28 @@ fn record_id(r: &Json) -> String {
     )
 }
 
+/// Absolute floor added to every relative tolerance so exact-zero metrics
+/// (e.g. a conflict counter that must stay 0) still compare, and so a
+/// zero baseline cannot silently widen to "anything goes".
+const ABS_FLOOR: f64 = 1e-9;
+
 fn numbers_match(old: f64, new: f64, tol: f64) -> bool {
-    (new - old).abs() <= tol * old.abs().max(new.abs()) + 1e-9
+    // Bitwise-equal values (including 0 == 0 and inf == inf) always match;
+    // any non-finite value that *differs* never does — a NaN that appears in
+    // a report must trip the gate, not hide behind a false comparison.
+    if old == new {
+        return true;
+    }
+    if !old.is_finite() || !new.is_finite() {
+        return false;
+    }
+    if old == 0.0 {
+        // Zero baseline: there is no magnitude to be relative to. Only the
+        // absolute floor applies — a counter that was 0 and became 1e6 is a
+        // regression at any relative tolerance.
+        return new.abs() <= ABS_FLOOR;
+    }
+    (new - old).abs() <= tol * old.abs().max(new.abs()) + ABS_FLOOR
 }
 
 /// Diff parsed reports: every baseline record and metric must survive in
@@ -310,5 +330,41 @@ mod tests {
         assert!(numbers_match(0.0, 0.0, 0.0));
         assert!(numbers_match(100.0, 101.9, 0.02));
         assert!(!numbers_match(100.0, 103.0, 0.02));
+    }
+
+    #[test]
+    fn zero_baseline_trips_the_gate() {
+        // A counter that must stay zero (e.g. smem_conflict_cycles) really
+        // gates: relative tolerance has no magnitude to scale, so any real
+        // drift off 0 is a regression even with a huge tolerance.
+        assert!(!numbers_match(0.0, 1.0, 10.0));
+        assert!(!numbers_match(0.0, 1e-6, 10.0));
+        assert!(numbers_match(0.0, 0.0, 10.0));
+        assert!(numbers_match(0.0, 1e-12, 0.0)); // below the absolute floor
+        assert!(!numbers_match(1.0, 0.0, 0.02)); // the reverse direction too
+
+        // And end-to-end through a report diff.
+        let z = |v: f64| {
+            obj(&[
+                ("experiment", "t".into()),
+                ("device", "V100".into()),
+                ("config", obj(&[("layer", "Conv2".into())])),
+                ("metrics", obj(&[("smem_conflict_cycles", v.into())])),
+            ])
+        };
+        let base = Json::Arr(vec![z(0.0)]);
+        let bad = Json::Arr(vec![z(123.0)]);
+        let d = diff_reports(&base, &bad, DEFAULT_TOL).unwrap();
+        assert_eq!(d.diffs.len(), 1, "{:?}", d.diffs);
+        assert!(diff_reports(&base, &base, DEFAULT_TOL).unwrap().clean());
+    }
+
+    #[test]
+    fn non_finite_values_never_match_silently() {
+        assert!(!numbers_match(1.0, f64::NAN, 10.0));
+        assert!(!numbers_match(f64::NAN, 1.0, 10.0));
+        assert!(!numbers_match(f64::NAN, f64::NAN, 10.0)); // NaN != NaN
+        assert!(!numbers_match(1.0, f64::INFINITY, 10.0));
+        assert!(numbers_match(f64::INFINITY, f64::INFINITY, 0.0));
     }
 }

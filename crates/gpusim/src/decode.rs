@@ -48,6 +48,7 @@ pub(crate) const MAX_SRCS: usize = 6;
 
 /// Flat per-PC descriptor: everything the timing loop needs about an
 /// instruction without touching [`Op`] again.
+#[derive(Clone)]
 pub(crate) struct InstDesc {
     pub pipe: PipeKind,
     pub mem: MemKind,
@@ -197,6 +198,30 @@ impl InstDesc {
     #[inline]
     pub fn srcs(&self) -> &[(u8, Reg)] {
         &self.srcs[..self.nsrcs as usize]
+    }
+
+    /// Refresh the control-code-derived fields from `inst` without redoing
+    /// the operand analysis. This is the batch-evaluation fast path
+    /// ([`crate::batch::BatchTimer`]): a schedule-tuner candidate differs
+    /// from its baseline only in control codes and instruction order, so the
+    /// expensive op-derived fields (pipe, FLOPs, source lists, bank masks)
+    /// can be cloned from the baseline descriptor of the *same* instruction
+    /// and only this part recomputed. `inst.op` must match the op this
+    /// descriptor was decoded from.
+    pub fn repatch_ctrl(&mut self, inst: &Instruction, pc: u32, region: Option<(u32, u32)>) {
+        self.stall_cycles = inst.ctrl.stall.max(1) as u64;
+        self.yield_flag = inst.ctrl.yield_flag;
+        self.reuse = inst.ctrl.reuse;
+        self.wait_mask = inst.ctrl.wait_mask;
+        self.write_bar = inst.ctrl.write_bar;
+        self.read_bar = inst.ctrl.read_bar;
+        self.in_region = region.is_none_or(|(a, b)| pc >= a && pc < b);
+        self.strict_ld = match inst.op {
+            Op::Ld { d, width, .. } if !d.is_rz() && inst.ctrl.write_bar.is_some() => {
+                Some((d.0, width.regs()))
+            }
+            _ => None,
+        };
     }
 
     /// Extra FP32-pipe cycle from a register-bank conflict, given the warp's

@@ -24,6 +24,7 @@
 //! ([`timing`]) is cycle-level for one wave of resident blocks on one SM and
 //! analytic across waves (all blocks of these kernels are identical).
 
+pub mod batch;
 pub mod counters;
 pub(crate) mod decode;
 pub mod device;
@@ -34,6 +35,7 @@ pub mod memory;
 pub mod simprof;
 pub mod timing;
 
+pub use batch::BatchTimer;
 pub use counters::HwCounters;
 pub use device::{Arch, DeviceSpec};
 pub use digest::{timing_digest, Digest};

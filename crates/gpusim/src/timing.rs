@@ -323,6 +323,25 @@ pub fn time_kernel(
     params: &[u8],
     opts: TimingOptions,
 ) -> Result<KernelTiming, LaunchError> {
+    // Decoded-instruction descriptor table: one flat entry per PC, so the
+    // per-cycle path below never pattern-matches `Op` (see `crate::decode`).
+    let table: Vec<InstDesc> = decode_module(&module.insts, opts.region);
+    time_kernel_with_table(gpu, module, dims, params, opts, &table)
+}
+
+/// [`time_kernel`] with a caller-supplied descriptor table, the batch
+/// fast path ([`crate::batch::BatchTimer`]): schedule-tuner candidates share
+/// their baseline's operand analysis and only re-patch control-code fields.
+/// `table[pc]` must describe `module.insts[pc]` under `opts.region`.
+pub(crate) fn time_kernel_with_table(
+    gpu: &mut Gpu,
+    module: &Module,
+    dims: LaunchDims,
+    params: &[u8],
+    opts: TimingOptions,
+    table: &[InstDesc],
+) -> Result<KernelTiming, LaunchError> {
+    debug_assert_eq!(table.len(), module.insts.len());
     let device = gpu.device.clone();
     let tpb = dims.threads_per_block();
     let occupancy = device.blocks_per_sm(tpb, module.info.num_regs as u32, module.info.smem_bytes);
@@ -384,9 +403,6 @@ pub fn time_kernel(
     };
 
     let schedulers = device.schedulers_per_sm as usize;
-    // Decoded-instruction descriptor table: one flat entry per PC, so the
-    // per-cycle path below never pattern-matches `Op` (see `crate::decode`).
-    let table: Vec<InstDesc> = decode_module(&module.insts, opts.region);
     // Warp -> scheduler assignment, round-robin like hardware. The lists are
     // fixed for the wave, so build them once; ascending warp order preserves
     // the scheduler's candidate iteration order.

@@ -636,6 +636,17 @@ impl FusedKernel {
         }
     }
 
+    /// Emit the kernel for `cfg` with its hand schedule degraded to the
+    /// naive legal baseline the schedule autotuner starts from: full
+    /// fixed-latency stalls, no operand reuse, all yields set
+    /// (`sass::tune::detune`). Instruction count, registers, region markers
+    /// and functional behaviour are identical to [`FusedKernel::emit`].
+    pub fn emit_detuned(cfg: FusedConfig) -> FusedKernel {
+        let mut kern = FusedKernel::emit(cfg);
+        sass::tune::detune(&mut kern.module.insts);
+        kern
+    }
+
     /// Launch dims, 256 threads per block.
     ///
     /// CHWN: grid (wtiles, htiles, ngroups·kblocks) — one (h,w) tile × 32
@@ -1341,6 +1352,38 @@ fn emit_epilogue(e: &mut Emitter, cfg: &FusedConfig, lay: &Lay) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn detuned_baseline_is_legal_and_shape_identical() {
+        let cfg = FusedConfig::ours(32, 8, 8, 32, 64);
+        let hand = FusedKernel::emit(cfg);
+        let naive = FusedKernel::emit_detuned(cfg);
+        assert_eq!(naive.module.insts.len(), hand.module.insts.len());
+        assert_eq!(naive.module.info.num_regs, hand.module.info.num_regs);
+        assert_eq!(naive.region, hand.region);
+        assert_eq!(naive.regions.len(), hand.regions.len());
+        for (a, b) in naive.regions.iter().zip(&hand.regions) {
+            assert_eq!(
+                (a.name.as_str(), a.start, a.end),
+                (b.name.as_str(), b.start, b.end)
+            );
+        }
+        assert!(sass::lint(&naive.module.insts).is_empty());
+        // The baseline really is degraded: no reuse flags, stalls no lower.
+        assert!(naive.module.insts.iter().all(|i| i.ctrl.reuse == 0));
+        assert!(naive
+            .module
+            .insts
+            .iter()
+            .zip(&hand.module.insts)
+            .all(|(n, h)| n.ctrl.stall >= h.ctrl.stall && n.op == h.op));
+        assert!(naive
+            .module
+            .insts
+            .iter()
+            .zip(&hand.module.insts)
+            .any(|(n, h)| n.ctrl.stall > h.ctrl.stall || h.ctrl.reuse != 0));
+    }
 
     #[test]
     fn lane_offsets_match_fig3() {

@@ -9,14 +9,18 @@
 //! * [`occupancy`] — Table 7: kernel parameters and resident blocks per SM,
 //!   the mechanism behind §7.1's V100-vs-RTX2070 speedup difference;
 //! * [`bottleneck`] — roofline-driven classification of a simulated run as
-//!   compute-/DRAM-/smem-/latency-bound, with headroom to the ceiling.
+//!   compute-/DRAM-/smem-/latency-bound, with headroom to the ceiling;
+//! * [`tunehint`] — translation of a bottleneck class into move-family
+//!   weights for the `sass::tune` schedule autotuner.
 
 pub mod bottleneck;
 pub mod breakeven;
 pub mod occupancy;
 pub mod roofline;
+pub mod tunehint;
 
 pub use bottleneck::{BottleneckReport, Bound, BOUND_THRESHOLD};
 pub use breakeven::{break_even_k, fused_f2_time, nonfused_f4_time};
 pub use occupancy::{kernel_table, KernelParams};
 pub use roofline::{attainable_tflops, RooflinePoint, WINOGRAD_STEPS};
+pub use tunehint::move_weights;

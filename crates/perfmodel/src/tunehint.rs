@@ -1,0 +1,89 @@
+//! Bottleneck-driven move prioritization for the schedule autotuner.
+//!
+//! The tuner's simulated-annealing proposals are weighted by move family
+//! ([`sass::tune::MoveWeights`]); this module derives those weights from a
+//! [`BottleneckReport`] so the search spends its evaluation budget where
+//! the classified bound says cycles actually go:
+//!
+//! * **latency-bound** (§7.1's common case for these kernels): the clock is
+//!   dominated by stall counts and dependency chains — favor stall
+//!   tightening and reordering, with yield tweaks close behind;
+//! * **compute-bound**: the FP32 pipe is near saturation, so the only
+//!   schedule-level wins left are register-bank conflicts (reuse flags,
+//!   §5.2.2) and issue-order smoothing;
+//! * **smem-bound**: the MIO queue is the wall — reorder to spread LDS/STS
+//!   issue and restructure scoreboard waits; stalls barely matter;
+//! * **DRAM-bound**: schedule changes can only overlap latency better —
+//!   barrier restructuring and reordering, stalls least.
+//!
+//! Weights are relative within a proposal draw; absolute scale is
+//! irrelevant.
+
+use crate::bottleneck::{BottleneckReport, Bound};
+use sass::tune::MoveWeights;
+
+/// Map a classified bottleneck to move-family weights for the tuner.
+pub fn move_weights(report: &BottleneckReport) -> MoveWeights {
+    match report.bound {
+        Bound::Latency => MoveWeights {
+            stall: 4.0,
+            reorder: 2.0,
+            yld: 1.5,
+            barrier: 1.0,
+            reuse: 0.5,
+        },
+        Bound::Compute => MoveWeights {
+            reuse: 3.0,
+            reorder: 2.0,
+            stall: 1.0,
+            yld: 1.0,
+            barrier: 0.5,
+        },
+        Bound::Smem => MoveWeights {
+            reorder: 3.0,
+            barrier: 2.0,
+            yld: 1.0,
+            stall: 0.5,
+            reuse: 0.5,
+        },
+        Bound::Dram => MoveWeights {
+            barrier: 2.0,
+            reorder: 2.0,
+            yld: 1.0,
+            reuse: 0.5,
+            stall: 0.5,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(bound: Bound) -> BottleneckReport {
+        BottleneckReport {
+            bound,
+            compute_pressure: 0.5,
+            dram_pressure: 0.5,
+            smem_pressure: 0.5,
+            headroom_pct: 50.0,
+        }
+    }
+
+    #[test]
+    fn weights_track_the_bound() {
+        let lat = move_weights(&report(Bound::Latency));
+        assert!(lat.stall > lat.reuse && lat.stall > lat.barrier);
+        let cmp = move_weights(&report(Bound::Compute));
+        assert!(cmp.reuse > cmp.stall);
+        let smem = move_weights(&report(Bound::Smem));
+        assert!(smem.reorder > smem.stall);
+        let dram = move_weights(&report(Bound::Dram));
+        assert!(dram.barrier > dram.stall);
+        // Every family stays proposable under every bound.
+        for w in [lat, cmp, smem, dram] {
+            assert!(w.stall > 0.0 && w.reuse > 0.0 && w.yld > 0.0);
+            assert!(w.barrier > 0.0 && w.reorder > 0.0);
+        }
+    }
+}

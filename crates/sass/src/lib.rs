@@ -30,6 +30,7 @@ pub mod isa;
 pub mod lint;
 pub mod module;
 pub mod reg;
+pub mod tune;
 
 pub use asm::{assemble, AsmError};
 pub use ctrl::Ctrl;

@@ -52,7 +52,8 @@ impl std::fmt::Display for Diagnostic {
 }
 
 /// Fixed result latencies, cycles (Jia et al. 2018 measurements, rounded).
-fn fixed_latency(op: &Op) -> Option<u64> {
+/// `None` for variable-latency ops (memory, S2R) that signal a scoreboard.
+pub fn fixed_latency(op: &Op) -> Option<u64> {
     match op {
         Op::Ffma { .. } | Op::Fadd { .. } | Op::Fmul { .. } => Some(4),
         Op::Hfma2 { .. } | Op::Hadd2 { .. } | Op::Hmul2 { .. } => Some(4),
@@ -594,6 +595,12 @@ pub fn fix_schedule_marked(insts: &mut Vec<Instruction>, markers: &mut [u32]) ->
         }
     }
     total
+}
+
+/// Block-leader bitmap the linter (and the schedule tuner) partitions a
+/// stream with: entry, branch targets, instructions after branches.
+pub fn block_leaders(insts: &[Instruction]) -> Vec<bool> {
+    compute_leaders(insts)
 }
 
 /// Block-leader bitmap: entry, branch targets, instructions after branches.
