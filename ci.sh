@@ -43,6 +43,15 @@ echo "== simspeed smoke =="
 # "Simulator speed").
 ./target/release/simspeed --smoke --json "$fresh/simspeed.json" > /dev/null
 
+echo "== multiwave smoke =="
+# Multi-wave timing cross-check: times one Table 2 point per device under
+# both the one-wave extrapolation and the full-device simulation, asserting
+# both produce positive, mutually sane times. (Bit-for-bit agreement on
+# exact-multiple grids is pinned by gpusim/tests/device_sim.rs.) The full
+# tracked run lives in BENCH_multiwave.json (see EXPERIMENTS.md,
+# "Multi-wave timing model").
+./target/release/multiwave --smoke --json "$fresh/multiwave.json" > /dev/null
+
 echo "== tune smoke =="
 # Schedule-autotuner smoke: tiny fixed-seed search on V100, asserting at
 # least one accepted improving move and that every visited candidate passes

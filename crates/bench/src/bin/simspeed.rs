@@ -1,19 +1,23 @@
 //! `simspeed` — host-side throughput of the timing simulator itself.
 //!
-//! Every experiment binary is bottlenecked on `gpusim::timing::time_kernel`;
-//! this benchmark tracks how fast that loop runs on the host, independent of
+//! Every experiment binary is bottlenecked on the timing simulator
+//! (`gpusim::time_kernel_device` for end-to-end points, the one-wave
+//! `gpusim::timing::time_kernel` for the main-loop region sweeps); this
+//! benchmark tracks how fast those loops run on the host, independent of
 //! what the simulated kernels score. It times a fixed kernel matrix (three
-//! algorithm families × both devices) cold — no simcache involvement — and
-//! reports, per point:
+//! algorithm families × both devices, plus a one-wave main-loop point per
+//! device) cold — no simcache involvement — and reports, per point:
 //!
 //! * `wall_ms`            — best-of-N wall-clock for one full timing run
-//! * `wave_cycles`        — simulated cycles of the dominant kernel's wave
-//! * `issued`             — warp-instructions issued during that wave
+//! * `wave_cycles`        — device makespan cycles (multi-wave points) or
+//!   the single simulated wave's cycles (the one-wave point)
+//! * `issued`             — warp-instructions issued (device total)
+//! * `busy_sms`           — SMs that received blocks
 //! * `sim_cycles_per_sec` — simulated cycles advanced per host second
 //! * `sim_instr_per_sec`  — instructions issued per host second
 //!
 //! The committed `BENCH_simspeed.json` at the repo root is this binary's
-//! output (see EXPERIMENTS.md "Simulator throughput"); CI runs `--smoke`
+//! output (see EXPERIMENTS.md "Simulator speed"); CI runs `--smoke`
 //! to assert the numbers are sane but never gates on wall-clock.
 //!
 //! Flags: `--iters N` (default 3), `--json PATH` (default
@@ -46,10 +50,11 @@ fn problem() -> ConvProblem {
 
 struct Point {
     device: &'static str,
-    algo: Algo,
+    label: String,
     wall_ms: f64,
     wave_cycles: u64,
     issued: u64,
+    busy_sms: u32,
     sim_time_s: f64,
 }
 
@@ -60,7 +65,9 @@ fn measure(iters: u32) -> Vec<Point> {
         for algo in ALGOS {
             let conv = Conv::new(prob, dev.clone());
             // One counted run for the exact work totals (identical timing
-            // result; counters only add observation).
+            // result; counters only add observation). These points run the
+            // full-device multi-wave model: `wave_cycles` is the device
+            // makespan and `issued` the device-total issue count.
             let counted = conv
                 .time_counted(algo)
                 .expect("matrix algorithm has no cycle-level kernel");
@@ -76,13 +83,36 @@ fn measure(iters: u32) -> Vec<Point> {
             }
             points.push(Point {
                 device: dev.name,
-                algo,
+                label: algo.name().to_string(),
                 wall_ms: best * 1e3,
                 wave_cycles: counted.wave_cycles,
                 issued: ctr.issued,
+                busy_sms: counted.busy_sms,
                 sim_time_s: counted.time_s,
             });
         }
+        // One retained one-wave point (the main-loop region sweep of
+        // Figures 7–9 stays on that path): tracks the single-SM wave loop's
+        // throughput separately from the device model.
+        let conv = Conv::new(prob, dev.clone());
+        let (counted, _) = conv.time_fused_mainloop_counted(conv.ours_config());
+        let ctr = counted.counters.as_ref().expect("counters requested");
+        let mut best = f64::INFINITY;
+        for _ in 0..iters.max(1) {
+            let t0 = Instant::now();
+            let (timing, _) = conv.time_fused_mainloop(conv.ours_config());
+            best = best.min(t0.elapsed().as_secs_f64());
+            assert!(timing.wave_cycles > 0);
+        }
+        points.push(Point {
+            device: dev.name,
+            label: "mainloop_one_wave".to_string(),
+            wall_ms: best * 1e3,
+            wave_cycles: counted.wave_cycles,
+            issued: ctr.issued,
+            busy_sms: counted.busy_sms,
+            sim_time_s: counted.time_s,
+        });
     }
     points
 }
@@ -137,12 +167,18 @@ fn main() {
         if smoke {
             assert!(p.wall_ms > 0.0, "non-positive wall time");
             assert!(p.wave_cycles > 0 && p.issued > 0, "empty simulation");
-            assert!(p.issued <= p.wave_cycles * 8, "issue rate impossible");
+            // Device-model points report device-total issues over the
+            // makespan: the per-cycle issue capacity is 4 schedulers × 2
+            // dispatch on every busy SM.
+            assert!(
+                p.issued <= p.wave_cycles * 8 * p.busy_sms.max(1) as u64,
+                "issue rate impossible"
+            );
             assert!(p.sim_time_s > 0.0, "non-positive simulated time");
         }
         t.row(vec![
             p.device.to_string(),
-            p.algo.name().to_string(),
+            p.label.clone(),
             format!("{:.1}", p.wall_ms),
             p.wave_cycles.to_string(),
             p.issued.to_string(),
@@ -156,9 +192,10 @@ fn main() {
             ("sim_cycles_per_sec", cps.into()),
             ("sim_instr_per_sec", ips.into()),
             ("sim_time_s", p.sim_time_s.into()),
+            ("busy_sms", p.busy_sms.into()),
         ];
         if let Some(base) = &baseline {
-            if let Some(b) = baseline_wall_ms(base, p.device, p.algo.name()) {
+            if let Some(b) = baseline_wall_ms(base, p.device, &p.label) {
                 let s = b / p.wall_ms;
                 speedups.push(s);
                 metrics.push(("speedup_vs_baseline", s.into()));
@@ -167,7 +204,7 @@ fn main() {
         report.add(
             p.device,
             &[
-                ("algo", p.algo.name().into()),
+                ("algo", p.label.as_str().into()),
                 ("n", prob.n.into()),
                 ("c", prob.c.into()),
                 ("hw", prob.h.into()),

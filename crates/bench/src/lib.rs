@@ -91,7 +91,12 @@ pub fn mainloop_sweep(name: &str, points: Vec<(Conv, FusedConfig)>) -> Vec<f64> 
 /// (roofline/workspace/break-even formulas with no simulated kernel whose
 /// bytes could be hashed). Bump when any analytic model formula changes so
 /// stale cache entries invalidate.
-pub const ANALYTIC_MODEL_VERSION: u64 = 1;
+///
+/// * v1 — PRs 1–5.
+/// * v2 — full-device multi-wave timing model (`gpusim::device_sim`): the
+///   simulated-kernel phases analytic points are compared against moved, so
+///   the analytic entries move in lockstep.
+pub const ANALYTIC_MODEL_VERSION: u64 = 2;
 
 /// Cache key for an analytic point: device + a caller-chosen label that
 /// encodes every remaining input + [`ANALYTIC_MODEL_VERSION`].

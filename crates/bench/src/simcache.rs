@@ -98,10 +98,20 @@ impl Store {
         std::fs::create_dir_all(&self.dir)?;
         let final_path = self.path_of(key);
         // Atomic publish: concurrent writers of the same key (same content,
-        // by construction) race benignly on the rename.
-        let tmp = self
-            .dir
-            .join(format!("{}.tmp.{}", key.as_str(), std::process::id()));
+        // by construction) race benignly on the rename. The temp name must
+        // be unique per *writer*, not just per process — sweep workers are
+        // threads, and two threads writing the same key with a pid-only
+        // suffix would interleave write/rename on one temp file (one rename
+        // then fails with NotFound, losing a store). A process-wide counter
+        // disambiguates them.
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}.{}",
+            key.as_str(),
+            std::process::id(),
+            seq
+        ));
         std::fs::write(&tmp, value.render() + "\n")?;
         std::fs::rename(&tmp, &final_path)
     }
@@ -116,6 +126,7 @@ pub fn timing_to_json(t: &KernelTiming) -> Json {
         ("waves", t.waves.into()),
         ("blocks_per_sm", t.blocks_per_sm.into()),
         ("total_blocks", t.total_blocks.into()),
+        ("busy_sms", t.busy_sms.into()),
         ("time_s", t.time_s.into()),
         ("flops", t.flops.into()),
         ("tflops", t.tflops.into()),
@@ -159,6 +170,7 @@ pub fn timing_from_json(j: &Json) -> Option<KernelTiming> {
         waves: u("waves")?,
         blocks_per_sm: u("blocks_per_sm")? as u32,
         total_blocks: u("total_blocks")?,
+        busy_sms: u("busy_sms")? as u32,
         time_s: f("time_s")?,
         flops: f("flops")?,
         tflops: f("tflops")?,
@@ -238,6 +250,43 @@ mod tests {
     #[should_panic(expected = "hex digest")]
     fn key_rejects_free_text() {
         CacheKey::new("../escape".into());
+    }
+
+    /// Regression: two threads storing the same key concurrently must both
+    /// succeed. With the old pid-only temp-file suffix they shared one temp
+    /// path; the loser's rename failed with NotFound and the store was
+    /// dropped (reported as a `[simcache] warning` and a cold next run).
+    #[test]
+    fn concurrent_same_key_stores_do_not_collide() {
+        let dir = std::env::temp_dir().join(format!(
+            "simcache-race-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Store::new(&dir);
+        let key = CacheKey::new("cafe0123".into());
+        let v = obj(&[("time_us", 1.5.into())]);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        store
+                            .try_store(&key, &v)
+                            .expect("concurrent same-key store must not fail");
+                    }
+                });
+            }
+        });
+        assert_eq!(store.load(&key), Some(v));
+        // No leaked temp files: every writer renamed its own file away.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "leaked temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! documents the substitution.
 
 use gpusim::digest::module_digest;
-use gpusim::{DeviceSpec, Digest, Gpu, KernelTiming, LaunchDims, ParamBuilder, TimingOptions};
+use gpusim::{
+    time_kernel_device, DeviceOptions, DeviceSpec, Digest, Gpu, KernelTiming, LaunchDims,
+    ParamBuilder, TimingOptions,
+};
 use kernels::filter_transform::emit_filter_transform;
 use kernels::gemm::{GemmConfig, GemmKernel};
 use kernels::{FusedConfig, FusedKernel};
@@ -347,25 +350,28 @@ impl Conv {
 
         let fx = emit_filter_transform(p.c as u32, p.k as u32);
         let fx_params = ParamBuilder::new().push_ptr(d_filt).push_ptr(d_tf).build();
-        let fxt = gpusim::timing::time_kernel(
+        let fxt = time_kernel_device(
             &mut gpu,
             &fx,
             LaunchDims::linear((p.c * p.k / 256) as u32, 256),
             &fx_params,
-            TimingOptions::default(),
+            DeviceOptions::default(),
         )
         .expect("filter transform timing");
 
         let params = kern.params(d_in, d_tf, d_out);
-        let mut t = gpusim::timing::time_kernel(
+        let mut t = time_kernel_device(
             &mut gpu,
             &kern.module,
             kern.launch_dims(),
             &params,
-            TimingOptions {
-                region: Some(kern.region),
-                profile,
-                counters,
+            DeviceOptions {
+                base: TimingOptions {
+                    region: Some(kern.region),
+                    profile,
+                    counters,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         )
@@ -374,6 +380,49 @@ impl Conv {
             prof.regions = kern.regions.clone();
         }
         (fxt.time_s, t)
+    }
+
+    /// Cross-check of the two timing models on this problem's fused kernel:
+    /// `(one_wave, device)`. The retained one-wave analytic path and the
+    /// full-device simulation must agree on grids that are an exact multiple
+    /// of one device wave; on partial-tail grids the difference is the
+    /// one-wave model's overcharge (recorded by the `multiwave` experiment
+    /// binary).
+    pub fn time_fused_crosscheck(&self, algo: Algo) -> (KernelTiming, KernelTiming) {
+        let p = &self.problem;
+        let cfg = self.fused_config(algo);
+        let kern = FusedKernel::emit(cfg);
+        let base = TimingOptions {
+            region: Some(kern.region),
+            ..Default::default()
+        };
+        let alloc = |gpu: &mut Gpu| {
+            let d_in = gpu.alloc((p.c * p.h * p.w * p.n) as u64 * 4);
+            let d_tf = gpu.alloc((p.c * 16 * p.k) as u64 * 4);
+            let d_out = gpu.alloc((p.k * p.h * p.w * p.n) as u64 * 4);
+            kern.params(d_in, d_tf, d_out)
+        };
+        let cap = ((p.c * p.h * p.w * p.n + 16 * p.c * p.k + p.k * p.h * p.w * p.n) * 4) as u64
+            + (1 << 20);
+        let mut gpu = self.gpu_for(cap);
+        let params = alloc(&mut gpu);
+        let one_wave =
+            gpusim::timing::time_kernel(&mut gpu, &kern.module, kern.launch_dims(), &params, base)
+                .expect("one-wave fused timing");
+        let mut gpu = self.gpu_for(cap);
+        let params = alloc(&mut gpu);
+        let device = time_kernel_device(
+            &mut gpu,
+            &kern.module,
+            kern.launch_dims(),
+            &params,
+            DeviceOptions {
+                base,
+                ..Default::default()
+            },
+        )
+        .expect("device fused timing");
+        (one_wave, device)
     }
 
     /// Main-loop-only timing of a fused configuration (Figures 7–9, §7.2).
@@ -499,13 +548,16 @@ impl Conv {
         let da = gpu.alloc((kd * m) as u64 * 4);
         let db = gpu.alloc((kd * n_pad) as u64 * 4);
         let dc = gpu.alloc((m * n_pad) as u64 * 4);
-        gpusim::timing::time_kernel(
+        time_kernel_device(
             &mut gpu,
             &kern.module,
             kern.launch_dims(),
             &kern.params(da, db, dc),
-            TimingOptions {
-                counters,
+            DeviceOptions {
+                base: TimingOptions {
+                    counters,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         )
@@ -530,13 +582,16 @@ impl Conv {
         let da = gpu.alloc(36 * (p.c * p.k) as u64 * 4);
         let db = gpu.alloc(36 * p.c as u64 * n_pad as u64 * 4);
         let dc = gpu.alloc(36 * p.k as u64 * n_pad as u64 * 4);
-        gpusim::timing::time_kernel(
+        time_kernel_device(
             &mut gpu,
             &kern.module,
             kern.launch_dims(),
             &kern.params(da, db, dc),
-            TimingOptions {
-                counters,
+            DeviceOptions {
+                base: TimingOptions {
+                    counters,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         )
@@ -600,6 +655,10 @@ impl Conv {
     fn base_digest(&self) -> Digest {
         let p = &self.problem;
         let mut d = Digest::new();
+        // Timing-model semantics version: kernel timings moved when the
+        // full-device multi-wave model replaced one-wave extrapolation, so
+        // every Conv-level cache entry must move with them.
+        d.u32(gpusim::TIMING_MODEL_VERSION);
         self.device.digest_into(&mut d);
         for v in [p.n, p.c, p.h, p.w, p.k, p.r, p.s, p.pad] {
             d.u64(v as u64);

@@ -116,6 +116,48 @@ impl HwCounters {
         }
     }
 
+    /// Accumulate `k` copies of `other` into `self` — the device model's
+    /// merge: per-wave counters add across an SM's waves (with `k > 1` for
+    /// fast-forwarded steady-state waves) and then across SMs. Every event
+    /// count is linear, so all [`HwCounters::validate`] identities survive
+    /// the merge: `wave_cycles` accumulates the *busy* scheduler-cycles
+    /// (the sum over SMs, not the device makespan), keeping
+    /// `Σ eligible_hist = schedulers × wave_cycles` exact.
+    pub fn add_scaled(&mut self, other: &HwCounters, k: u64) {
+        debug_assert_eq!(self.schedulers, other.schedulers);
+        self.wave_cycles += k * other.wave_cycles;
+        self.issued += k * other.issued;
+        for i in 0..4 {
+            self.issued_by_pipe[i] += k * other.issued_by_pipe[i];
+            self.reuse_hits[i] += k * other.reuse_hits[i];
+            self.reuse_misses[i] += k * other.reuse_misses[i];
+        }
+        for i in 0..9 {
+            self.eligible_hist[i] += k * other.eligible_hist[i];
+        }
+        self.resident_warps = self.resident_warps.max(other.resident_warps);
+        self.max_warps_per_sm = self.max_warps_per_sm.max(other.max_warps_per_sm);
+        self.fp_issues += k * other.fp_issues;
+        self.fp_pipe_busy_cycles += k * other.fp_pipe_busy_cycles;
+        self.reg_bank_conflicts += k * other.reg_bank_conflicts;
+        self.smem_accesses += k * other.smem_accesses;
+        for i in 0..3 {
+            self.smem_accesses_by_width[i] += k * other.smem_accesses_by_width[i];
+        }
+        self.smem_phases += k * other.smem_phases;
+        self.smem_ideal_phases += k * other.smem_ideal_phases;
+        self.smem_extra_phases += k * other.smem_extra_phases;
+        self.smem_mio_cycles += k * other.smem_mio_cycles;
+        self.global_accesses += k * other.global_accesses;
+        self.global_sectors += k * other.global_sectors;
+        self.l1_sector_hits += k * other.l1_sector_hits;
+        self.l2_sector_hits += k * other.l2_sector_hits;
+        self.l2_sector_misses += k * other.l2_sector_misses;
+        self.global_mio_cycles += k * other.global_mio_cycles;
+        self.dram_read_bytes += k * other.dram_read_bytes;
+        self.dram_write_bytes += k * other.dram_write_bytes;
+    }
+
     // ---- derived metrics (the numbers profilers print) -----------------------
 
     /// Issued slots over available slots, percent (Nsight's "issue slot

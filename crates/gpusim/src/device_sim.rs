@@ -1,0 +1,571 @@
+//! Full-device, multi-wave, event-driven timing model.
+//!
+//! The one-wave path ([`crate::timing::time_kernel`]) times one steady-state
+//! wave on one SM and extrapolates `waves = ceil(total / (resident × S))`.
+//! That arithmetic mistimes every grid whose last wave is partial: a handful
+//! of straggler blocks is charged a full-device wave, and cross-SM tail
+//! imbalance is invisible. This module fixes that by simulating the whole
+//! device:
+//!
+//! * a **block dispatcher** places every thread block of the launch on its
+//!   SM — static round-robin, block `b` on SM `b mod S`, like hardware's
+//!   initial distribution of an even grid;
+//! * each SM consumes its blocks in waves of at most `resident` blocks and
+//!   runs the existing decoded-table/cycle-skipping wave loop
+//!   (`crate::timing::simulate_wave`) per wave, with the SM's L1/L2 image
+//!   and memory-backend backlog carried from wave to wave;
+//! * a device-level [`TimeQueue`] — the per-scheduler wake-up logic lifted
+//!   to device scope — advances SMs event-driven: each busy SM sits in the
+//!   queue at its next wave boundary, workers always pop the earliest, and
+//!   idle SMs (no blocks assigned) are never enqueued, so they cost
+//!   nothing;
+//! * the L2/DRAM **bandwidth share** charged inside a wave is
+//!   `1/busy_sms(wave)` of the device, not `1/S`, so the tail waves of an
+//!   uneven grid see their true (larger) share;
+//! * SMs are **sharded across worker threads** the way `bench::sweep`
+//!   shards grid points (shared work queue + scoped threads), and results
+//!   merge in SM-index order. Per-SM simulations are mutually independent
+//!   (the share curve is precomputed from the dispatch alone), so
+//!   `KernelTiming`, `HwCounters` and stall profiles are bit-stable under
+//!   any `jobs` value.
+//!
+//! **Steady-state fast-forward.** The paper's kernels run thousands of
+//! identical blocks; simulating every wave of every SM would cost hundreds
+//! of times the one-wave model. Once two consecutive full waves of an SM
+//! agree on cycle count to within 1/128, the following full waves with the
+//! same bandwidth share are charged at the last simulated wave's cost and
+//! their counter/profile deltas are scaled in
+//! ([`HwCounters::add_scaled`]); each share transition and the final
+//! partial wave are always simulated exactly.
+//!
+//! The same steady-state assumption applies **across SMs**: round-robin
+//! dispatch of a 1-D grid produces at most two SM classes (the first
+//! `total mod S` SMs own one extra block), and SMs within a class differ
+//! only in block coordinates, hence memory addresses. By default one
+//! representative SM per class is simulated and its tallies scaled by the
+//! class size. [`DeviceOptions::exact`] disables both shortcuts — every SM,
+//! every wave — and the golden tests pin that the default, the exact mode
+//! and the one-wave model all agree on exact-multiple grids.
+//!
+//! Semantics notes:
+//!
+//! * `KernelTiming::wave_cycles` from this model is the device **makespan**
+//!   (the latest SM finish time); `HwCounters::wave_cycles` and
+//!   `KernelProfile::wave_cycles` accumulate **busy** scheduler-cycles
+//!   summed over SMs, so the `Σ issue + Σ stalls + empty = schedulers ×
+//!   cycles` identities stay exact per SM and for the device totals.
+//! * `flops`/`dram_bytes` are exact sums over all simulated (and
+//!   fast-forwarded) waves — no grid-ratio scaling.
+//! * Like the one-wave path, this is a timing model: blocks covered by a
+//!   fast-forwarded wave are not executed functionally. Use
+//!   [`Gpu::launch`] / [`Gpu::launch_parallel`] for functional results.
+
+use crate::counters::HwCounters;
+use crate::decode::{decode_module, InstDesc};
+use crate::device::DeviceSpec;
+use crate::launch::{Gpu, LaunchDims, LaunchError, SharedMem};
+use crate::memory::{ConstBank, GlobalMemory};
+use crate::simprof::KernelProfile;
+use crate::timeq::TimeQueue;
+use crate::timing::{
+    effective_residency, grid_coord, simulate_wave, zero_timing, KernelTiming, SmCarry,
+    TimingOptions, WaveOutput, WaveParams,
+};
+use sass::Module;
+
+/// Options for a full-device timing run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeviceOptions {
+    /// The per-wave options (occupancy override, region, strict writeback,
+    /// profile, counters) — same meaning as in the one-wave model.
+    pub base: TimingOptions,
+    /// Worker threads to shard SMs across. `0` uses the host's available
+    /// parallelism. Results are bit-identical for every value.
+    pub jobs: usize,
+    /// Simulate every SM and every wave individually instead of
+    /// fast-forwarding steady-state waves and deduplicating SM dispatch
+    /// classes. Much slower; results legitimately differ from the default
+    /// only where the steady-state assumption is imperfect, so this
+    /// participates in digests ([`DeviceOptions::digest_into`]).
+    pub exact: bool,
+}
+
+impl DeviceOptions {
+    /// Digest the options that change results. `jobs` is deliberately
+    /// excluded: sharding is bit-stable, so a cache entry computed under any
+    /// `jobs` serves all of them.
+    pub fn digest_into(&self, d: &mut crate::digest::Digest) {
+        self.base.digest_into(d);
+        d.bool(self.exact);
+    }
+}
+
+/// Immutable per-launch context shared by every SM simulation.
+struct Ctx<'a> {
+    device: &'a DeviceSpec,
+    module: &'a Module,
+    table: &'a [InstDesc],
+    dims: LaunchDims,
+    cbank: &'a ConstBank,
+    base: TimingOptions,
+    exact: bool,
+    resident: u32,
+    num_sms: u64,
+    /// Dispatch shape: every SM owns `q` blocks, the first `r` SMs one more.
+    q: u64,
+    r: u64,
+}
+
+impl Ctx<'_> {
+    /// Blocks dispatched to SM `sm` (round-robin: `sm, sm+S, sm+2S, …`).
+    fn count(&self, sm: u64) -> u64 {
+        self.q + u64::from(sm < self.r)
+    }
+
+    /// SMs still holding blocks at wave index `w` — the bandwidth-share
+    /// curve. Monotone non-increasing in `w`, so a range is share-constant
+    /// iff its two endpoints agree.
+    fn share_at(&self, w: u64) -> u64 {
+        let need = w.saturating_mul(self.resident as u64);
+        let mut n = 0;
+        if self.q > need {
+            n += self.num_sms - self.r;
+        }
+        if self.q + 1 > need {
+            n += self.r;
+        }
+        n
+    }
+
+    /// Grid coordinates of the `n` blocks SM `sm` runs in wave `wave`.
+    fn coords(&self, sm: u64, wave: u64, n: u32) -> Vec<[u32; 3]> {
+        (0..n as u64)
+            .map(|i| {
+                grid_coord(
+                    self.dims,
+                    sm + (wave * self.resident as u64 + i) * self.num_sms,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Per-SM accumulation across its waves.
+#[derive(Default)]
+struct SmAcc {
+    /// Busy cycles on this SM (sum of its wave cycles).
+    cycles: u64,
+    waves: u64,
+    issued: u64,
+    fp_active: u64,
+    flops: u64,
+    dram_bytes: u64,
+    reg_conflicts: u64,
+    smem_conflict_cycles: u64,
+    yield_switches: u64,
+    idle_attr: [u64; 5],
+    region_cycles: u64,
+    region_fp_active: u64,
+    profile: Option<KernelProfile>,
+    counters: Option<HwCounters>,
+}
+
+impl SmAcc {
+    /// Fold `k` copies of one simulated wave in (`k > 1` when the wave
+    /// stands for itself plus fast-forwarded repeats).
+    fn add(&mut self, out: WaveOutput, k: u64) {
+        self.cycles += k * out.cycles;
+        self.waves += k;
+        self.issued += k * out.issued;
+        self.fp_active += k * out.fp_active;
+        self.flops += k * out.flops;
+        self.dram_bytes += k * out.dram_bytes;
+        self.reg_conflicts += k * out.reg_conflicts;
+        self.smem_conflict_cycles += k * out.smem_conflict_cycles;
+        self.yield_switches += k * out.yield_switches;
+        for i in 0..5 {
+            self.idle_attr[i] += k * out.idle_attr[i];
+        }
+        self.region_cycles += k * out.region_cycles();
+        self.region_fp_active += k * out.region_fp_active;
+        let cycles = out.cycles;
+        if let Some(col) = out.prof {
+            let p = col.finish(cycles);
+            match &mut self.profile {
+                Some(mp) => mp.add_scaled(&p, k),
+                None => {
+                    let mut p0 = p;
+                    if k > 1 {
+                        let once = p0.clone();
+                        p0.add_scaled(&once, k - 1);
+                    }
+                    self.profile = Some(p0);
+                }
+            }
+        }
+        if let Some(col) = out.ctr {
+            let c = col.finish(cycles);
+            match &mut self.counters {
+                Some(mc) => mc.add_scaled(&c, k),
+                None => {
+                    let mut c0 = c;
+                    if k > 1 {
+                        let once = c0.clone();
+                        c0.add_scaled(&once, k - 1);
+                    }
+                    self.counters = Some(c0);
+                }
+            }
+        }
+    }
+}
+
+/// One SM's progress through its block list: the payload parked in the
+/// device [`TimeQueue`] at the SM's next wave boundary.
+struct SmState {
+    sm: u64,
+    /// Full waves of `resident` blocks this SM runs.
+    full: u64,
+    /// Blocks in the trailing partial wave (0 if none, or once simulated).
+    rem: u32,
+    /// Next full-wave index to simulate.
+    w: u64,
+    prev_cycles: Option<u64>,
+    carry: SmCarry,
+    acc: SmAcc,
+}
+
+impl SmState {
+    fn new(cx: &Ctx<'_>, sm: u64) -> Self {
+        let count = cx.count(sm);
+        SmState {
+            sm,
+            full: count / cx.resident as u64,
+            rem: (count % cx.resident as u64) as u32,
+            w: 0,
+            prev_cycles: None,
+            carry: SmCarry::new(cx.device, cx.module.info.smem_bytes, cx.resident),
+            acc: SmAcc::default(),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.w >= self.full && self.rem == 0
+    }
+
+    /// Simulate this SM's next wave (or fast-forward chunk); returns the
+    /// device-time cycles consumed, i.e. this SM's next wave boundary
+    /// relative to its current one.
+    fn advance(&mut self, cx: &Ctx<'_>, mem: &mut GlobalMemory) -> Result<u64, LaunchError> {
+        let (wave, n, share) = if self.w < self.full {
+            (self.w, cx.resident, cx.share_at(self.w))
+        } else {
+            (self.full, self.rem, cx.share_at(self.full))
+        };
+        let coords = cx.coords(self.sm, wave, n);
+        let out = simulate_wave(
+            mem,
+            &WaveParams {
+                device: cx.device,
+                module: cx.module,
+                table: cx.table,
+                dims: cx.dims,
+                cbank: cx.cbank,
+                opts: cx.base,
+                coords: &coords,
+                share_sms: share as f64,
+            },
+            &mut self.carry,
+        )?;
+        let cycles = out.cycles;
+        if n < cx.resident {
+            // Trailing partial wave: always simulated exactly, never
+            // fast-forwarded.
+            self.rem = 0;
+            self.acc.add(out, 1);
+            return Ok(cycles);
+        }
+        // Steady-state fast-forward: this wave plus every following full
+        // wave with the same bandwidth share, once the cost has settled
+        // (within 1/128 of the previous wave). `share_at` is monotone
+        // non-increasing, so the share-constant run extends to the largest
+        // wave index still at `share` (binary search); the wave after the
+        // run sees fewer sharing SMs and is simulated afresh.
+        let mut k = 1u64;
+        if !cx.exact && self.w + 1 < self.full {
+            if let Some(pc) = self.prev_cycles {
+                let settled = cycles.abs_diff(pc).saturating_mul(128) <= pc;
+                if settled && cx.share_at(self.w + 1) == share {
+                    let (mut lo, mut hi) = (self.w + 1, self.full - 1);
+                    while lo < hi {
+                        let mid = lo + (hi - lo).div_ceil(2);
+                        if cx.share_at(mid) == share {
+                            lo = mid;
+                        } else {
+                            hi = mid - 1;
+                        }
+                    }
+                    k = lo - self.w + 1;
+                }
+            }
+        }
+        self.prev_cycles = Some(cycles);
+        self.acc.add(out, k);
+        self.w += k;
+        Ok(k * cycles)
+    }
+}
+
+/// Time one kernel launch by simulating the full device. See the module
+/// docs for the model; the signature mirrors
+/// [`crate::timing::time_kernel`].
+pub fn time_kernel_device(
+    gpu: &mut Gpu,
+    module: &Module,
+    dims: LaunchDims,
+    params: &[u8],
+    opts: DeviceOptions,
+) -> Result<KernelTiming, LaunchError> {
+    let table: Vec<InstDesc> = decode_module(&module.insts, opts.base.region);
+    time_kernel_device_with_table(gpu, module, dims, params, opts, &table)
+}
+
+/// [`time_kernel_device`] with a caller-supplied descriptor table (the same
+/// sharing contract as `timing::time_kernel_with_table`).
+pub(crate) fn time_kernel_device_with_table(
+    gpu: &mut Gpu,
+    module: &Module,
+    dims: LaunchDims,
+    params: &[u8],
+    opts: DeviceOptions,
+    table: &[InstDesc],
+) -> Result<KernelTiming, LaunchError> {
+    debug_assert_eq!(table.len(), module.insts.len());
+    let device = gpu.device.clone();
+    let total_blocks = dims.num_blocks();
+    let resident = effective_residency(&device, module, dims, &opts.base)?;
+    if total_blocks == 0 {
+        return Ok(zero_timing(0));
+    }
+
+    let num_sms = device.num_sms as u64;
+    let busy = total_blocks.min(num_sms) as usize;
+    let cbank = ConstBank::new(dims.block, dims.grid, params);
+    let cx = Ctx {
+        device: &device,
+        module,
+        table,
+        dims,
+        cbank: &cbank,
+        base: opts.base,
+        exact: opts.exact,
+        resident,
+        num_sms,
+        q: total_blocks / num_sms,
+        r: total_blocks % num_sms,
+    };
+
+    // The round-robin dispatch produces at most two SM classes: the first
+    // `r` SMs own `q + 1` blocks, the rest own `q`. Within a class the
+    // per-SM simulations are identical except for block coordinates (hence
+    // memory addresses) — for the paper's uniformly tiled kernels the same
+    // steady-state assumption the wave fast-forward rests on. By default
+    // one representative SM per class is simulated and its tallies scaled
+    // by the class size; `exact: true` simulates every SM individually.
+    // Exact-multiple grids have a single class, so the golden one-wave
+    // agreement is unaffected by the choice.
+    let plan: Vec<(u64, u64)> = if opts.exact {
+        (0..busy as u64).map(|sm| (sm, 1)).collect()
+    } else {
+        let r = cx.r;
+        let mut v = Vec::new();
+        if r > 0 {
+            // Representative SM 0, class of the `q + 1`-block SMs.
+            v.push((0, r.min(busy as u64)));
+        }
+        if cx.q > 0 && (busy as u64) > r {
+            // Representative SM `r`, class of the `q`-block SMs.
+            v.push((r, busy as u64 - r));
+        }
+        v
+    };
+
+    // The device event queue: every simulated SM parked at its next wave
+    // boundary; idle SMs are never enqueued. Workers pop the earliest SM,
+    // simulate its next wave, and park it again — event-driven advancement
+    // in global time order.
+    let mut seed: TimeQueue<u64, SmState> = TimeQueue::new();
+    for (i, &(sm, _)) in plan.iter().enumerate() {
+        seed.push(0, i as u64, SmState::new(&cx, sm));
+    }
+    let queue = std::sync::Mutex::new(seed);
+    let slots_total = plan.len();
+    let mut results: Vec<Option<Result<SmAcc, LaunchError>>> = Vec::new();
+    results.resize_with(slots_total, || None);
+    let finished = std::sync::atomic::AtomicUsize::new(0);
+
+    // One scheduling step: pop the earliest SM, advance it one wave, park
+    // it again or retire it. Returns false when no work was available.
+    let step = |mem: &mut GlobalMemory,
+                slots: &mut dyn FnMut(usize, Result<SmAcc, LaunchError>)| {
+        let popped = queue.lock().unwrap().pop();
+        let Some((t, i, mut st)) = popped else {
+            return false;
+        };
+        match st.advance(&cx, mem) {
+            Err(e) => {
+                slots(i as usize, Err(e));
+                finished.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            Ok(dt) => {
+                if st.done() {
+                    slots(i as usize, Ok(st.acc));
+                    finished.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                } else {
+                    queue.lock().unwrap().push(t + dt, i, st);
+                }
+            }
+        }
+        true
+    };
+
+    let jobs = if opts.jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        opts.jobs
+    }
+    .clamp(1, slots_total);
+    if jobs == 1 {
+        let mut place = |i: usize, r: Result<SmAcc, LaunchError>| results[i] = Some(r);
+        while step(&mut gpu.mem, &mut place) {}
+    } else {
+        // Shard across workers, `bench::sweep`-style. The SAFETY contract of
+        // `SharedMem` holds because the paper's kernels write disjoint
+        // regions per block and never read another block's output — the
+        // same contract `Gpu::launch_parallel` runs under. Per-SM results
+        // are independent of pop interleaving, so the merge below is
+        // bit-stable for any worker count.
+        let mem_ptr = &SharedMem(&mut gpu.mem as *mut GlobalMemory);
+        let slots_mx = std::sync::Mutex::new(&mut results);
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    if finished.load(std::sync::atomic::Ordering::Relaxed) >= slots_total {
+                        break;
+                    }
+                    // SAFETY: disjoint-block-writes contract, see above.
+                    let mem = unsafe { mem_ptr.get() };
+                    let mut place = |i: usize, r: Result<SmAcc, LaunchError>| {
+                        slots_mx.lock().unwrap()[i] = Some(r);
+                    };
+                    if !step(mem, &mut place) {
+                        // Another worker holds the only in-flight SMs; wait
+                        // for them to be parked again or retired.
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+    }
+
+    // Deterministic merge, in SM-index order.
+    let schedulers = device.schedulers_per_sm as usize;
+    let mut makespan = 0u64;
+    let mut busy_cycles = 0u64;
+    let mut waves = 0u64;
+    let mut issued = 0u64;
+    let mut fp_active = 0u64;
+    let mut flops = 0u64;
+    let mut dram_bytes = 0u64;
+    let mut reg_conflicts = 0u64;
+    let mut smem_conflict_cycles = 0u64;
+    let mut yield_switches = 0u64;
+    let mut idle_attr = [0u64; 5];
+    let mut region_cycles_max = 0u64;
+    let mut region_cycles_sum = 0u64;
+    let mut region_fp_active = 0u64;
+    let mut profile: Option<KernelProfile> = None;
+    let mut counters: Option<HwCounters> = None;
+    for (slot, &(_, k)) in results.into_iter().zip(plan.iter()) {
+        let acc = slot.expect("every planned SM simulated")?;
+        makespan = makespan.max(acc.cycles);
+        busy_cycles += k * acc.cycles;
+        waves = waves.max(acc.waves);
+        issued += k * acc.issued;
+        fp_active += k * acc.fp_active;
+        flops += k * acc.flops;
+        dram_bytes += k * acc.dram_bytes;
+        reg_conflicts += k * acc.reg_conflicts;
+        smem_conflict_cycles += k * acc.smem_conflict_cycles;
+        yield_switches += k * acc.yield_switches;
+        for (tot, d) in idle_attr.iter_mut().zip(acc.idle_attr) {
+            *tot += k * d;
+        }
+        region_cycles_max = region_cycles_max.max(acc.region_cycles);
+        region_cycles_sum += k * acc.region_cycles;
+        region_fp_active += k * acc.region_fp_active;
+        if let Some(p) = acc.profile {
+            match &mut profile {
+                Some(mp) => mp.add_scaled(&p, k),
+                None => {
+                    let mut p0 = p;
+                    if k > 1 {
+                        let once = p0.clone();
+                        p0.add_scaled(&once, k - 1);
+                    }
+                    profile = Some(p0);
+                }
+            }
+        }
+        if let Some(c) = acc.counters {
+            match &mut counters {
+                Some(mc) => mc.add_scaled(&c, k),
+                None => {
+                    let mut c0 = c;
+                    if k > 1 {
+                        let once = c0.clone();
+                        c0.add_scaled(&once, k - 1);
+                    }
+                    counters = Some(c0);
+                }
+            }
+        }
+    }
+
+    let wave_cycles = makespan.max(1);
+    let compute_time = wave_cycles as f64 / device.clock_hz;
+    let dram_time = dram_bytes as f64 / device.dram_bw;
+    let time_s = compute_time.max(dram_time);
+    let denom = schedulers as f64 * busy_cycles.max(1) as f64;
+    let sol_total = fp_active as f64 / denom;
+    let sol_base = if opts.base.region.is_some() && region_cycles_sum > 0 {
+        region_fp_active as f64 / (schedulers as f64 * region_cycles_sum as f64)
+    } else {
+        sol_total
+    };
+
+    Ok(KernelTiming {
+        wave_cycles,
+        waves,
+        blocks_per_sm: resident,
+        total_blocks,
+        busy_sms: busy as u32,
+        time_s,
+        flops: flops as f64,
+        tflops: flops as f64 / time_s / 1e12,
+        sol_pct: 100.0 * sol_base,
+        sol_total_pct: 100.0 * sol_total,
+        issue_util_pct: 100.0 * issued as f64 / denom,
+        dram_bytes,
+        dram_time_s: dram_time,
+        region_cycles: region_cycles_max,
+        reg_bank_conflict_cycles: reg_conflicts,
+        smem_conflict_cycles,
+        yield_switch_cycles: yield_switches,
+        idle_breakdown: idle_attr,
+        profile,
+        counters,
+    })
+}

@@ -154,8 +154,19 @@ pub fn module_digest(module: &Module, d: &mut Digest) {
     d.bytes(&module.to_cubin());
 }
 
+/// Version of the timing-model *semantics* mixed into every timing digest.
+/// Bump it whenever a model change legitimately moves numbers, so results
+/// cached under the old semantics can never be returned for the new ones.
+///
+/// * v1 — one-wave simulation + wave arithmetic (PRs 1–5).
+/// * v2 — full-device multi-wave simulation ([`crate::device_sim`]); the
+///   retained one-wave path also changed (residency capped at
+///   `ceil(total/num_sms)`, empty grids cost nothing, `busy_sms` reported).
+pub const TIMING_MODEL_VERSION: u32 = 2;
+
 /// The content address of one [`crate::timing::time_kernel`] call:
-/// `{device, program, launch dims, params, options}` → 32 hex chars.
+/// `{model version, device, program, launch dims, params, options}` → 32 hex
+/// chars.
 pub fn timing_digest(
     device: &DeviceSpec,
     module: &Module,
@@ -164,6 +175,7 @@ pub fn timing_digest(
     opts: TimingOptions,
 ) -> String {
     let mut d = Digest::new();
+    d.u32(TIMING_MODEL_VERSION);
     device.digest_into(&mut d);
     module_digest(module, &mut d);
     dims.digest_into(&mut d);

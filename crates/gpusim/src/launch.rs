@@ -287,10 +287,7 @@ impl Gpu {
             return self.launch(module, dims, params);
         }
 
-        struct MemPtr(*mut GlobalMemory);
-        unsafe impl Sync for MemPtr {}
-        unsafe impl Send for MemPtr {}
-        let mem_ptr = &MemPtr(&mut self.mem as *mut GlobalMemory);
+        let mem_ptr = &SharedMem(&mut self.mem as *mut GlobalMemory);
 
         let next = std::sync::atomic::AtomicU64::new(0);
         let err: std::sync::Mutex<Option<ExecError>> = std::sync::Mutex::new(None);
@@ -307,7 +304,7 @@ impl Gpu {
                         let bz = (i / (dims.grid[0] as u64 * dims.grid[1] as u64)) as u32;
                         // SAFETY: see the method-level contract — blocks write
                         // disjoint regions, matching device semantics.
-                        let mem = unsafe { &mut *mem_ptr.0 };
+                        let mem = unsafe { mem_ptr.get() };
                         if let Err(e) = run_block(module, mem, &cbank, [bx, by, bz], dims.block) {
                             *err.lock().unwrap() = Some(e);
                             break;
@@ -320,6 +317,25 @@ impl Gpu {
             Some(e) => Err(LaunchError::Exec(e)),
             None => Ok(()),
         }
+    }
+}
+
+/// A `Send + Sync` raw handle to [`GlobalMemory`], shared by the parallel
+/// block launcher above and the sharded-SM device simulator
+/// ([`crate::device_sim`]). Both run thread blocks concurrently against one
+/// global memory under the disjoint-writes contract documented on
+/// [`Gpu::launch_parallel`].
+pub(crate) struct SharedMem(pub(crate) *mut GlobalMemory);
+unsafe impl Sync for SharedMem {}
+unsafe impl Send for SharedMem {}
+
+impl SharedMem {
+    /// # Safety
+    /// Callers must uphold the disjoint-block-writes contract: concurrent
+    /// users may not write overlapping regions or read another's writes.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get(&self) -> &mut GlobalMemory {
+        unsafe { &mut *self.0 }
     }
 }
 

@@ -20,27 +20,36 @@
 //! * CUDA **occupancy** rules (registers / shared memory / thread limits)
 //!   that reproduce the V100-vs-RTX2070 difference of §7.1.
 //!
-//! Functional execution ([`exec`], [`launch`]) is exact; timing
-//! ([`timing`]) is cycle-level for one wave of resident blocks on one SM and
-//! analytic across waves (all blocks of these kernels are identical).
+//! Functional execution ([`exec`], [`launch`]) is exact. Timing has two
+//! levels sharing one cycle-level wave loop: [`timing`] times a single wave
+//! of resident blocks on one SM and extrapolates analytically across waves
+//! (the cheap inner-loop model, exact on grids that are a whole multiple of
+//! full waves), while [`device_sim`] dispatches every block of the launch to
+//! its SM and simulates all SMs — event-driven via [`timeq`], sharded across
+//! worker threads with a deterministic merge — so partial last waves and
+//! tail imbalance are timed instead of rounded up.
 
 pub mod batch;
 pub mod counters;
 pub(crate) mod decode;
 pub mod device;
+pub mod device_sim;
 pub mod digest;
 pub mod exec;
 pub mod launch;
 pub mod memory;
 pub mod simprof;
+pub mod timeq;
 pub mod timing;
 
 pub use batch::BatchTimer;
 pub use counters::HwCounters;
 pub use device::{Arch, DeviceSpec};
-pub use digest::{timing_digest, Digest};
+pub use device_sim::{time_kernel_device, DeviceOptions};
+pub use digest::{timing_digest, Digest, TIMING_MODEL_VERSION};
 pub use exec::{ExecEnv, ExecError, StepEvent, Warp, WARP_SIZE};
 pub use launch::{ExecCounters, Gpu, LaunchDims, LaunchError};
 pub use memory::{ConstBank, DevPtr, GlobalMemory, MemError, ParamBuilder, PARAM_BASE};
 pub use simprof::{IssueEvent, KernelProfile, LineProfile, Region, StallBreakdown, StallCause};
+pub use timeq::TimeQueue;
 pub use timing::{KernelTiming, TimingOptions};

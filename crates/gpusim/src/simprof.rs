@@ -170,6 +170,33 @@ impl KernelProfile {
         self.empty_cycles + self.lines.iter().map(|l| l.slot_cycles()).sum::<u64>()
     }
 
+    /// Accumulate `k` copies of `other` into `self` — the device model's
+    /// merge across an SM's waves (with `k > 1` for fast-forwarded
+    /// steady-state waves) and then across SMs. Per-line tallies are linear,
+    /// so the `attributed == schedulers × wave_cycles` identity survives
+    /// with `wave_cycles` accumulating busy scheduler-cycles (the sum over
+    /// SMs, not the device makespan). Issue events are *not* merged — the
+    /// first wave's trace is kept and `issue_events_truncated` records the
+    /// drop; a full multi-SM event trace would be unboundedly large.
+    pub fn add_scaled(&mut self, other: &KernelProfile, k: u64) {
+        debug_assert_eq!(self.schedulers, other.schedulers);
+        debug_assert_eq!(self.lines.len(), other.lines.len());
+        self.wave_cycles += k * other.wave_cycles;
+        self.empty_cycles += k * other.empty_cycles;
+        for (l, o) in self.lines.iter_mut().zip(&other.lines) {
+            l.executed += k * o.executed;
+            l.issue_cycles += k * o.issue_cycles;
+            for c in 0..5 {
+                l.stalls.by_cause[c] += k * o.stalls.by_cause[c];
+            }
+            l.stalls.yield_switch += k * o.stalls.yield_switch;
+            l.bank_conflict_cycles += k * o.bank_conflict_cycles;
+        }
+        if !other.issue_events.is_empty() || other.issue_events_truncated {
+            self.issue_events_truncated = true;
+        }
+    }
+
     /// Line indices sorted hottest-first by issue+stall slot cycles.
     pub fn hot_lines(&self, n: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.lines.len())

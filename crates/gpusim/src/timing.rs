@@ -3,9 +3,17 @@
 //! One *wave* of resident thread blocks is simulated cycle-by-cycle on one
 //! SM, executing instructions functionally at issue so that register-bank
 //! conflicts, shared-memory bank conflicts and L2/DRAM behaviour come from
-//! exact addresses. Because every block of the paper's kernels does identical
-//! work, whole-kernel time is the wave time multiplied by the number of
-//! waves, bounded below by DRAM bandwidth (§3.2–3.4 of DESIGN.md).
+//! exact addresses. The per-wave machinery (`simulate_wave`) is shared
+//! with the full-device model ([`crate::device_sim`]), which places every
+//! block of the launch on its SM and runs this wave loop per SM.
+//!
+//! [`time_kernel`] itself is the retained *one-wave analytic* path: it times
+//! a single steady-state wave and extrapolates across waves arithmetically,
+//! bounded below by DRAM bandwidth (§3.2–3.4 of DESIGN.md). This is exact on
+//! grids that are a whole multiple of full waves (every block does identical
+//! work in the paper's kernels) and is kept as the cheap inner-loop model and
+//! as a cross-check for the device model; grids with a partial last wave are
+//! mistimed here and corrected by [`crate::device_sim::time_kernel_device`].
 //!
 //! The model implements the paper's scheduling machinery explicitly:
 //!
@@ -24,9 +32,6 @@
 //! * `LDG`/`STG` coalesce into 32 B sectors, look up a set-associative L2,
 //!   and account DRAM traffic.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use sass::reg::Reg;
 use sass::Module;
 
@@ -35,8 +40,9 @@ use crate::decode::{decode_module, InstDesc, MemKind, PipeKind};
 use crate::device::DeviceSpec;
 use crate::exec::{step, ExecEnv, StepEvent, Warp, WARP_SIZE};
 use crate::launch::{Gpu, LaunchDims, LaunchError};
-use crate::memory::ConstBank;
+use crate::memory::{ConstBank, GlobalMemory};
 use crate::simprof::{Collector, KernelProfile, SchedClass, StallCause};
+use crate::timeq::TimeQueue;
 
 /// Options for a timing run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -77,6 +83,10 @@ pub struct KernelTiming {
     pub blocks_per_sm: u32,
     /// Total thread blocks in the grid.
     pub total_blocks: u64,
+    /// SMs that receive at least one block (`min(total_blocks, num_sms)`):
+    /// grids smaller than the device leave the remaining SMs idle and must
+    /// not be charged a full-device wave.
+    pub busy_sms: u32,
     /// Whole-kernel time in seconds (max of compute and DRAM bounds).
     pub time_s: f64,
     /// FP32 FLOPs executed by the whole grid (2 per FFMA lane, 1 per
@@ -133,7 +143,7 @@ impl KernelTiming {
 /// Set-associative, sectored L2 with LRU replacement. Presence is tracked
 /// at 32 B sector granularity, like the real cache: a miss fills only the
 /// missing sector, so DRAM traffic is counted per sector.
-struct L2Cache {
+pub(crate) struct L2Cache {
     sets: Vec<Vec<(u64, u64)>>, // (sector tag, last-use stamp)
     ways: usize,
     num_sets: u64,
@@ -287,31 +297,153 @@ impl WarpSlot {
     }
 }
 
-struct Event {
-    cycle: u64,
-    warp: usize,
-    barrier: u8,
-    /// Deferred load data (strict mode): (first reg, lane mask, per-reg
-    /// lane values). Only the masked lanes are written back — exactly the
-    /// lanes the (possibly predicated) load produced, like hardware.
-    writeback: Option<(u8, u32, Vec<[u32; 32]>)>,
+/// Deferred load data (strict mode): (first reg, lane mask, per-reg lane
+/// values). Only the masked lanes are written back — exactly the lanes the
+/// (possibly predicated) load produced, like hardware. Scoreboard events are
+/// keyed by `(warp, barrier)` in the wave's [`TimeQueue`], preserving the
+/// old `(cycle, warp, barrier)` delivery order exactly.
+type Writeback = Option<(u8, u32, Vec<[u32; 32]>)>;
+
+// ---- per-SM wave simulation (shared with `device_sim`) -----------------------
+
+/// SM-persistent memory-system state carried across waves: the device model
+/// simulates one SM's blocks wave after wave, and a later wave sees the L2,
+/// the L1 and the memory-backend backlog its predecessors left behind. The
+/// one-wave path uses a fresh carry (plus its explicit L2 warm-up block).
+pub(crate) struct SmCarry {
+    pub(crate) l2: L2Cache,
+    pub(crate) l1: L2Cache,
+    /// Residual memory-backend backlog at wave end, in cycles of service
+    /// still queued (the next wave starts with its `mem_q` at this bound).
+    pub(crate) mem_q: f64,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.cycle == other.cycle && self.warp == other.warp && self.barrier == other.barrier
+impl SmCarry {
+    pub(crate) fn new(device: &DeviceSpec, smem_bytes: u32, resident: u32) -> Self {
+        // L1: whatever the combined L1/shared capacity leaves after the
+        // resident blocks' shared-memory allocations. Sectored,
+        // write-through/no-allocate. The L2 is modelled at full device
+        // capacity per SM — the paper's kernels share their hot (filter)
+        // data across SMs, so symmetric sharing is the closest cheap model.
+        let smem_used = resident as u64 * smem_bytes as u64;
+        let l1_bytes = (device.l1_smem_combined as u64)
+            .saturating_sub(smem_used)
+            .max(4 * 1024);
+        SmCarry {
+            l2: L2Cache::new(device.l2_bytes),
+            l1: L2Cache::new(l1_bytes),
+            mem_q: 0.0,
+        }
     }
 }
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+/// Inputs of one wave simulation on one SM.
+pub(crate) struct WaveParams<'a> {
+    pub(crate) device: &'a DeviceSpec,
+    pub(crate) module: &'a Module,
+    pub(crate) table: &'a [InstDesc],
+    pub(crate) dims: LaunchDims,
+    pub(crate) cbank: &'a ConstBank,
+    pub(crate) opts: TimingOptions,
+    /// Grid coordinates of the blocks resident in this wave (one entry per
+    /// simulated block; decides both addressing and functional effects).
+    pub(crate) coords: &'a [[u32; 3]],
+    /// SMs competing for the L2/DRAM backend during this wave. Each SM gets
+    /// a `1/share_sms` bandwidth share; the one-wave path always charges the
+    /// full device, the device model charges only the SMs still busy.
+    pub(crate) share_sms: f64,
+}
+
+/// Raw per-wave tallies. `cycles` is the loop's final cycle count without
+/// the `max(1)` clamp so callers can sum or compare waves exactly; the
+/// profile/counter collectors come back unfinished for the same reason.
+pub(crate) struct WaveOutput {
+    pub(crate) cycles: u64,
+    pub(crate) fp_active: u64,
+    pub(crate) issued: u64,
+    pub(crate) flops: u64,
+    pub(crate) dram_bytes: u64,
+    pub(crate) reg_conflicts: u64,
+    pub(crate) smem_conflict_cycles: u64,
+    pub(crate) yield_switches: u64,
+    pub(crate) idle_attr: [u64; 5],
+    pub(crate) region_first: Option<u64>,
+    pub(crate) region_last: u64,
+    pub(crate) region_fp_active: u64,
+    pub(crate) prof: Option<Collector>,
+    pub(crate) ctr: Option<CounterCollector>,
+}
+
+impl WaveOutput {
+    /// Cycles spanned by the accounting region in this wave (0 if none).
+    pub(crate) fn region_cycles(&self) -> u64 {
+        match self.region_first {
+            Some(f) => self.region_last.saturating_sub(f).max(1),
+            None => 0,
+        }
     }
 }
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.cycle, self.warp, self.barrier).cmp(&(other.cycle, other.warp, other.barrier))
+
+/// Grid coordinates of linear block index `i` (x fastest, like hardware).
+pub(crate) fn grid_coord(dims: LaunchDims, i: u64) -> [u32; 3] {
+    [
+        (i % dims.grid[0] as u64) as u32,
+        ((i / dims.grid[0] as u64) % dims.grid[1] as u64) as u32,
+        (i / (dims.grid[0] as u64 * dims.grid[1] as u64)) as u32,
+    ]
+}
+
+/// Timing of an empty grid: no blocks, no cycles, no time. Collectors are
+/// omitted — there is no wave to attribute slots to.
+pub(crate) fn zero_timing(total_blocks: u64) -> KernelTiming {
+    KernelTiming {
+        wave_cycles: 0,
+        waves: 0,
+        blocks_per_sm: 0,
+        total_blocks,
+        busy_sms: 0,
+        time_s: 0.0,
+        flops: 0.0,
+        tflops: 0.0,
+        sol_pct: 0.0,
+        sol_total_pct: 0.0,
+        issue_util_pct: 0.0,
+        dram_bytes: 0,
+        dram_time_s: 0.0,
+        region_cycles: 0,
+        reg_bank_conflict_cycles: 0,
+        smem_conflict_cycles: 0,
+        yield_switch_cycles: 0,
+        idle_breakdown: [0; 5],
+        profile: None,
+        counters: None,
     }
+}
+
+/// Occupancy-checked effective residency for a launch: the occupancy bound
+/// (or its override), capped at the blocks the grid can actually deliver to
+/// one SM — a grid smaller than one SM's residency must not be timed as if
+/// every SM ran a full complement.
+pub(crate) fn effective_residency(
+    device: &DeviceSpec,
+    module: &Module,
+    dims: LaunchDims,
+    opts: &TimingOptions,
+) -> Result<u32, LaunchError> {
+    let tpb = dims.threads_per_block();
+    let occupancy = device.blocks_per_sm(tpb, module.info.num_regs as u32, module.info.smem_bytes);
+    if occupancy == 0 {
+        return Err(LaunchError::BadBlockShape(format!(
+            "kernel cannot be resident: {} regs, {} B smem, {} threads",
+            module.info.num_regs, module.info.smem_bytes, tpb
+        )));
+    }
+    let per_sm_blocks = dims.num_blocks().div_ceil(device.num_sms as u64);
+    Ok(opts
+        .blocks_per_sm
+        .unwrap_or(occupancy)
+        .min(per_sm_blocks.min(u32::MAX as u64) as u32)
+        .max(1))
 }
 
 /// Time one kernel launch on `gpu`. Executes the simulated wave functionally
@@ -343,22 +475,117 @@ pub(crate) fn time_kernel_with_table(
 ) -> Result<KernelTiming, LaunchError> {
     debug_assert_eq!(table.len(), module.insts.len());
     let device = gpu.device.clone();
-    let tpb = dims.threads_per_block();
-    let occupancy = device.blocks_per_sm(tpb, module.info.num_regs as u32, module.info.smem_bytes);
-    if occupancy == 0 {
-        return Err(LaunchError::BadBlockShape(format!(
-            "kernel cannot be resident: {} regs, {} B smem, {} threads",
-            module.info.num_regs, module.info.smem_bytes, tpb
-        )));
-    }
     let total_blocks = dims.num_blocks();
-    let resident = opts
-        .blocks_per_sm
-        .unwrap_or(occupancy)
-        .min(total_blocks.max(1) as u32)
-        .max(1);
+    let resident = effective_residency(&device, module, dims, &opts)?;
+    if total_blocks == 0 {
+        // An empty grid does no work; the old formula still charged it a
+        // full-device wave.
+        return Ok(zero_timing(0));
+    }
 
     let cbank = ConstBank::new(dims.block, dims.grid, params);
+    // Map resident block index -> actual grid coordinates. Block 0 of the
+    // grid serves as an L2 warm-up block (see below), so the timed wave
+    // uses blocks 1..=resident when the grid is large enough — a
+    // steady-state wave whose neighbours have already pulled the shared
+    // (filter) data into L2.
+    let warm = total_blocks > resident as u64;
+    let coords: Vec<[u32; 3]> = (0..resident as u64)
+        .map(|b| grid_coord(dims, b + warm as u64))
+        .collect();
+
+    let mut carry = SmCarry::new(&device, module.info.smem_bytes, resident);
+    if warm {
+        warm_l2(
+            &mut gpu.mem,
+            module,
+            &cbank,
+            [0, 0, 0],
+            dims.block,
+            &mut carry.l2,
+        )?;
+    }
+    let wave = simulate_wave(
+        &mut gpu.mem,
+        &WaveParams {
+            device: &device,
+            module,
+            table,
+            dims,
+            cbank: &cbank,
+            opts,
+            coords: &coords,
+            share_sms: device.num_sms as f64,
+        },
+        &mut carry,
+    )?;
+
+    let schedulers = device.schedulers_per_sm as usize;
+    let wave_cycles = wave.cycles.max(1);
+    let waves = total_blocks
+        .div_ceil(resident as u64 * device.num_sms as u64)
+        .max(1);
+    // Blocks in the wave we actually simulated:
+    let simulated_blocks = resident as u64;
+    let flops_total = wave.flops as f64 * total_blocks as f64 / simulated_blocks as f64;
+    let dram_total =
+        (wave.dram_bytes as f64 * total_blocks as f64 / simulated_blocks as f64) as u64;
+
+    let compute_time = waves as f64 * wave_cycles as f64 / device.clock_hz;
+    let dram_time = dram_total as f64 / device.dram_bw;
+    let time_s = compute_time.max(dram_time);
+
+    let region_cycles = wave.region_cycles();
+    let sol_total = wave.fp_active as f64 / (schedulers as f64 * wave_cycles as f64);
+    let sol_base = if opts.region.is_some() && region_cycles > 0 {
+        wave.region_fp_active as f64 / (schedulers as f64 * region_cycles as f64)
+    } else {
+        sol_total
+    };
+
+    Ok(KernelTiming {
+        wave_cycles,
+        waves,
+        blocks_per_sm: resident,
+        total_blocks,
+        busy_sms: total_blocks.min(device.num_sms as u64) as u32,
+        time_s,
+        flops: flops_total,
+        tflops: flops_total / time_s / 1e12,
+        sol_pct: 100.0 * sol_base,
+        sol_total_pct: 100.0 * sol_total,
+        issue_util_pct: 100.0 * wave.issued as f64 / (schedulers as f64 * wave_cycles as f64),
+        dram_bytes: dram_total,
+        dram_time_s: dram_time,
+        region_cycles,
+        reg_bank_conflict_cycles: wave.reg_conflicts,
+        smem_conflict_cycles: wave.smem_conflict_cycles,
+        yield_switch_cycles: wave.yield_switches,
+        idle_breakdown: wave.idle_attr,
+        profile: wave.prof.map(|p| p.finish(wave_cycles)),
+        counters: wave.ctr.map(|cc| cc.finish(wave_cycles)),
+    })
+}
+
+/// Simulate one wave of `p.coords.len()` blocks cycle-by-cycle on one SM,
+/// executing each issued instruction functionally against `mem`. Shared by
+/// the one-wave analytic path above and the full-device model
+/// ([`crate::device_sim`]), which calls it per SM per wave with the
+/// memory-system state carried between waves in `carry`.
+pub(crate) fn simulate_wave(
+    mem: &mut GlobalMemory,
+    p: &WaveParams<'_>,
+    carry: &mut SmCarry,
+) -> Result<WaveOutput, LaunchError> {
+    let device = p.device;
+    let module = p.module;
+    let table = p.table;
+    let dims = p.dims;
+    let cbank = p.cbank;
+    let opts = p.opts;
+    let coords = p.coords;
+    let tpb = dims.threads_per_block();
+    let resident = coords.len() as u32;
     let warps_per_block = tpb.div_ceil(WARP_SIZE) as usize;
     let num_warps = warps_per_block * resident as usize;
 
@@ -387,20 +614,6 @@ pub(crate) fn time_kernel_with_table(
             }
         })
         .collect();
-    // Map resident block index -> actual grid coordinates. Block 0 of the
-    // grid serves as an L2 warm-up block (see below), so the timed wave
-    // uses blocks 1..=resident when the grid is large enough — a
-    // steady-state wave whose neighbours have already pulled the shared
-    // (filter) data into L2.
-    let warm = total_blocks > resident as u64;
-    let block_coord = move |b: usize| -> [u32; 3] {
-        let i = b as u64 + if warm { 1 } else { 0 };
-        [
-            (i % dims.grid[0] as u64) as u32,
-            ((i / dims.grid[0] as u64) % dims.grid[1] as u64) as u32,
-            (i / (dims.grid[0] as u64 * dims.grid[1] as u64)) as u32,
-        ]
-    };
 
     let schedulers = device.schedulers_per_sm as usize;
     // Warp -> scheduler assignment, round-robin like hardware. The lists are
@@ -411,18 +624,9 @@ pub(crate) fn time_kernel_with_table(
         sched_warps[w % schedulers].push(w);
     }
 
-    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-    let mut l2 = L2Cache::new(device.l2_bytes);
-    // L1: whatever the combined L1/shared capacity leaves after the resident
-    // blocks' shared-memory allocations. Sectored, write-through/no-allocate.
-    let smem_used = resident as u64 * module.info.smem_bytes as u64;
-    let l1_bytes = (device.l1_smem_combined as u64)
-        .saturating_sub(smem_used)
-        .max(4 * 1024);
-    let mut l1 = L2Cache::new(l1_bytes);
-    if warm {
-        warm_l2(gpu, module, &cbank, [0, 0, 0], dims.block, &mut l2)?;
-    }
+    let mut events: TimeQueue<(usize, u8), Writeback> = TimeQueue::new();
+    let l2 = &mut carry.l2;
+    let l1 = &mut carry.l1;
 
     // Per-scheduler state.
     let mut fp_busy = vec![0u64; schedulers];
@@ -436,9 +640,9 @@ pub(crate) fn time_kernel_with_table(
     // streams see queueing delay, not just fixed latency. This is what
     // makes the §3.3 arithmetic-intensity argument live: a kernel whose
     // sector demand outruns its share becomes memory-throughput-bound.
-    let mut mem_q: f64 = 0.0;
-    let l2_cycles_per_sector = 32.0 * device.num_sms as f64 * device.clock_hz / device.l2_bw;
-    let dram_cycles_per_sector = 32.0 * device.num_sms as f64 * device.clock_hz / device.dram_bw;
+    let mut mem_q: f64 = carry.mem_q;
+    let l2_cycles_per_sector = 32.0 * p.share_sms * device.clock_hz / device.l2_bw;
+    let dram_cycles_per_sector = 32.0 * p.share_sms * device.clock_hz / device.dram_bw;
 
     // Counters.
     let mut cycle: u64 = 0;
@@ -463,7 +667,6 @@ pub(crate) fn time_kernel_with_table(
         )
     });
     // Region accounting.
-    let region = opts.region;
     let mut region_first: Option<u64> = None;
     let mut region_last: u64 = 0;
     let mut region_fp_active: u64 = 0;
@@ -485,14 +688,11 @@ pub(crate) fn time_kernel_with_table(
             ));
         }
         // Deliver due scoreboard completions.
-        while let Some(Reverse(ev)) = events.peek() {
-            if ev.cycle > cycle {
-                break;
-            }
-            let ev = events.pop().unwrap().0;
-            if let Some((reg0, mask, values)) = &ev.writeback {
+        while events.peek_time().is_some_and(|t| t <= cycle) {
+            let (_, (warp, barrier), wb) = events.pop().unwrap();
+            if let Some((reg0, mask, values)) = &wb {
                 for (j, vals) in values.iter().enumerate() {
-                    let reg = &mut slots[ev.warp].warp.regs[*reg0 as usize + j];
+                    let reg = &mut slots[warp].warp.regs[*reg0 as usize + j];
                     for lane in 0..32 {
                         if mask & (1 << lane) != 0 {
                             reg[lane] = vals[lane];
@@ -500,7 +700,7 @@ pub(crate) fn time_kernel_with_table(
                     }
                 }
             }
-            slots[ev.warp].sb_release(ev.barrier);
+            slots[warp].sb_release(barrier);
         }
 
         let mut issued_any = false;
@@ -652,7 +852,7 @@ pub(crate) fn time_kernel_with_table(
 
             // Issue: execute functionally.
             let block = slots[chosen].block;
-            let ctaid = block_coord(block);
+            let ctaid = coords[block];
             let pc = slots[chosen].cur_pc.unwrap();
             let desc = &table[pc as usize];
             if opts.strict_writeback {
@@ -679,9 +879,9 @@ pub(crate) fn time_kernel_with_table(
             let (event, trace) = {
                 let slot = &mut slots[chosen];
                 let mut env = ExecEnv {
-                    global: &mut gpu.mem,
+                    global: &mut *mem,
                     smem: &mut smems[block],
-                    cbank: &cbank,
+                    cbank,
                     ctaid,
                     block_dim: dims.block,
                 };
@@ -813,21 +1013,11 @@ pub(crate) fn time_kernel_with_table(
                             let done = mio_busy + device.smem_latency as u64;
                             if let Some(b) = desc.write_bar {
                                 slots[chosen].sb_add(b);
-                                events.push(Reverse(Event {
-                                    cycle: done,
-                                    warp: chosen,
-                                    barrier: b,
-                                    writeback: wb.take(),
-                                }));
+                                events.push(done, (chosen, b), wb.take());
                             }
                             if let Some(b) = desc.read_bar {
                                 slots[chosen].sb_add(b);
-                                events.push(Reverse(Event {
-                                    cycle: mio_busy + 2,
-                                    warp: chosen,
-                                    barrier: b,
-                                    writeback: None,
-                                }));
+                                events.push(mio_busy + 2, (chosen, b), None);
                             }
                         }
                         MemKind::Global => {
@@ -898,32 +1088,17 @@ pub(crate) fn time_kernel_with_table(
                                 // Stores: sources are read at MIO entry.
                                 if let Some(b) = desc.read_bar {
                                     slots[chosen].sb_add(b);
-                                    events.push(Reverse(Event {
-                                        cycle: mio_busy + 2,
-                                        warp: chosen,
-                                        barrier: b,
-                                        writeback: None,
-                                    }));
+                                    events.push(mio_busy + 2, (chosen, b), None);
                                 }
                             } else {
                                 let done = (mio_busy + worst).max(backend_done);
                                 if let Some(b) = desc.write_bar {
                                     slots[chosen].sb_add(b);
-                                    events.push(Reverse(Event {
-                                        cycle: done,
-                                        warp: chosen,
-                                        barrier: b,
-                                        writeback: wb.take(),
-                                    }));
+                                    events.push(done, (chosen, b), wb.take());
                                 }
                                 if let Some(b) = desc.read_bar {
                                     slots[chosen].sb_add(b);
-                                    events.push(Reverse(Event {
-                                        cycle: mio_busy + 2,
-                                        warp: chosen,
-                                        barrier: b,
-                                        writeback: None,
-                                    }));
+                                    events.push(mio_busy + 2, (chosen, b), None);
                                 }
                             }
                         }
@@ -1047,8 +1222,8 @@ pub(crate) fn time_kernel_with_table(
                     next = next.min(slot.ready_at);
                 }
             }
-            if let Some(Reverse(ev)) = events.peek() {
-                next = next.min(ev.cycle);
+            if let Some(t) = events.peek_time() {
+                next = next.min(t);
             }
             // `recovering_any` guarantees at least one sched_free bound, so
             // `next` is finite and strictly ahead of `cycle`.
@@ -1085,8 +1260,8 @@ pub(crate) fn time_kernel_with_table(
                     next = next.min(slot.ready_at);
                 }
             }
-            if let Some(Reverse(ev)) = events.peek() {
-                next = next.min(ev.cycle);
+            if let Some(t) = events.peek_time() {
+                next = next.min(t);
             }
             if next == u64::MAX {
                 if live_warps > 0 {
@@ -1111,58 +1286,31 @@ pub(crate) fn time_kernel_with_table(
         }
     }
 
-    let wave_cycles = cycle.max(1);
-    let waves = total_blocks
-        .div_ceil(resident as u64 * device.num_sms as u64)
-        .max(1);
-    // Blocks in the wave we actually simulated:
-    let simulated_blocks = resident as u64;
-    let flops_total = flops_wave as f64 * total_blocks as f64 / simulated_blocks as f64;
-    let dram_total =
-        (dram_bytes_wave as f64 * total_blocks as f64 / simulated_blocks as f64) as u64;
-
-    let compute_time = waves as f64 * wave_cycles as f64 / device.clock_hz;
-    let dram_time = dram_total as f64 / device.dram_bw;
-    let time_s = compute_time.max(dram_time);
-
-    let region_cycles = match region_first {
-        Some(f) => region_last.saturating_sub(f).max(1),
-        None => 0,
-    };
-    let sol_total = fp_active as f64 / (schedulers as f64 * wave_cycles as f64);
-    let sol_base = if region.is_some() && region_cycles > 0 {
-        region_fp_active as f64 / (schedulers as f64 * region_cycles as f64)
-    } else {
-        sol_total
-    };
-
-    Ok(KernelTiming {
-        wave_cycles,
-        waves,
-        blocks_per_sm: resident,
-        total_blocks,
-        time_s,
-        flops: flops_total,
-        tflops: flops_total / time_s / 1e12,
-        sol_pct: 100.0 * sol_base,
-        sol_total_pct: 100.0 * sol_total,
-        issue_util_pct: 100.0 * issued as f64 / (schedulers as f64 * wave_cycles as f64),
-        dram_bytes: dram_total,
-        dram_time_s: dram_time,
-        region_cycles,
-        reg_bank_conflict_cycles: reg_conflicts,
+    // Residual backend backlog carried to the SM's next wave (one-wave
+    // callers discard it).
+    carry.mem_q = (mem_q - cycle as f64).max(0.0);
+    Ok(WaveOutput {
+        cycles: cycle,
+        fp_active,
+        issued,
+        flops: flops_wave,
+        dram_bytes: dram_bytes_wave,
+        reg_conflicts,
         smem_conflict_cycles,
-        yield_switch_cycles: yield_switches,
-        idle_breakdown: idle_attr,
-        profile: prof.map(|p| p.finish(wave_cycles)),
-        counters: ctr.map(|cc| cc.finish(wave_cycles)),
+        yield_switches,
+        idle_attr,
+        region_first,
+        region_last,
+        region_fp_active,
+        prof,
+        ctr,
     })
 }
 
 /// Functionally execute one block, inserting every global-memory sector it
 /// touches into the L2 model (steady-state warm-up for the timed wave).
 fn warm_l2(
-    gpu: &mut Gpu,
+    mem: &mut GlobalMemory,
     module: &Module,
     cbank: &ConstBank,
     ctaid: [u32; 3],
@@ -1198,7 +1346,7 @@ fn warm_l2(
                     ));
                 }
                 let mut env = ExecEnv {
-                    global: &mut gpu.mem,
+                    global: &mut *mem,
                     smem: &mut smem,
                     cbank,
                     ctaid,
