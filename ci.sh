@@ -59,4 +59,18 @@ echo "== tune smoke =="
 # lives in BENCH_tune.json (see EXPERIMENTS.md, "Schedule autotuner").
 ./target/release/tune --smoke --no-cache --json "$fresh/tune.json" > /dev/null
 
+echo "== serve smoke =="
+# Serving-engine smoke: tiny shapes, short bursty stream, both devices;
+# asserts both phases drain, the warm plan cache beats cold
+# time-to-first-dispatch for every class, and every plan round-trips its
+# warm-start verification. Byte-determinism across --jobs and cache state
+# is pinned by bench/tests/serve_determinism.rs; the full tracked run
+# lives in BENCH_serve.json (see EXPERIMENTS.md, "Serving engine").
+./target/release/serve --smoke --plan-dir "$fresh/plans" --json "$fresh/serve.json" > /dev/null
+
+echo "== doclinks =="
+# Docs-link gate: every relative link (and heading anchor) in README.md,
+# EXPERIMENTS.md and docs/** must resolve.
+./target/release/doclinks
+
 echo "CI green."

@@ -1,0 +1,369 @@
+//! `serve` — batched-inference serving on the simulated devices (ISSUE 7).
+//!
+//! Drives the `serve` crate end-to-end: generates an open-loop MMPP-2
+//! request stream over the ResNet layer mix, builds (or warm-loads) a
+//! per-shape execution plan for each device via the multi-wave device
+//! model, then plays the stream against each device's pool twice — a
+//! *cold* phase charging the plan's modeled build cost (probe runs +
+//! tuning evaluations) before the first dispatch, and a *warm* phase
+//! charging only a cache lookup. The tracked `BENCH_serve.json` reports
+//! p50/p99/mean latency, per-device throughput, SLO misses, batch fill and
+//! per-class time-to-first-dispatch for every (device, phase).
+//!
+//! Plans persist in the simcache store (`--plan-dir`, default
+//! `target/simcache/`) under content addresses that include the timing
+//! model version, so a host-side rerun skips probing and tuning entirely
+//! ("tune once, serve forever"); an LRU index with `--plan-cap` bounds how
+//! many plans a device keeps. Crucially, the *modeled* cold/warm split
+//! keeps the JSON byte-identical whatever the host cache held — host-side
+//! hits and misses are stderr chatter, never results.
+//!
+//! Determinism: the whole run is a pure function of the flags. `--jobs`
+//! only shards the per-device work across threads (results merge in
+//! registration order) and is excluded from every digest, which is what
+//! `bench/tests/serve_determinism.rs` checks byte-for-byte.
+//!
+//! Flags: `--seed S` (default 2020), `--rate RPS` (default 20000),
+//! `--burst F` (default 4), `--slo-ms MS` (default 50),
+//! `--duration-ms MS` (default 1000), `--pool P` (devices per scenario,
+//! default 2), `--tune-budget B` (anneal steps, default 12),
+//! `--jobs N` (default all cores), `--json PATH` (default
+//! `BENCH_serve.json`), `--plan-dir DIR`, `--plan-cap N` (0 = unlimited),
+//! `--no-plan-cache`, `--smoke` (tiny shapes, short stream, asserts).
+
+use bench::json::{obj, Json};
+use bench::report::{flag_value, Report};
+use bench::simcache::{CacheKey, Store};
+use bench::Table;
+use gpusim::DeviceSpec;
+use serve::engine::{run, EngineConfig, RunStats};
+use serve::plan::{Plan, PlanCache, PlanStorage, Planner, PLAN_LOOKUP_NS};
+use serve::traffic::{generate, Request, ShapeClass, TrafficConfig};
+
+/// `simcache::Store` as a [`PlanStorage`]: plan text rides in a JSON
+/// string under the plan's content address, so plans share the directory
+/// (and the atomic write-and-rename discipline) with every sweep result.
+struct SimStore(Store);
+
+impl PlanStorage for SimStore {
+    fn load(&self, key: &str) -> Option<String> {
+        match self.0.load(&CacheKey::new(key.to_string())) {
+            Some(Json::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn store(&self, key: &str, value: &str) {
+        self.0.store(
+            &CacheKey::new(key.to_string()),
+            &Json::Str(value.to_string()),
+        );
+    }
+
+    fn remove(&self, key: &str) {
+        self.0.remove(&CacheKey::new(key.to_string()));
+    }
+}
+
+struct Config {
+    seed: u64,
+    rate_rps: f64,
+    burst: f64,
+    slo_ns: u64,
+    duration_ns: u64,
+    pool: usize,
+    tune_budget: u64,
+    jobs: usize,
+    plan_dir: Option<String>,
+    plan_cap: usize,
+    use_plan_cache: bool,
+    smoke: bool,
+    json: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let f = |flag: &str, dflt: f64| -> f64 {
+        flag_value(&args, flag).map_or(dflt, |v| v.parse().expect("numeric flag"))
+    };
+    let cfg = Config {
+        seed: f("--seed", 2020.0) as u64,
+        rate_rps: f("--rate", if smoke { 400_000.0 } else { 20_000.0 }),
+        burst: f("--burst", 4.0),
+        slo_ns: (f("--slo-ms", if smoke { 2.0 } else { 50.0 }) * 1e6) as u64,
+        duration_ns: (f("--duration-ms", if smoke { 20.0 } else { 1000.0 }) * 1e6) as u64,
+        pool: f("--pool", 2.0) as usize,
+        tune_budget: f("--tune-budget", if smoke { 6.0 } else { 12.0 }) as u64,
+        jobs: flag_value(&args, "--jobs").map_or_else(
+            || std::thread::available_parallelism().map_or(1, |n| n.get()),
+            |v| v.parse().expect("--jobs N"),
+        ),
+        plan_dir: flag_value(&args, "--plan-dir"),
+        plan_cap: f("--plan-cap", 0.0) as usize,
+        use_plan_cache: !args.iter().any(|a| a == "--no-plan-cache"),
+        smoke,
+        json: flag_value(&args, "--json").or_else(|| Some("BENCH_serve.json".to_string())),
+    };
+    assert!(cfg.pool >= 1, "--pool must be >= 1");
+    cfg
+}
+
+/// Outcome of one device's full pipeline: plans plus cold and warm runs.
+struct DeviceOutcome {
+    device: &'static str,
+    plans: Vec<Plan>,
+    host_hits: u64,
+    host_misses: u64,
+    evictions: u64,
+    cold: RunStats,
+    warm: RunStats,
+}
+
+fn run_device(
+    dev: &DeviceSpec,
+    cfg: &Config,
+    classes: &[ShapeClass],
+    batch_sizes: &[u32],
+    requests: &[Request],
+) -> DeviceOutcome {
+    let mut planner = Planner::new(dev.clone(), batch_sizes.to_vec());
+    planner.tune_budget = cfg.tune_budget;
+    planner.tune_seed = cfg.seed;
+
+    // Each worker opens its own store handle on the shared directory; the
+    // content-addressed discipline makes concurrent same-key writes benign.
+    let store;
+    let mem;
+    let storage: &dyn PlanStorage = if cfg.use_plan_cache {
+        store =
+            SimStore(Store::new(cfg.plan_dir.clone().unwrap_or_else(|| {
+                Store::default_dir().to_string_lossy().into_owned()
+            })));
+        &store
+    } else {
+        mem = serve::MemStorage::new();
+        &mem
+    };
+    let mut cache = PlanCache::new(storage, dev.name, cfg.plan_cap);
+    let mut plans = Vec::new();
+    for class in classes {
+        let (plan, hit) = planner.acquire(&mut cache, class);
+        eprintln!(
+            "[serve] {}/{}: {} ({}), build cost {:.3} ms{}",
+            dev.name,
+            class.name,
+            plan.variants.last().unwrap().algo,
+            if hit { "cached" } else { "built" },
+            plan.build_cost_ns as f64 / 1e6,
+            plan.tuned.as_ref().map_or(String::new(), |t| format!(
+                ", tuned {}→{} cycles",
+                t.hand_cycles, t.tuned_cycles
+            )),
+        );
+        plans.push(plan);
+    }
+
+    let mut engine_cfg = EngineConfig {
+        slo_ns: cfg.slo_ns,
+        pool: cfg.pool,
+        warm: false,
+    };
+    let cold = run(&engine_cfg, classes, &plans, requests);
+    engine_cfg.warm = true;
+    let warm = run(&engine_cfg, classes, &plans, requests);
+    DeviceOutcome {
+        device: dev.name,
+        plans,
+        host_hits: cache.stats.hits,
+        host_misses: cache.stats.misses,
+        evictions: cache.stats.evictions,
+        cold,
+        warm,
+    }
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+fn stats_metrics(s: &RunStats) -> Vec<(&'static str, Json)> {
+    vec![
+        ("requests", s.requests.into()),
+        ("completed", s.completed.into()),
+        ("p50_us", us(s.p50_ns).into()),
+        ("p99_us", us(s.p99_ns).into()),
+        ("mean_us", us(s.mean_ns).into()),
+        ("max_us", us(s.max_ns).into()),
+        ("makespan_ms", (s.makespan_ns as f64 / 1e6).into()),
+        (
+            "throughput_rps_per_device",
+            s.throughput_rps_per_device.into(),
+        ),
+        ("slo_misses", s.slo_misses.into()),
+        ("batches", s.batches.into()),
+        ("mean_fill", s.mean_fill.into()),
+    ]
+}
+
+fn main() {
+    let cfg = parse_args();
+    let (classes, batch_sizes): (Vec<ShapeClass>, Vec<u32>) = if cfg.smoke {
+        (ShapeClass::smoke_mix(), vec![32, 64])
+    } else {
+        (
+            ShapeClass::resnet_mix(),
+            wino_core::resnet::BATCH_SIZES
+                .iter()
+                .map(|&n| n as u32)
+                .collect(),
+        )
+    };
+    let traffic = TrafficConfig {
+        seed: cfg.seed,
+        duration_ns: cfg.duration_ns,
+        rate_rps: cfg.rate_rps,
+        burst_factor: cfg.burst,
+        ..Default::default()
+    };
+    let requests = generate(&traffic, &classes);
+    eprintln!(
+        "[serve] {} requests over {:.0} ms ({} classes, burst {}x)",
+        requests.len(),
+        cfg.duration_ns as f64 / 1e6,
+        classes.len(),
+        cfg.burst,
+    );
+
+    let devices = [DeviceSpec::v100(), DeviceSpec::rtx2070()];
+    // Shard per-device pipelines across worker threads; merge in
+    // registration order so output never depends on scheduling.
+    let outcomes: Vec<DeviceOutcome> = if cfg.jobs >= 2 {
+        let (cfg, classes, batch_sizes, requests) = (&cfg, &classes, &batch_sizes, &requests);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = devices
+                .iter()
+                .map(|dev| s.spawn(move || run_device(dev, cfg, classes, batch_sizes, requests)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    } else {
+        devices
+            .iter()
+            .map(|dev| run_device(dev, &cfg, &classes, &batch_sizes, &requests))
+            .collect()
+    };
+
+    let mut report = Report::to_path("serve", cfg.json.clone());
+    let mut table = Table::new(&[
+        "device", "phase", "p50 us", "p99 us", "mean us", "rps/dev", "miss", "fill", "ttfd ms",
+    ]);
+    for o in &outcomes {
+        eprintln!(
+            "[serve] {}: plan cache {} hits / {} misses / {} evictions (host side)",
+            o.device, o.host_hits, o.host_misses, o.evictions
+        );
+        for (phase, s) in [("cold", &o.cold), ("warm", &o.warm)] {
+            let ttfd_ms = s
+                .classes
+                .iter()
+                .map(|c| c.time_to_first_dispatch_ns as f64 / 1e6)
+                .sum::<f64>()
+                / s.classes.len() as f64;
+            table.row(vec![
+                o.device.to_string(),
+                phase.to_string(),
+                format!("{:.1}", us(s.p50_ns)),
+                format!("{:.1}", us(s.p99_ns)),
+                format!("{:.1}", us(s.mean_ns)),
+                format!("{:.0}", s.throughput_rps_per_device),
+                format!("{}", s.slo_misses),
+                format!("{:.2}", s.mean_fill),
+                format!("{ttfd_ms:.3}"),
+            ]);
+            let mut metrics = stats_metrics(s);
+            metrics.push((
+                "ttfd_per_class_us",
+                Json::Arr(
+                    s.classes
+                        .iter()
+                        .map(|c| {
+                            obj(&[
+                                ("class", c.name.as_str().into()),
+                                ("requests", c.requests.into()),
+                                ("ttfd_us", us(c.time_to_first_dispatch_ns).into()),
+                                ("plan_charge_us", us(c.plan_charge_ns).into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            report.add(
+                o.device,
+                &[
+                    ("phase", phase.into()),
+                    ("pool", cfg.pool.into()),
+                    ("slo_ms", (cfg.slo_ns as f64 / 1e6).into()),
+                    ("rate_rps", cfg.rate_rps.into()),
+                    ("burst", cfg.burst.into()),
+                    ("seed", cfg.seed.into()),
+                    ("smoke", cfg.smoke.into()),
+                ],
+                &metrics,
+            );
+        }
+        for p in &o.plans {
+            report.add(
+                o.device,
+                &[("phase", "plan".into()), ("class", p.class.as_str().into())],
+                &[
+                    ("bound", p.bound.as_str().into()),
+                    ("break_even_k", p.break_even_k.into()),
+                    ("build_cost_us", us(p.build_cost_ns).into()),
+                    ("tuned", p.tuned.is_some().into()),
+                    (
+                        "variants",
+                        Json::Arr(
+                            p.variants
+                                .iter()
+                                .map(|v| {
+                                    obj(&[
+                                        ("n", v.n.into()),
+                                        ("algo", v.algo.as_str().into()),
+                                        ("service_us", us(v.service_ns).into()),
+                                        ("tflops", v.tflops.into()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ],
+            );
+        }
+    }
+    table.print();
+    report.finish();
+
+    if cfg.smoke {
+        for o in &outcomes {
+            assert_eq!(o.cold.completed, o.cold.requests, "cold phase must drain");
+            assert_eq!(o.warm.completed, o.warm.requests, "warm phase must drain");
+            for (c, w) in o.cold.classes.iter().zip(&o.warm.classes) {
+                assert!(
+                    w.time_to_first_dispatch_ns < c.time_to_first_dispatch_ns,
+                    "{}/{}: warm ttfd {} must beat cold {}",
+                    o.device,
+                    c.name,
+                    w.time_to_first_dispatch_ns,
+                    c.time_to_first_dispatch_ns
+                );
+                assert_eq!(w.plan_charge_ns, PLAN_LOOKUP_NS);
+            }
+            assert!(
+                o.plans.iter().all(|p| p.verify()),
+                "every plan must pass warm-start verification"
+            );
+        }
+        eprintln!("[serve] smoke OK");
+    }
+}

@@ -94,6 +94,14 @@ impl Store {
         }
     }
 
+    /// Delete a key if present. Needed by eviction policies layered on the
+    /// store (the serve plan cache's LRU cap); a plain content-addressed
+    /// cache never calls this. Removal failures are ignored — the entry
+    /// simply survives until the next eviction pass.
+    pub fn remove(&self, key: &CacheKey) {
+        let _ = std::fs::remove_file(self.path_of(key));
+    }
+
     fn try_store(&self, key: &CacheKey, value: &Json) -> std::io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
         let final_path = self.path_of(key);

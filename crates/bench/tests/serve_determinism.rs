@@ -1,0 +1,50 @@
+//! The serve binary must be a pure function of its flags: `--jobs` only
+//! shards work across threads, and the host-side plan-cache state (cold
+//! directory vs warm) must never leak into results — the cold/warm split
+//! in the report is *modeled*, not measured on the host. So one smoke run
+//! per `--jobs 1/2/8`, all sharing one plan directory (the first run
+//! populates it, the rest hit it), must produce byte-identical `--json`
+//! output.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_serve(jobs: u32, json: &Path, plan_dir: &Path) {
+    let status = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args([
+            "--smoke",
+            "--seed",
+            "99",
+            "--jobs",
+            &jobs.to_string(),
+            "--json",
+            json.to_str().unwrap(),
+            "--plan-dir",
+            plan_dir.to_str().unwrap(),
+        ])
+        .status()
+        .expect("serve binary runs");
+    assert!(status.success(), "serve --smoke --jobs {jobs} failed");
+}
+
+#[test]
+fn byte_identical_json_across_jobs_and_cache_states() {
+    let base = std::env::temp_dir().join(format!("serve_det_{}", std::process::id()));
+    std::fs::create_dir_all(&base).unwrap();
+    let plan_dir = base.join("plans");
+
+    let mut outputs = Vec::new();
+    for jobs in [1u32, 2, 8] {
+        let json = base.join(format!("serve_{jobs}.json"));
+        run_serve(jobs, &json, &plan_dir);
+        outputs.push(std::fs::read(&json).expect("json written"));
+    }
+    assert!(!outputs[0].is_empty());
+    assert_eq!(
+        outputs[0], outputs[1],
+        "--jobs 1 (cold plan dir) vs --jobs 2 (warm) diverged"
+    );
+    assert_eq!(outputs[1], outputs[2], "--jobs 2 vs --jobs 8 diverged");
+
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -1,0 +1,161 @@
+//! `queue` — SLO-aware admission and batching.
+//!
+//! Requests for the same [`ShapeClass`](crate::ShapeClass) are held in a
+//! per-class FIFO and released as one **launch group**: a batch padded up to
+//! the smallest supported batch size (the fused kernel wants `N % 32 == 0`
+//! and the plan's variants are probed at exactly those sizes). Batching
+//! trades queueing delay for throughput; the policy bounds that trade with
+//! the latency SLO.
+//!
+//! **Dispatch policy.** A class is *due* at time `t` when it has pending
+//! requests and either
+//!
+//! 1. the batch is full (`pending ≥ max_batch`), or
+//! 2. waiting any longer would risk the SLO: `t ≥ latest_safe_start`, where
+//!    `latest_safe_start = oldest.arrival + slo − worst_service` and
+//!    `worst_service` is the plan's worst-case service time over all batch
+//!    variants.
+//!
+//! **Invariant** (the property `serve/tests/queue_slo.rs` checks): if a
+//! device is free at `latest_safe_start` and the plan is ready, every
+//! request in the group completes by `arrival + slo` — the margin is
+//! worst-case, so no admissible request waits past its SLO when capacity
+//! exists. When `slo < worst_service` the deadline saturates to the arrival
+//! instant: the queue dispatches as early as possible and the miss is the
+//! engine's to count, not the queue's to hide.
+//!
+//! All arithmetic is integer nanoseconds; ties are broken FIFO, so the
+//! queue is deterministic.
+
+use std::collections::VecDeque;
+
+use crate::traffic::Request;
+
+/// Smallest supported batch size that fits `count` requests, else the
+/// largest (`batch_sizes` ascending).
+pub fn batch_n(batch_sizes: &[u32], count: usize) -> u32 {
+    *batch_sizes
+        .iter()
+        .find(|&&n| n as usize >= count)
+        .unwrap_or_else(|| batch_sizes.last().expect("batch sizes non-empty"))
+}
+
+/// FIFO of pending requests for one shape class.
+#[derive(Default)]
+pub struct ClassQueue {
+    pending: VecDeque<Request>,
+}
+
+impl ClassQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, req: Request) {
+        debug_assert!(
+            self.pending
+                .back()
+                .is_none_or(|b| b.arrival_ns <= req.arrival_ns),
+            "arrivals must be pushed in time order"
+        );
+        self.pending.push_back(req);
+    }
+
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Arrival time of the oldest pending request.
+    pub fn oldest_arrival(&self) -> Option<u64> {
+        self.pending.front().map(|r| r.arrival_ns)
+    }
+
+    /// Latest dispatch instant that still meets the SLO for the oldest
+    /// request, assuming worst-case service. Saturates at the arrival
+    /// instant when the SLO is tighter than the service time.
+    pub fn latest_safe_start(&self, slo_ns: u64, worst_service_ns: u64) -> Option<u64> {
+        self.oldest_arrival()
+            .map(|a| a + slo_ns.saturating_sub(worst_service_ns))
+    }
+
+    /// Is the class due for dispatch at `now`? (Plan readiness and device
+    /// availability are the engine's concern.)
+    pub fn due(&self, now: u64, slo_ns: u64, worst_service_ns: u64, max_batch: u32) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        self.pending.len() >= max_batch as usize
+            || now >= self.latest_safe_start(slo_ns, worst_service_ns).unwrap()
+    }
+
+    /// Remove and return up to `max` oldest requests as one launch group.
+    pub fn take_batch(&mut self, max: u32) -> Vec<Request> {
+        let take = self.pending.len().min(max as usize);
+        self.pending.drain(..take).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, arrival_ns: u64) -> Request {
+        Request {
+            id,
+            class: 0,
+            arrival_ns,
+        }
+    }
+
+    #[test]
+    fn batch_padding() {
+        let sizes = [32, 64, 96, 128];
+        assert_eq!(batch_n(&sizes, 1), 32);
+        assert_eq!(batch_n(&sizes, 32), 32);
+        assert_eq!(batch_n(&sizes, 33), 64);
+        assert_eq!(batch_n(&sizes, 97), 128);
+        assert_eq!(batch_n(&sizes, 1000), 128);
+    }
+
+    #[test]
+    fn due_on_full_batch_or_deadline() {
+        let mut q = ClassQueue::new();
+        q.push(req(0, 1_000));
+        let (slo, worst) = (10_000, 4_000);
+        // Deadline is arrival + slo - worst = 7_000.
+        assert!(!q.due(6_999, slo, worst, 4));
+        assert!(q.due(7_000, slo, worst, 4));
+        // Full batch dispatches immediately regardless of deadline.
+        for i in 1..4 {
+            q.push(req(i, 1_000 + i));
+        }
+        assert!(q.due(1_004, slo, worst, 4));
+    }
+
+    #[test]
+    fn tight_slo_saturates_to_arrival() {
+        let mut q = ClassQueue::new();
+        q.push(req(0, 5_000));
+        // worst service exceeds the SLO: due the instant it arrives.
+        assert_eq!(q.latest_safe_start(1_000, 9_000), Some(5_000));
+        assert!(q.due(5_000, 1_000, 9_000, 64));
+    }
+
+    #[test]
+    fn take_batch_is_fifo_and_partial() {
+        let mut q = ClassQueue::new();
+        for i in 0..5 {
+            q.push(req(i, i * 10));
+        }
+        let b = q.take_batch(3);
+        assert_eq!(b.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(q.len(), 2);
+        let b = q.take_batch(64);
+        assert_eq!(b.iter().map(|r| r.id).collect::<Vec<_>>(), [3, 4]);
+        assert!(q.is_empty());
+    }
+}

@@ -4,5 +4,6 @@ pub use gpusim;
 pub use kernels;
 pub use perfmodel;
 pub use sass;
+pub use serve;
 pub use tensor;
 pub use wino_core;
