@@ -68,6 +68,18 @@ echo "== serve smoke =="
 # lives in BENCH_serve.json (see EXPERIMENTS.md, "Serving engine").
 ./target/release/serve --smoke --plan-dir "$fresh/plans" --json "$fresh/serve.json" > /dev/null
 
+echo "== servemon smoke =="
+# Telemetry round-trip: re-run the serve smoke with the flight recorder on
+# (reusing the plan directory the previous stage populated), which also
+# asserts the recorded stream reconciles with the engine stats, then replay
+# the events log through servemon's consistency checks. The report JSON is
+# byte-identical with telemetry on or off (pinned by
+# bench/tests/serve_telemetry.rs), so this stage can never change results.
+./target/release/serve --smoke --plan-dir "$fresh/plans" --json "$fresh/serve_tel.json" \
+  --events "$fresh/serve_events.jsonl" --pool-trace "$fresh/serve_pool.json" > /dev/null
+cmp "$fresh/serve.json" "$fresh/serve_tel.json"
+./target/release/servemon --log "$fresh/serve_events.jsonl" --smoke > /dev/null
+
 echo "== doclinks =="
 # Docs-link gate: every relative link (and heading anchor) in README.md,
 # EXPERIMENTS.md and docs/** must resolve.

@@ -14,10 +14,13 @@
 //! their stall breakdown plus per-region totals. `--metrics` re-times each
 //! algorithm's dominant kernel with hardware counters on, prints the
 //! bottleneck classification table and appends `kind=metrics` records to the
-//! `--json` report (see `bench::metrics`). `--trace PATH` writes one wave's
-//! warp schedule as Chrome trace-event JSON (load in Perfetto or
-//! `chrome://tracing`). `--json PATH` writes the measured numbers as JSON
-//! records.
+//! `--json` report (see `bench::metrics`). `--trace PATH` writes the fused
+//! kernel's full-device multi-wave timeline as Chrome trace-event JSON
+//! (load in Perfetto or `chrome://tracing`): one lane per SM, each wave a
+//! complete event, wave hand-offs as instants — the `exact`-mode device
+//! simulation of every SM, so tail waves and SM imbalance are visible
+//! instead of extrapolated. `--json PATH` writes the measured numbers as
+//! JSON records.
 
 use bench::report::Report;
 use gpusim::{DeviceSpec, KernelProfile, StallCause};
@@ -309,33 +312,67 @@ fn main() {
             .copied()
             .find(|a| matches!(a, Algo::OursFused | Algo::CudnnWinograd))
             .unwrap();
-        let t = conv.time_fused_profiled(algo);
-        let p = t.profile.as_ref().expect("profiled run carries a profile");
         if profile {
+            let t = conv.time_fused_profiled(algo);
+            let p = t.profile.as_ref().expect("profiled run carries a profile");
             print_profile(algo, p, &mut report, dev_name, &problem);
         }
         if let Some(path) = &trace {
-            std::fs::write(path, p.to_chrome_trace())
+            let (_, dt) = conv.time_fused_traced(algo);
+            let tr = wave_trace(algo, &conv.device, &dt);
+            std::fs::write(path, tr.render())
                 .unwrap_or_else(|e| panic!("failed to write --trace {path}: {e}"));
             println!(
-                "\n[trace] wrote {} issue events to {path}{}",
-                p.issue_events.len(),
-                if p.issue_events_truncated {
-                    " (truncated)"
-                } else {
-                    ""
-                }
+                "\n[trace] wrote {} wave spans to {path}{}",
+                dt.spans.len(),
+                if dt.truncated { " (truncated)" } else { "" }
             );
-            if p.issue_events_truncated {
+            if dt.truncated {
                 eprintln!(
-                    "[trace] warning: issue-event buffer hit its cap; the trace covers only \
-                     the first {} events of the wave (the file carries \"truncated\": true)",
-                    p.issue_events.len()
+                    "[trace] warning: wave-span buffer hit its cap; the trace covers only \
+                     the first {} spans of the launch (the file carries \"truncated\": true)",
+                    dt.spans.len()
                 );
             }
         }
     }
     report.finish();
+}
+
+/// Render a full-device wave timeline as a Chrome trace: one lane per SM,
+/// each wave execution a complete event (a span with `repeats > 1` covers
+/// that many identical back-to-back waves collapsed by the simulator's
+/// steady-state fast path), and a "wave boundary" instant on each lane at
+/// every hand-off between consecutive spans. `ts`/`dur` are SM cycles.
+fn wave_trace(algo: Algo, dev: &DeviceSpec, dt: &gpusim::DeviceTrace) -> bench::trace::ChromeTrace {
+    let mut tr = bench::trace::ChromeTrace::new();
+    tr.set_truncated(dt.truncated);
+    tr.process_name(0, &format!("{} on {}", algo.name(), dev.name));
+    let mut last_sm = None;
+    for s in &dt.spans {
+        // Spans arrive grouped by SM in ascending-SM order; name each lane
+        // once, and mark the boundary with the lane's previous wave.
+        if last_sm != Some(s.sm) {
+            tr.thread_name(0, s.sm as u64, &format!("SM {}", s.sm));
+        } else {
+            tr.instant(0, s.sm as u64, "wave boundary", s.start_cycle, &[]);
+        }
+        last_sm = Some(s.sm);
+        tr.complete(
+            0,
+            s.sm as u64,
+            &format!("wave {}", s.wave),
+            s.start_cycle,
+            s.duration(),
+            &[
+                ("blocks", s.blocks.into()),
+                ("repeats", s.repeats.into()),
+                ("cycles_per_wave", s.cycles.into()),
+                ("share_sms", s.share_sms.into()),
+            ],
+        );
+    }
+    tr
 }
 
 /// Print per-region totals and the top hot lines with stall attribution,

@@ -23,22 +23,37 @@
 //! registration order) and is excluded from every digest, which is what
 //! `bench/tests/serve_determinism.rs` checks byte-for-byte.
 //!
+//! Telemetry (ISSUE 8): `--events PATH` writes the request-lifecycle
+//! flight-recorder stream as JSON lines (one object per event, `device` and
+//! `phase` context fields on every line; replay with `servemon --log PATH`),
+//! and `--pool-trace PATH` writes the pool timeline as Chrome trace-event
+//! JSON (one process per device×phase, one lane per pool slot, launch
+//! groups as complete events, deadline misses as instants). Recording is on
+//! only when one of the two flags is given; the off path is bit-identical
+//! and the `--json` report never depends on it (`serve_telemetry.rs` pins
+//! both, across `--jobs`).
+//!
 //! Flags: `--seed S` (default 2020), `--rate RPS` (default 20000),
 //! `--burst F` (default 4), `--slo-ms MS` (default 50),
 //! `--duration-ms MS` (default 1000), `--pool P` (devices per scenario,
 //! default 2), `--tune-budget B` (anneal steps, default 12),
 //! `--jobs N` (default all cores), `--json PATH` (default
 //! `BENCH_serve.json`), `--plan-dir DIR`, `--plan-cap N` (0 = unlimited),
-//! `--no-plan-cache`, `--smoke` (tiny shapes, short stream, asserts).
+//! `--no-plan-cache`, `--events PATH`, `--pool-trace PATH`, `--tick-us N`
+//! (gauge period, default 1000), `--smoke` (tiny shapes, short stream,
+//! asserts).
 
 use bench::json::{obj, Json};
 use bench::report::{flag_value, Report};
 use bench::simcache::{CacheKey, Store};
+use bench::trace::ChromeTrace;
 use bench::Table;
 use gpusim::DeviceSpec;
-use serve::engine::{run, EngineConfig, RunStats};
+use serve::engine::{run_recorded, EngineConfig, RunStats};
 use serve::plan::{Plan, PlanCache, PlanStorage, Planner, PLAN_LOOKUP_NS};
+use serve::telemetry::{Telemetry, TelemetryEvent, TelemetryOptions};
 use serve::traffic::{generate, Request, ShapeClass, TrafficConfig};
+use std::collections::HashMap;
 
 /// `simcache::Store` as a [`PlanStorage`]: plan text rides in a JSON
 /// string under the plan's content address, so plans share the directory
@@ -79,6 +94,23 @@ struct Config {
     use_plan_cache: bool,
     smoke: bool,
     json: Option<String>,
+    events: Option<String>,
+    pool_trace: Option<String>,
+    tick_ns: u64,
+}
+
+impl Config {
+    /// The flight recorder runs only when an export asked for it; otherwise
+    /// the engine takes the bit-identical zero-cost off path.
+    fn telemetry(&self) -> TelemetryOptions {
+        if self.events.is_none() && self.pool_trace.is_none() {
+            return TelemetryOptions::off();
+        }
+        TelemetryOptions {
+            tick_ns: self.tick_ns,
+            ..TelemetryOptions::on()
+        }
+    }
 }
 
 fn parse_args() -> Config {
@@ -104,8 +136,12 @@ fn parse_args() -> Config {
         use_plan_cache: !args.iter().any(|a| a == "--no-plan-cache"),
         smoke,
         json: flag_value(&args, "--json").or_else(|| Some("BENCH_serve.json".to_string())),
+        events: flag_value(&args, "--events"),
+        pool_trace: flag_value(&args, "--pool-trace"),
+        tick_ns: (f("--tick-us", 1000.0) * 1e3) as u64,
     };
     assert!(cfg.pool >= 1, "--pool must be >= 1");
+    assert!(cfg.tick_ns > 0, "--tick-us must be positive");
     cfg
 }
 
@@ -118,6 +154,10 @@ struct DeviceOutcome {
     evictions: u64,
     cold: RunStats,
     warm: RunStats,
+    /// Flight recorders for the two phases (disabled unless `--events` or
+    /// `--pool-trace` asked for recording).
+    cold_tel: Telemetry,
+    warm_tel: Telemetry,
 }
 
 fn run_device(
@@ -130,6 +170,9 @@ fn run_device(
     let mut planner = Planner::new(dev.clone(), batch_sizes.to_vec());
     planner.tune_budget = cfg.tune_budget;
     planner.tune_seed = cfg.seed;
+    // Bake the probe-time traffic assumption into each plan so the drift
+    // tracker has a reference (observed per-class EWMA vs this rate).
+    planner.mix = Some((cfg.rate_rps, classes.iter().map(|c| c.weight).sum()));
 
     // Each worker opens its own store handle on the shared directory; the
     // content-addressed discipline makes concurrent same-key writes benign.
@@ -169,9 +212,11 @@ fn run_device(
         pool: cfg.pool,
         warm: false,
     };
-    let cold = run(&engine_cfg, classes, &plans, requests);
+    let mut cold_tel = Telemetry::new(cfg.telemetry());
+    let cold = run_recorded(&engine_cfg, classes, &plans, requests, &mut cold_tel);
     engine_cfg.warm = true;
-    let warm = run(&engine_cfg, classes, &plans, requests);
+    let mut warm_tel = Telemetry::new(cfg.telemetry());
+    let warm = run_recorded(&engine_cfg, classes, &plans, requests, &mut warm_tel);
     DeviceOutcome {
         device: dev.name,
         plans,
@@ -180,6 +225,8 @@ fn run_device(
         evictions: cache.stats.evictions,
         cold,
         warm,
+        cold_tel,
+        warm_tel,
     }
 }
 
@@ -193,6 +240,16 @@ fn stats_metrics(s: &RunStats) -> Vec<(&'static str, Json)> {
         ("completed", s.completed.into()),
         ("p50_us", us(s.p50_ns).into()),
         ("p99_us", us(s.p99_ns).into()),
+        ("p999_ns", s.p999_ns.into()),
+        (
+            "latency_hist",
+            Json::Arr(
+                s.histogram
+                    .buckets()
+                    .map(|(le, count)| obj(&[("le_ns", le.into()), ("count", count.into())]))
+                    .collect(),
+            ),
+        ),
         ("mean_us", us(s.mean_ns).into()),
         ("max_us", us(s.max_ns).into()),
         ("makespan_ms", (s.makespan_ns as f64 / 1e6).into()),
@@ -344,6 +401,33 @@ fn main() {
     table.print();
     report.finish();
 
+    if let Some(path) = &cfg.events {
+        // One JSON-lines log for the whole run: outcomes in registration
+        // order, cold then warm within each, every line context-tagged.
+        let mut log = String::new();
+        for o in &outcomes {
+            for (phase, tel) in [("cold", &o.cold_tel), ("warm", &o.warm_tel)] {
+                log.push_str(&tel.to_jsonl(&[("device", o.device), ("phase", phase)]));
+            }
+        }
+        std::fs::write(path, &log)
+            .unwrap_or_else(|e| panic!("failed to write --events {path}: {e}"));
+        eprintln!(
+            "[serve] wrote {} telemetry events to {path}",
+            log.lines().count()
+        );
+    }
+
+    if let Some(path) = &cfg.pool_trace {
+        let tr = pool_trace(&outcomes, cfg.pool);
+        std::fs::write(path, tr.render())
+            .unwrap_or_else(|e| panic!("failed to write --pool-trace {path}: {e}"));
+        eprintln!(
+            "[serve] wrote {} pool-timeline events to {path}",
+            tr.events()
+        );
+    }
+
     if cfg.smoke {
         for o in &outcomes {
             assert_eq!(o.cold.completed, o.cold.requests, "cold phase must drain");
@@ -363,7 +447,110 @@ fn main() {
                 o.plans.iter().all(|p| p.verify()),
                 "every plan must pass warm-start verification"
             );
+            // When the flight recorder ran, its stream must reconcile
+            // exactly with the engine's aggregate stats.
+            for (phase, s, tel) in [
+                ("cold", &o.cold, &o.cold_tel),
+                ("warm", &o.warm, &o.warm_tel),
+            ] {
+                if !tel.enabled() {
+                    continue;
+                }
+                let who = format!("{}/{}", o.device, phase);
+                assert_eq!(tel.spans().len() as u64, s.completed, "{who}: span count");
+                let misses = tel.spans().iter().filter(|sp| sp.miss).count() as u64;
+                assert_eq!(misses, s.slo_misses, "{who}: miss count");
+                assert_eq!(tel.batch_count(), s.batches, "{who}: batch count");
+                let mut hist = serve::LatencyHistogram::new();
+                for sp in tel.spans() {
+                    hist.record(sp.complete_ns - sp.arrival_ns);
+                }
+                assert_eq!(hist, s.histogram, "{who}: histogram");
+                let windowed: u64 = tel.burn_series().iter().map(|w| w.completed).sum();
+                assert_eq!(windowed, s.completed, "{who}: burn-window coverage");
+            }
         }
         eprintln!("[serve] smoke OK");
     }
+}
+
+/// Assemble the Chrome-trace pool timeline: one process per
+/// `(device, phase)` row, one lane per pool slot, each launch group a
+/// complete event on the device lane it ran on, each deadline miss an
+/// instant on that same lane.
+fn pool_trace(outcomes: &[DeviceOutcome], pool: usize) -> ChromeTrace {
+    let mut tr = ChromeTrace::new();
+    let mut pid = 0u64;
+    for o in outcomes {
+        for (phase, tel) in [("cold", &o.cold_tel), ("warm", &o.warm_tel)] {
+            pid += 1;
+            tr.process_name(pid, &format!("{} ({phase})", o.device));
+            for lane in 0..pool as u64 {
+                tr.thread_name(pid, lane, &format!("device {lane}"));
+            }
+            let mut sink = serve::MemSink::default();
+            tel.drain_into(&mut sink);
+            // Completions only carry their batch id; recover the lane from
+            // the batch's dispatch record.
+            let mut batch_lane: HashMap<u64, u64> = HashMap::new();
+            let class_name = |c: usize| tel.class_names().get(c).map_or("?", |s| s.as_str());
+            for (_, ev) in &sink.events {
+                match *ev {
+                    TelemetryEvent::Dispatch {
+                        t,
+                        batch,
+                        class,
+                        device,
+                        count,
+                        batch_n,
+                        service_ns,
+                    } => {
+                        batch_lane.insert(batch, device as u64);
+                        let algo = o.plans[class]
+                            .variants
+                            .iter()
+                            .find(|v| v.n == batch_n)
+                            .map_or("?", |v| v.algo.as_str());
+                        tr.complete(
+                            pid,
+                            device as u64,
+                            class_name(class),
+                            t,
+                            service_ns,
+                            &[
+                                ("batch", batch.into()),
+                                ("algo", algo.into()),
+                                ("batch_n", batch_n.into()),
+                                ("count", count.into()),
+                            ],
+                        );
+                    }
+                    TelemetryEvent::Complete {
+                        t,
+                        id,
+                        class,
+                        batch,
+                        miss: true,
+                        cause,
+                        ..
+                    } => {
+                        let lane = batch_lane.get(&batch).copied().unwrap_or(0);
+                        tr.instant(
+                            pid,
+                            lane,
+                            "miss",
+                            t,
+                            &[
+                                ("id", id.into()),
+                                ("class", class_name(class).into()),
+                                ("cause", cause.name().into()),
+                            ],
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    tr
 }

@@ -15,6 +15,7 @@ pub mod metricsdiff;
 pub mod report;
 pub mod simcache;
 pub mod sweep;
+pub mod trace;
 
 use gpusim::DeviceSpec;
 use kernels::FusedConfig;

@@ -1,0 +1,161 @@
+//! Chrome trace-event JSON writer, shared by the two timeline exports:
+//! the serving-pool timeline (`serve --pool-trace`, one lane per pool
+//! device, batches as complete events, deadline misses as instants) and the
+//! device wave timeline (`convbench --trace`, one lane per SM, wave
+//! executions as complete events, wave boundaries as instants).
+//!
+//! The output is the Trace Event Format consumed by Perfetto and
+//! `chrome://tracing`: a `{"traceEvents": [...]}` wrapper holding `"ph":
+//! "X"` (complete), `"ph": "i"` (instant) and `"ph": "M"` (metadata)
+//! records. `ts`/`dur` carry the producer's native integer timeline unit
+//! verbatim — nanoseconds for the pool timeline, SM cycles for the wave
+//! timeline — so the file is byte-deterministic; viewers only use the
+//! values relatively. A top-level `"truncated"` flag mirrors the producer's
+//! buffer-cap state (see [`gpusim::device_sim::WAVE_SPAN_CAP`]), so tools
+//! can distinguish "short run" from "clipped recording".
+//!
+//! Events render in insertion order; callers that need deterministic output
+//! across `--jobs` must insert in a deterministic order (both producers
+//! iterate their already-sorted span lists).
+
+use crate::json::{obj, Json};
+
+/// An in-memory Chrome trace: build with [`ChromeTrace::complete`] /
+/// [`ChromeTrace::instant`] and the lane-naming metadata helpers, then
+/// [`ChromeTrace::render`] the whole document.
+#[derive(Default)]
+pub struct ChromeTrace {
+    events: Vec<Json>,
+    spans: usize,
+    truncated: bool,
+}
+
+impl ChromeTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latch the truncation flag (sticky OR — a trace assembled from many
+    /// producer buffers is truncated if any of them clipped).
+    pub fn set_truncated(&mut self, truncated: bool) {
+        self.truncated |= truncated;
+    }
+
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Number of timeline events recorded so far (metadata records — lane
+    /// and process names — are not counted).
+    pub fn events(&self) -> usize {
+        self.spans
+    }
+
+    /// Name a process row (a device in the pool timeline, a kernel in the
+    /// wave timeline).
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(obj(&[
+            ("name", "process_name".into()),
+            ("ph", "M".into()),
+            ("pid", pid.into()),
+            ("args", obj(&[("name", name.into())])),
+        ]));
+    }
+
+    /// Name a thread lane within a process row (a pool slot, or an SM).
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(obj(&[
+            ("name", "thread_name".into()),
+            ("ph", "M".into()),
+            ("pid", pid.into()),
+            ("tid", tid.into()),
+            ("args", obj(&[("name", name.into())])),
+        ]));
+    }
+
+    /// A complete event: a span of `dur` timeline units starting at `ts`.
+    pub fn complete(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        ts: u64,
+        dur: u64,
+        args: &[(&str, Json)],
+    ) {
+        self.spans += 1;
+        self.events.push(obj(&[
+            ("name", name.into()),
+            ("ph", "X".into()),
+            ("pid", pid.into()),
+            ("tid", tid.into()),
+            ("ts", ts.into()),
+            ("dur", dur.into()),
+            ("args", obj(args)),
+        ]));
+    }
+
+    /// A thread-scoped instant event (a zero-width marker on one lane).
+    pub fn instant(&mut self, pid: u64, tid: u64, name: &str, ts: u64, args: &[(&str, Json)]) {
+        self.spans += 1;
+        self.events.push(obj(&[
+            ("name", name.into()),
+            ("ph", "i".into()),
+            ("s", "t".into()),
+            ("pid", pid.into()),
+            ("tid", tid.into()),
+            ("ts", ts.into()),
+            ("args", obj(args)),
+        ]));
+    }
+
+    /// Render the full trace document.
+    pub fn render(&self) -> String {
+        obj(&[
+            ("displayTimeUnit", "ns".into()),
+            ("truncated", self.truncated.into()),
+            ("traceEvents", Json::Arr(self.events.clone())),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn trace_renders_and_counts_spans() {
+        let mut tr = ChromeTrace::new();
+        tr.process_name(1, "v100");
+        tr.thread_name(1, 0, "device 0");
+        tr.complete(1, 0, "batch", 100, 50, &[("count", 3u64.into())]);
+        tr.instant(1, 0, "miss", 160, &[("id", 7u64.into())]);
+        assert_eq!(tr.events(), 2, "metadata records are not timeline events");
+        assert!(!tr.truncated());
+        let doc = parse(&tr.render()).unwrap();
+        assert_eq!(doc.get("truncated"), Some(&Json::Bool(false)));
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[2].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(evs[2].get("ts").unwrap().as_f64(), Some(100.0));
+        assert_eq!(evs[2].get("dur").unwrap().as_f64(), Some(50.0));
+        assert_eq!(evs[3].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(
+            evs[3].get("args").unwrap().get("id").unwrap().as_f64(),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn truncation_flag_is_sticky() {
+        let mut tr = ChromeTrace::new();
+        tr.set_truncated(false);
+        assert!(!tr.truncated());
+        tr.set_truncated(true);
+        tr.set_truncated(false);
+        assert!(tr.truncated());
+        assert!(tr.render().contains("\"truncated\":true"));
+    }
+}

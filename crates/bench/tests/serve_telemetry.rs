@@ -1,0 +1,123 @@
+//! Telemetry determinism contract for the serve binary (ISSUE 8):
+//!
+//! * the `--json` report is **byte-identical with telemetry on and off** —
+//!   recording is observation, never perturbation;
+//! * the `--events` JSON-lines log and the `--pool-trace` Chrome trace are
+//!   themselves **byte-identical across `--jobs 1/2/8`** (events are sorted
+//!   by `(timestamp, sequence)`, device outcomes merge in registration
+//!   order);
+//! * both artifacts parse: every events line is a JSON object carrying the
+//!   context fields, and the pool trace is one JSON document with a
+//!   `traceEvents` array;
+//! * `servemon --log <events> --smoke` replays the log green (the writer
+//!   and the reader stay honest against each other).
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_serve(jobs: u32, dir: &Path, tag: &str, telemetry: bool) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let json = dir.join(format!("serve_{tag}.json"));
+    let events = dir.join(format!("events_{tag}.jsonl"));
+    let pool = dir.join(format!("pool_{tag}.json"));
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_serve"));
+    cmd.args([
+        "--smoke",
+        "--seed",
+        "77",
+        "--jobs",
+        &jobs.to_string(),
+        "--json",
+        json.to_str().unwrap(),
+        "--plan-dir",
+        dir.join("plans").to_str().unwrap(),
+    ]);
+    if telemetry {
+        cmd.args([
+            "--events",
+            events.to_str().unwrap(),
+            "--pool-trace",
+            pool.to_str().unwrap(),
+        ]);
+    }
+    let status = cmd.status().expect("serve binary runs");
+    assert!(status.success(), "serve --smoke ({tag}) failed");
+    (
+        std::fs::read(&json).expect("json written"),
+        if telemetry {
+            std::fs::read(&events).expect("events written")
+        } else {
+            Vec::new()
+        },
+        if telemetry {
+            std::fs::read(&pool).expect("pool trace written")
+        } else {
+            Vec::new()
+        },
+    )
+}
+
+#[test]
+fn telemetry_is_pure_observation_and_jobs_invariant() {
+    let base = std::env::temp_dir().join(format!("serve_tel_{}", std::process::id()));
+    std::fs::create_dir_all(&base).unwrap();
+
+    let (json_off, _, _) = run_serve(2, &base, "off", false);
+    let (json_on, events, pool) = run_serve(2, &base, "on", true);
+    assert!(!json_off.is_empty());
+    assert_eq!(
+        json_off, json_on,
+        "--events/--pool-trace changed the report: telemetry perturbed the run"
+    );
+
+    for jobs in [1u32, 8] {
+        let tag = format!("j{jobs}");
+        let (json_j, events_j, pool_j) = run_serve(jobs, &base, &tag, true);
+        assert_eq!(json_off, json_j, "--jobs {jobs}: report diverged");
+        assert_eq!(events, events_j, "--jobs {jobs}: events log diverged");
+        assert_eq!(pool, pool_j, "--jobs {jobs}: pool trace diverged");
+    }
+
+    // Both artifacts parse and carry what they promise.
+    let events_text = String::from_utf8(events).unwrap();
+    let mut kinds = std::collections::HashSet::new();
+    for line in events_text.lines() {
+        let v = bench::json::parse(line).expect("events line parses");
+        for key in ["device", "phase", "kind"] {
+            assert!(v.get(key).is_some(), "events line missing {key}: {line}");
+        }
+        kinds.insert(v.get("kind").unwrap().as_str().unwrap().to_string());
+    }
+    for kind in [
+        "arrival",
+        "enqueue",
+        "plan_fetch",
+        "dispatch",
+        "complete",
+        "gauge",
+    ] {
+        assert!(kinds.contains(kind), "no {kind} events in the log");
+    }
+    let pool_doc = bench::json::parse(std::str::from_utf8(&pool).unwrap()).unwrap();
+    let evs = pool_doc
+        .get("traceEvents")
+        .and_then(bench::json::Json::as_arr)
+        .expect("pool trace holds traceEvents");
+    assert!(
+        evs.iter()
+            .any(|e| e.get("ph").and_then(bench::json::Json::as_str) == Some("X")),
+        "pool trace holds complete events"
+    );
+
+    // The reader replays the writer's log green.
+    let status = Command::new(env!("CARGO_BIN_EXE_servemon"))
+        .args([
+            "--log",
+            base.join("events_on.jsonl").to_str().unwrap(),
+            "--smoke",
+        ])
+        .status()
+        .expect("servemon binary runs");
+    assert!(status.success(), "servemon --smoke failed on the smoke log");
+
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -382,6 +382,42 @@ impl Conv {
         (fxt.time_s, t)
     }
 
+    /// Fused-kernel timing with the full-device wave timeline attached:
+    /// per-SM [`gpusim::WaveSpan`]s the `convbench --trace` export renders
+    /// as one Chrome-trace lane per SM. Runs the device model in `exact`
+    /// mode so every SM lane is individually simulated (the default mode
+    /// would trace only one representative SM per dispatch class); the
+    /// timing therefore matches `exact: true`, not the default fast path.
+    pub fn time_fused_traced(&self, algo: Algo) -> (KernelTiming, gpusim::DeviceTrace) {
+        let p = &self.problem;
+        let cfg = self.fused_config(algo);
+        let kern = FusedKernel::emit(cfg);
+        let mut gpu = self.gpu_for(
+            ((p.c * p.h * p.w * p.n + 16 * p.c * p.k + p.k * p.h * p.w * p.n) * 4) as u64
+                + (1 << 20),
+        );
+        let d_in = gpu.alloc((p.c * p.h * p.w * p.n) as u64 * 4);
+        let _d_filt = gpu.alloc((p.c * 9 * p.k) as u64 * 4);
+        let d_tf = gpu.alloc((p.c * 16 * p.k) as u64 * 4);
+        let d_out = gpu.alloc((p.k * p.h * p.w * p.n) as u64 * 4);
+        let params = kern.params(d_in, d_tf, d_out);
+        gpusim::time_kernel_device_traced(
+            &mut gpu,
+            &kern.module,
+            kern.launch_dims(),
+            &params,
+            DeviceOptions {
+                base: TimingOptions {
+                    region: Some(kern.region),
+                    ..Default::default()
+                },
+                exact: true,
+                ..Default::default()
+            },
+        )
+        .expect("fused kernel traced timing")
+    }
+
     /// Cross-check of the two timing models on this problem's fused kernel:
     /// `(one_wave, device)`. The retained one-wave analytic path and the
     /// full-device simulation must agree on grids that are an exact multiple

@@ -88,16 +88,67 @@ pub struct DeviceOptions {
     /// only where the steady-state assumption is imperfect, so this
     /// participates in digests ([`DeviceOptions::digest_into`]).
     pub exact: bool,
+    /// Record a [`DeviceTrace`] (per-SM wave spans) alongside the timing.
+    /// Observability only — it never changes a single timing number — so
+    /// like `jobs` it is excluded from digests. Prefer the
+    /// [`time_kernel_device_traced`] entry point over setting this by hand.
+    pub trace: bool,
 }
 
 impl DeviceOptions {
     /// Digest the options that change results. `jobs` is deliberately
     /// excluded: sharding is bit-stable, so a cache entry computed under any
-    /// `jobs` serves all of them.
+    /// `jobs` serves all of them. `trace` is excluded for the same reason:
+    /// recording spans changes no result bytes.
     pub fn digest_into(&self, d: &mut crate::digest::Digest) {
         self.base.digest_into(d);
         d.bool(self.exact);
     }
+}
+
+/// Cap on recorded wave spans per simulated SM; past it the trace sets
+/// `truncated` and keeps timing (mirrors `simprof`'s issue-event cap).
+pub const WAVE_SPAN_CAP: usize = 1 << 20;
+
+/// One contiguous chunk of one SM's timeline: a simulated wave and the
+/// fast-forwarded repeats it stands for (device cycles, SM-local origin 0 —
+/// SMs start together and run their waves back-to-back).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaveSpan {
+    /// SM that ran the chunk (a class representative unless
+    /// [`DeviceOptions::exact`] is set).
+    pub sm: u32,
+    /// First wave index the chunk covers.
+    pub wave: u64,
+    /// Chunk start, cycles since launch.
+    pub start_cycle: u64,
+    /// Cycles of the simulated wave (one repeat).
+    pub cycles: u64,
+    /// Waves the chunk stands for (`> 1` when fast-forwarded).
+    pub repeats: u64,
+    /// Blocks resident in each covered wave.
+    pub blocks: u32,
+    /// SMs sharing L2/DRAM bandwidth during the chunk.
+    pub share_sms: u64,
+}
+
+impl WaveSpan {
+    /// Total duration of the chunk, cycles.
+    pub fn duration(&self) -> u64 {
+        self.cycles * self.repeats
+    }
+}
+
+/// The device-timeline record of one launch: every simulated SM's wave
+/// spans, in SM-index order and per-SM time order. `bench`'s `convbench
+/// --trace` renders this as a Chrome trace with one lane per SM.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceTrace {
+    pub spans: Vec<WaveSpan>,
+    /// Some SM hit [`WAVE_SPAN_CAP`] and dropped spans (timing unaffected).
+    pub truncated: bool,
+    /// Device makespan (latest SM finish), cycles.
+    pub makespan_cycles: u64,
 }
 
 /// Immutable per-launch context shared by every SM simulation.
@@ -109,6 +160,7 @@ struct Ctx<'a> {
     cbank: &'a ConstBank,
     base: TimingOptions,
     exact: bool,
+    trace: bool,
     resident: u32,
     num_sms: u64,
     /// Dispatch shape: every SM owns `q` blocks, the first `r` SMs one more.
@@ -168,6 +220,20 @@ struct SmAcc {
     region_fp_active: u64,
     profile: Option<KernelProfile>,
     counters: Option<HwCounters>,
+    /// Wave spans recorded when tracing (empty otherwise).
+    spans: Vec<WaveSpan>,
+    spans_truncated: bool,
+}
+
+impl SmAcc {
+    /// Record one advance chunk when tracing, respecting the span cap.
+    fn trace_span(&mut self, span: WaveSpan) {
+        if self.spans.len() < WAVE_SPAN_CAP {
+            self.spans.push(span);
+        } else {
+            self.spans_truncated = true;
+        }
+    }
 }
 
 impl SmAcc {
@@ -282,6 +348,17 @@ impl SmState {
             // Trailing partial wave: always simulated exactly, never
             // fast-forwarded.
             self.rem = 0;
+            if cx.trace {
+                self.acc.trace_span(WaveSpan {
+                    sm: self.sm as u32,
+                    wave,
+                    start_cycle: self.acc.cycles,
+                    cycles,
+                    repeats: 1,
+                    blocks: n,
+                    share_sms: share,
+                });
+            }
             self.acc.add(out, 1);
             return Ok(cycles);
         }
@@ -310,6 +387,17 @@ impl SmState {
             }
         }
         self.prev_cycles = Some(cycles);
+        if cx.trace {
+            self.acc.trace_span(WaveSpan {
+                sm: self.sm as u32,
+                wave,
+                start_cycle: self.acc.cycles,
+                cycles,
+                repeats: k,
+                blocks: n,
+                share_sms: share,
+            });
+        }
         self.acc.add(out, k);
         self.w += k;
         Ok(k * cycles)
@@ -330,6 +418,28 @@ pub fn time_kernel_device(
     time_kernel_device_with_table(gpu, module, dims, params, opts, &table)
 }
 
+/// [`time_kernel_device`] that also records the device timeline: per-SM
+/// [`WaveSpan`]s plus the makespan. Timing numbers are bit-identical to the
+/// untraced call with the same options. Pair with
+/// [`DeviceOptions::exact`] when every SM should get its own real lane —
+/// the default mode simulates one representative SM per dispatch class, so
+/// its trace has at most two lanes.
+pub fn time_kernel_device_traced(
+    gpu: &mut Gpu,
+    module: &Module,
+    dims: LaunchDims,
+    params: &[u8],
+    opts: DeviceOptions,
+) -> Result<(KernelTiming, DeviceTrace), LaunchError> {
+    let opts = DeviceOptions {
+        trace: true,
+        ..opts
+    };
+    let table: Vec<InstDesc> = decode_module(&module.insts, opts.base.region);
+    let (timing, trace) = run_device(gpu, module, dims, params, opts, &table)?;
+    Ok((timing, trace.expect("trace requested")))
+}
+
 /// [`time_kernel_device`] with a caller-supplied descriptor table (the same
 /// sharing contract as `timing::time_kernel_with_table`).
 pub(crate) fn time_kernel_device_with_table(
@@ -340,12 +450,25 @@ pub(crate) fn time_kernel_device_with_table(
     opts: DeviceOptions,
     table: &[InstDesc],
 ) -> Result<KernelTiming, LaunchError> {
+    run_device(gpu, module, dims, params, opts, table).map(|(t, _)| t)
+}
+
+/// Shared body of the device-timing entry points; returns the trace record
+/// when `opts.trace` is set.
+fn run_device(
+    gpu: &mut Gpu,
+    module: &Module,
+    dims: LaunchDims,
+    params: &[u8],
+    opts: DeviceOptions,
+    table: &[InstDesc],
+) -> Result<(KernelTiming, Option<DeviceTrace>), LaunchError> {
     debug_assert_eq!(table.len(), module.insts.len());
     let device = gpu.device.clone();
     let total_blocks = dims.num_blocks();
     let resident = effective_residency(&device, module, dims, &opts.base)?;
     if total_blocks == 0 {
-        return Ok(zero_timing(0));
+        return Ok((zero_timing(0), opts.trace.then(DeviceTrace::default)));
     }
 
     let num_sms = device.num_sms as u64;
@@ -359,6 +482,7 @@ pub(crate) fn time_kernel_device_with_table(
         cbank: &cbank,
         base: opts.base,
         exact: opts.exact,
+        trace: opts.trace,
         resident,
         num_sms,
         q: total_blocks / num_sms,
@@ -488,8 +612,14 @@ pub(crate) fn time_kernel_device_with_table(
     let mut region_fp_active = 0u64;
     let mut profile: Option<KernelProfile> = None;
     let mut counters: Option<HwCounters> = None;
+    let mut trace = opts.trace.then(DeviceTrace::default);
     for (slot, &(_, k)) in results.into_iter().zip(plan.iter()) {
         let acc = slot.expect("every planned SM simulated")?;
+        if let Some(tr) = &mut trace {
+            // Plan order is SM-index order, so spans land lane-sorted.
+            tr.spans.extend_from_slice(&acc.spans);
+            tr.truncated |= acc.spans_truncated;
+        }
         makespan = makespan.max(acc.cycles);
         busy_cycles += k * acc.cycles;
         waves = waves.max(acc.waves);
@@ -546,7 +676,10 @@ pub(crate) fn time_kernel_device_with_table(
         sol_total
     };
 
-    Ok(KernelTiming {
+    if let Some(tr) = &mut trace {
+        tr.makespan_cycles = makespan;
+    }
+    let timing = KernelTiming {
         wave_cycles,
         waves,
         blocks_per_sm: resident,
@@ -567,5 +700,6 @@ pub(crate) fn time_kernel_device_with_table(
         idle_breakdown: idle_attr,
         profile,
         counters,
-    })
+    };
+    Ok((timing, trace))
 }

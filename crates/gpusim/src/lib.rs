@@ -45,7 +45,9 @@ pub mod timing;
 pub use batch::BatchTimer;
 pub use counters::HwCounters;
 pub use device::{Arch, DeviceSpec};
-pub use device_sim::{time_kernel_device, DeviceOptions};
+pub use device_sim::{
+    time_kernel_device, time_kernel_device_traced, DeviceOptions, DeviceTrace, WaveSpan,
+};
 pub use digest::{timing_digest, Digest, TIMING_MODEL_VERSION};
 pub use exec::{ExecEnv, ExecError, StepEvent, Warp, WARP_SIZE};
 pub use launch::{ExecCounters, Gpu, LaunchDims, LaunchError};

@@ -164,6 +164,7 @@ fn matches_one_wave_on_exact_multiple_grids() {
             base,
             jobs: 1,
             exact: true,
+            ..Default::default()
         },
     );
     assert_eq!(format!("{exact:?}"), format!("{dv:?}"));
@@ -225,6 +226,7 @@ fn bit_stable_under_any_jobs() {
         },
         jobs,
         exact: true,
+        ..Default::default()
     };
     let t1 = device(&m, &dev, 100, 64, opts(1));
     let t2 = device(&m, &dev, 100, 64, opts(2));
@@ -340,4 +342,52 @@ fn analytic_path_edge_cases() {
     let dz = device(&m, &dev, 0, 256, DeviceOptions::default());
     assert_eq!(dz.time_s, 0.0);
     assert_eq!(dz.busy_sms, 0);
+}
+
+/// Tracing is pure observability: the traced call returns bit-identical
+/// timing, and the recorded wave spans reconcile with it — per-SM repeats
+/// sum to that SM's wave count, spans on one lane tile its busy time
+/// back-to-back, and the trace makespan is the device makespan.
+#[test]
+fn traced_timing_is_identical_and_spans_reconcile() {
+    let m = latency_module();
+    let dev = DeviceSpec::v100();
+    // 100 blocks on 80 SMs, exact mode: 20 SMs run two waves, 60 run one.
+    let opts = DeviceOptions {
+        base: TimingOptions {
+            blocks_per_sm: Some(1),
+            ..Default::default()
+        },
+        exact: true,
+        ..Default::default()
+    };
+    let plain = device(&m, &dev, 100, 64, opts);
+
+    let mut gpu = Gpu::new(dev.clone(), 1 << 22);
+    let buf = gpu.alloc(1 << 20);
+    let params = ParamBuilder::new().push_ptr(buf).build();
+    let (timing, trace) =
+        gpusim::time_kernel_device_traced(&mut gpu, &m, LaunchDims::linear(100, 64), &params, opts)
+            .unwrap();
+    assert_eq!(format!("{timing:?}"), format!("{plain:?}"));
+
+    assert!(!trace.truncated);
+    assert_eq!(trace.makespan_cycles, timing.wave_cycles);
+    let lanes: std::collections::BTreeSet<u32> = trace.spans.iter().map(|s| s.sm).collect();
+    assert_eq!(lanes.len(), 80, "exact mode: one lane per busy SM");
+    let mut device_end = 0u64;
+    for &sm in &lanes {
+        let mut cursor = 0u64;
+        let mut waves = 0u64;
+        for s in trace.spans.iter().filter(|s| s.sm == sm) {
+            assert_eq!(s.start_cycle, cursor, "spans tile the lane gaplessly");
+            assert!(s.blocks > 0 && s.share_sms > 0);
+            cursor += s.duration();
+            waves += s.repeats;
+        }
+        let expect_waves = if u64::from(sm) < 100 % 80 { 2 } else { 1 };
+        assert_eq!(waves, expect_waves, "SM {sm}");
+        device_end = device_end.max(cursor);
+    }
+    assert_eq!(device_end, trace.makespan_cycles);
 }

@@ -33,6 +33,7 @@ use gpusim::TimeQueue;
 
 use crate::plan::{Plan, PLAN_LOOKUP_NS};
 use crate::queue::{batch_n, ClassQueue};
+use crate::telemetry::{GaugeSnapshot, LatencyHistogram, MissCause, Telemetry};
 use crate::traffic::{Request, ShapeClass};
 
 /// Engine knobs (traffic is generated separately and passed in).
@@ -87,6 +88,8 @@ pub struct RunStats {
     pub completed: u64,
     pub p50_ns: u64,
     pub p99_ns: u64,
+    /// p99.9 latency, nearest-rank over the exact latency list.
+    pub p999_ns: u64,
     pub mean_ns: u64,
     pub max_ns: u64,
     /// Last completion instant.
@@ -97,6 +100,9 @@ pub struct RunStats {
     pub batches: u64,
     /// Mean of `count / batch_n` over launch groups (padding waste).
     pub mean_fill: f64,
+    /// Log-bucketed exact-count latency distribution (every completed
+    /// request recorded; cross-checks the nearest-rank percentiles).
+    pub histogram: LatencyHistogram,
     pub classes: Vec<ClassStats>,
 }
 
@@ -121,25 +127,46 @@ fn key(e: &Event) -> u32 {
     }
 }
 
-/// Nearest-rank percentile of a sorted slice.
-fn percentile(sorted: &[u64], p: f64) -> u64 {
+/// Nearest-rank percentile of a sorted slice; `None` on an empty slice so
+/// callers decide how "no data" reads (the report uses 0).
+fn percentile(sorted: &[u64], p: f64) -> Option<u64> {
     if sorted.is_empty() {
-        return 0;
+        return None;
     }
     let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    Some(sorted[rank - 1])
 }
 
 /// Play `requests` (sorted by arrival) against `plans` (parallel to
-/// `classes`) on a pool of devices. Deterministic.
+/// `classes`) on a pool of devices. Deterministic. Equivalent to
+/// [`run_recorded`] with a disabled recorder.
 pub fn run(
     cfg: &EngineConfig,
     classes: &[ShapeClass],
     plans: &[Plan],
     requests: &[Request],
 ) -> RunStats {
+    run_recorded(cfg, classes, plans, requests, &mut Telemetry::off())
+}
+
+/// [`run`] with a flight recorder attached. When `tel` is disabled every
+/// hook is a no-op and the result is identical to [`run`] — the off path
+/// costs nothing and changes nothing (the telemetry determinism tests pin
+/// this). When enabled, `tel` comes back holding the full event stream,
+/// per-request spans, gauge series, and burn-rate windows.
+pub fn run_recorded(
+    cfg: &EngineConfig,
+    classes: &[ShapeClass],
+    plans: &[Plan],
+    requests: &[Request],
+    tel: &mut Telemetry,
+) -> RunStats {
     assert_eq!(classes.len(), plans.len());
     assert!(cfg.pool >= 1, "need at least one device");
+    tel.begin(
+        classes.iter().map(|c| c.name.clone()).collect(),
+        plans.iter().map(|p| p.assumed_rps).collect(),
+    );
     let batch_sizes: Vec<Vec<u32>> = plans
         .iter()
         .map(|p| p.variants.iter().map(|v| v.n).collect())
@@ -166,16 +193,38 @@ pub fn run(
 
     let mut completed: u64 = 0;
     while let Some((now, _, ev)) = events.pop() {
+        // Gauge samples due strictly before this instant's events apply:
+        // between event instants the engine state is constant, so one
+        // snapshot serves every tick in `(prev_instant, now]`. A device
+        // whose completion lands exactly at `now` still counts as busy —
+        // the sample reads the state that held *up to* the instant.
+        tel.sample_until(now, || GaugeSnapshot {
+            depths: queues.iter().map(|q| q.len() as u32).collect(),
+            oldest_wait_ns: queues.iter().map(|q| q.oldest_wait_ns(now)).collect(),
+            busy_devices: device_free.iter().filter(|&&t| t > 0 && t >= now).count() as u32,
+            // One launch group per busy device in this engine.
+            inflight_batches: device_free.iter().filter(|&&t| t > 0 && t >= now).count() as u32,
+            plans_ready: plan_ready
+                .iter()
+                .filter(|r| r.is_some_and(|t| t < now))
+                .count() as u32,
+            plans_building: plan_ready
+                .iter()
+                .filter(|r| r.is_some_and(|t| t >= now))
+                .count() as u32,
+        });
         let mut apply = |ev: Event,
                          events: &mut TimeQueue<u32, Event>,
                          queues: &mut [ClassQueue],
-                         device_free: &mut [u64]| {
+                         device_free: &mut [u64],
+                         tel: &mut Telemetry| {
             match ev {
                 Event::Arrival(i) => {
                     let r = requests[i];
                     let c = r.class;
                     class_requests[c] += 1;
                     queues[c].push(r);
+                    tel.on_arrival(now, r.id, c, queues[c].len() as u32);
                     if first_arrival[c].is_none() {
                         first_arrival[c] = Some(now);
                         // Start plan acquisition; the class is undispatchable
@@ -189,6 +238,7 @@ pub fn run(
                         let ready = now + charge;
                         plan_ready[c] = Some(ready);
                         events.push(ready, key(&Event::PlanReady(c)), Event::PlanReady(c));
+                        tel.on_plan_fetch(now, c, ready, charge, cfg.warm);
                     }
                     // Deadline poke for this request's SLO margin.
                     let deadline =
@@ -197,17 +247,18 @@ pub fn run(
                 }
                 // Pure wake-ups: state already carries everything; the
                 // dispatch scan below reacts.
-                Event::PlanReady(_) | Event::Deadline(_) => {}
+                Event::PlanReady(c) => tel.on_plan_ready(now, c),
+                Event::Deadline(_) => {}
                 Event::DeviceFree(d) => {
                     debug_assert!(device_free[d] <= now);
                 }
             }
         };
-        apply(ev, &mut events, &mut queues, &mut device_free);
+        apply(ev, &mut events, &mut queues, &mut device_free, tel);
         // Drain every event at this instant before deciding anything.
         while events.peek_time() == Some(now) {
             let (_, _, ev) = events.pop().unwrap();
-            apply(ev, &mut events, &mut queues, &mut device_free);
+            apply(ev, &mut events, &mut queues, &mut device_free, tel);
         }
 
         // Greedy dispatch: most urgent due class to the lowest free device.
@@ -242,11 +293,43 @@ pub fn run(
                 Event::DeviceFree(dev),
             );
             first_dispatch[c].get_or_insert(now);
+            let batch_id = tel.on_dispatch(now, c, dev, group.len() as u32, n, service);
+            let worst = plans[c].worst_service_ns();
             for r in &group {
                 let lat = completion - r.arrival_ns;
                 latencies.push(lat);
-                if lat > cfg.slo_ns {
+                let miss = lat > cfg.slo_ns;
+                if miss {
                     slo_misses += 1;
+                }
+                if tel.enabled() {
+                    // Attribute the miss against this request's latest safe
+                    // start (the queue's dispatch deadline): plan not ready
+                    // by then → plan build; dispatched after it → queueing;
+                    // dispatched in time and still late → service alone
+                    // exceeds the SLO margin.
+                    let cause = if !miss {
+                        MissCause::None
+                    } else {
+                        let lss = r.arrival_ns + cfg.slo_ns.saturating_sub(worst);
+                        if plan_ready[c].unwrap() > lss {
+                            MissCause::PlanBuild
+                        } else if now > lss {
+                            MissCause::Queueing
+                        } else {
+                            MissCause::Service
+                        }
+                    };
+                    tel.on_complete(
+                        r.id,
+                        c,
+                        batch_id,
+                        r.arrival_ns,
+                        now,
+                        completion,
+                        miss,
+                        cause,
+                    );
                 }
             }
             completed += group.len() as u64;
@@ -266,7 +349,22 @@ pub fn run(
         requests.len() as u64,
         "every request must be served"
     );
+    tel.finish(
+        makespan,
+        GaugeSnapshot {
+            depths: queues.iter().map(|q| q.len() as u32).collect(),
+            oldest_wait_ns: queues.iter().map(|q| q.oldest_wait_ns(makespan)).collect(),
+            busy_devices: 0,
+            inflight_batches: 0,
+            plans_ready: plan_ready.iter().filter(|r| r.is_some()).count() as u32,
+            plans_building: 0,
+        },
+    );
 
+    let mut histogram = LatencyHistogram::new();
+    for &l in &latencies {
+        histogram.record(l);
+    }
     latencies.sort_unstable();
     let mean_ns = if latencies.is_empty() {
         0
@@ -290,8 +388,9 @@ pub fn run(
     RunStats {
         requests: requests.len() as u64,
         completed,
-        p50_ns: percentile(&latencies, 50.0),
-        p99_ns: percentile(&latencies, 99.0),
+        p50_ns: percentile(&latencies, 50.0).unwrap_or(0),
+        p99_ns: percentile(&latencies, 99.0).unwrap_or(0),
+        p999_ns: percentile(&latencies, 99.9).unwrap_or(0),
         mean_ns,
         max_ns: latencies.last().copied().unwrap_or(0),
         makespan_ns: makespan,
@@ -299,6 +398,7 @@ pub fn run(
         slo_misses,
         batches: records.len() as u64,
         mean_fill,
+        histogram,
         classes: classes
             .iter()
             .enumerate()
@@ -347,6 +447,7 @@ mod tests {
                 })
                 .collect(),
             build_cost_ns,
+            assumed_rps: 0.0,
             tuned: None,
         }
     }

@@ -22,7 +22,12 @@
 //!   variants, tuned schedules — built once, persisted in an LRU
 //!   [`PlanCache`], replayed on warm starts.
 //! - [`engine`] plays the stream against a device pool and reports
-//!   p50/p99 latency, throughput, SLO misses, and time-to-first-dispatch.
+//!   p50/p99/p99.9 latency, an exact latency histogram, throughput, SLO
+//!   misses, and time-to-first-dispatch.
+//! - [`telemetry`] is the optional flight recorder
+//!   ([`engine::run_recorded`]): per-request lifecycle spans, periodic
+//!   gauges, SLO burn-rate windows with miss attribution, and mix-drift
+//!   events — off by default and bit-identical when off.
 //!
 //! Everything is deterministic: simulated time is integer nanoseconds, the
 //! only randomness is the seeded `tensor::XorShiftRng`, and no host clock
@@ -33,8 +38,13 @@
 pub mod engine;
 pub mod plan;
 pub mod queue;
+pub mod telemetry;
 pub mod traffic;
 
-pub use engine::{run, EngineConfig, RunStats};
+pub use engine::{run, run_recorded, EngineConfig, RunStats};
 pub use plan::{MemStorage, Plan, PlanCache, PlanStorage, Planner, PLAN_FORMAT_VERSION};
+pub use telemetry::{
+    BurnWindow, JsonlSink, LatencyHistogram, MemSink, MissCause, Telemetry, TelemetryEvent,
+    TelemetryOptions, TelemetrySink,
+};
 pub use traffic::{generate, Request, ShapeClass, TrafficConfig};

@@ -47,7 +47,11 @@ use crate::traffic::ShapeClass;
 
 /// Bumped whenever the plan text format or its semantics change; part of
 /// the plan key, so old entries are never misread.
-pub const PLAN_FORMAT_VERSION: u32 = 1;
+///
+/// v2 added [`Plan::assumed_rps`] — the per-class arrival rate the traffic
+/// model assumed at plan-build time, which the telemetry drift tracker
+/// compares against the observed rate.
+pub const PLAN_FORMAT_VERSION: u32 = 2;
 
 /// On-device runs charged per probed algorithm when modeling cold plan
 /// construction (cuDNN-style "find" runs each candidate a few times).
@@ -109,6 +113,10 @@ pub struct Plan {
     /// Modeled on-device cost of building this plan cold (probe runs +
     /// tuning evaluations), nanoseconds of simulated time.
     pub build_cost_ns: u64,
+    /// Arrival rate (requests/second) the traffic model assumed for this
+    /// class when the plan was built; `0.0` means unknown and disables the
+    /// telemetry drift tracker for the class.
+    pub assumed_rps: f64,
     /// Present when the autotuner beat the hand schedule.
     pub tuned: Option<TunedSchedule>,
 }
@@ -151,6 +159,10 @@ impl Plan {
             self.break_even_k.to_bits()
         ));
         s.push_str(&format!("build_cost_ns {}\n", self.build_cost_ns));
+        s.push_str(&format!(
+            "assumed_rps_bits {:016x}\n",
+            self.assumed_rps.to_bits()
+        ));
         for v in &self.variants {
             s.push_str(&format!(
                 "variant {} {} {} {:016x}\n",
@@ -191,6 +203,7 @@ impl Plan {
             break_even_k: 0.0,
             variants: Vec::new(),
             build_cost_ns: 0,
+            assumed_rps: 0.0,
             tuned: None,
         };
         let mut pending_tuned: Option<TunedSchedule> = None;
@@ -204,6 +217,9 @@ impl Plan {
                     plan.break_even_k = f64::from_bits(u64::from_str_radix(rest, 16).ok()?)
                 }
                 "build_cost_ns" => plan.build_cost_ns = rest.parse().ok()?,
+                "assumed_rps_bits" => {
+                    plan.assumed_rps = f64::from_bits(u64::from_str_radix(rest, 16).ok()?)
+                }
                 "variant" => {
                     let mut it = rest.split(' ');
                     plan.variants.push(PlanVariant {
@@ -420,6 +436,10 @@ pub struct Planner {
     pub tune_budget: u64,
     /// Tuner RNG seed.
     pub tune_seed: u64,
+    /// Traffic-mix assumption `(rate_rps, total_weight)` baked into each
+    /// built plan as [`Plan::assumed_rps`] (`rate × class.weight / total`);
+    /// `None` leaves plans with no assumption (drift tracking disabled).
+    pub mix: Option<(f64, f64)>,
 }
 
 impl Planner {
@@ -431,6 +451,15 @@ impl Planner {
             batch_sizes,
             tune_budget: 0,
             tune_seed: 2020,
+            mix: None,
+        }
+    }
+
+    /// The arrival rate this planner assumes for `class`, requests/second.
+    pub fn assumed_rps(&self, class: &ShapeClass) -> f64 {
+        match self.mix {
+            Some((rate, total)) if total > 0.0 => rate * class.weight / total,
+            _ => 0.0,
         }
     }
 
@@ -448,6 +477,9 @@ impl Planner {
             d.u32(n);
         }
         d.u64(self.tune_budget).u64(self.tune_seed);
+        // The mix assumption is part of the plan's content (it lands in
+        // `assumed_rps`), so it must move the address too.
+        d.u64(self.assumed_rps(class).to_bits());
         d.hex()
     }
 
@@ -511,6 +543,7 @@ impl Planner {
             break_even_k: break_even_k(&self.device),
             variants,
             build_cost_ns: probe_ns,
+            assumed_rps: self.assumed_rps(class),
             tuned: None,
         };
         if self.tune_budget > 0 && top.algo == Algo::OursFused {
@@ -680,6 +713,7 @@ mod tests {
                 },
             ],
             build_cost_ns: 9_999_999,
+            assumed_rps: 1562.5,
             tuned: None,
         }
     }

@@ -74,6 +74,13 @@ impl ClassQueue {
         self.pending.front().map(|r| r.arrival_ns)
     }
 
+    /// How long the oldest pending request has been waiting at `now`
+    /// (`0` on an empty queue) — the starvation signal the telemetry
+    /// gauges report per class.
+    pub fn oldest_wait_ns(&self, now: u64) -> u64 {
+        self.oldest_arrival().map_or(0, |a| now.saturating_sub(a))
+    }
+
     /// Latest dispatch instant that still meets the SLO for the oldest
     /// request, assuming worst-case service. Saturates at the arrival
     /// instant when the SLO is tighter than the service time.

@@ -44,6 +44,7 @@ fn random_plan(rng: &mut XorShiftRng, name: &str) -> Plan {
         variants,
         // Zero: plans are ready the instant the first request arrives.
         build_cost_ns: 0,
+        assumed_rps: 0.0,
         tuned: None,
     }
 }
