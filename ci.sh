@@ -53,11 +53,23 @@ echo "== multiwave smoke =="
 ./target/release/multiwave --smoke --json "$fresh/multiwave.json" > /dev/null
 
 echo "== tune smoke =="
-# Schedule-autotuner smoke: tiny fixed-seed search on V100, asserting at
-# least one accepted improving move and that every visited candidate passes
-# sass::lint. Deterministic (fixed seed, --no-cache) — the full tracked run
-# lives in BENCH_tune.json (see EXPERIMENTS.md, "Schedule autotuner").
+# Autotuner smoke: tiny fixed-seed 2-island search on V100, run twice
+# (--jobs 1 and --jobs 2) inside the binary, asserting byte-identical
+# outcomes across the two, a monotone best-so-far trace, and at least one
+# accepted improving move (every visited candidate passes sass::lint by
+# construction). Deterministic (fixed seed, --no-cache) — the full tracked
+# run lives in BENCH_tune.json (see EXPERIMENTS.md, "Autotuner v2").
 ./target/release/tune --smoke --no-cache --json "$fresh/tune.json" > /dev/null
+
+echo "== tune digest verify =="
+# Metricsdiff-style drift gate for the autotuner: re-run the full two-tier
+# search (full recovery gate ≥97% + Conv2-beats-hand gate live) against a
+# copy of the committed BENCH_tune.json and assert every schedule digest of
+# the re-run appears in it. Warm simcache makes this cheap; the search is
+# byte-deterministic for the fixed default seed, so a mismatch means the
+# committed file is stale — regenerate it (EXPERIMENTS.md, "Autotuner v2").
+cp BENCH_tune.json "$fresh/tune_full.json"
+./target/release/tune --verify --json "$fresh/tune_full.json" > /dev/null
 
 echo "== serve smoke =="
 # Serving-engine smoke: tiny shapes, short bursty stream, both devices;

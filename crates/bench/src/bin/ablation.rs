@@ -24,6 +24,8 @@ fn main() {
         v_no_p2r.use_p2r = false;
         let mut v_bk32 = base;
         v_bk32.bk = 32;
+        v_bk32.filter_ldg = kernels::FilterLdgWidth::W32;
+        v_bk32.pipeline_depth = 1;
         v_bk32.smem_override = Some(48 * 1024);
         let mut v_yield = base;
         v_yield.yield_strategy = YieldStrategy::Cudnn;

@@ -45,7 +45,7 @@
 
 use bench::json::{obj, Json};
 use bench::report::{flag_value, Report};
-use bench::simcache::{CacheKey, Store};
+use bench::simcache::{SimStore, Store};
 use bench::trace::ChromeTrace;
 use bench::Table;
 use gpusim::DeviceSpec;
@@ -54,31 +54,6 @@ use serve::plan::{Plan, PlanCache, PlanStorage, Planner, PLAN_LOOKUP_NS};
 use serve::telemetry::{Telemetry, TelemetryEvent, TelemetryOptions};
 use serve::traffic::{generate, Request, ShapeClass, TrafficConfig};
 use std::collections::HashMap;
-
-/// `simcache::Store` as a [`PlanStorage`]: plan text rides in a JSON
-/// string under the plan's content address, so plans share the directory
-/// (and the atomic write-and-rename discipline) with every sweep result.
-struct SimStore(Store);
-
-impl PlanStorage for SimStore {
-    fn load(&self, key: &str) -> Option<String> {
-        match self.0.load(&CacheKey::new(key.to_string())) {
-            Some(Json::Str(s)) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn store(&self, key: &str, value: &str) {
-        self.0.store(
-            &CacheKey::new(key.to_string()),
-            &Json::Str(value.to_string()),
-        );
-    }
-
-    fn remove(&self, key: &str) {
-        self.0.remove(&CacheKey::new(key.to_string()));
-    }
-}
 
 struct Config {
     seed: u64,
@@ -378,6 +353,20 @@ fn main() {
                     ("break_even_k", p.break_even_k.into()),
                     ("build_cost_us", us(p.build_cost_ns).into()),
                     ("tuned", p.tuned.is_some().into()),
+                    (
+                        "tuned_schedule",
+                        match &p.tuned {
+                            Some(t) => obj(&[
+                                ("n", t.n.into()),
+                                ("source", t.source.as_str().into()),
+                                ("params", t.params.as_str().into()),
+                                ("hand_cycles", t.hand_cycles.into()),
+                                ("tuned_cycles", t.tuned_cycles.into()),
+                                ("schedule_digest", t.schedule_digest.as_str().into()),
+                            ]),
+                            None => Json::Null,
+                        },
+                    ),
                     (
                         "variants",
                         Json::Arr(

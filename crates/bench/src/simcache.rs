@@ -245,6 +245,35 @@ pub fn algo_timing_from_json(j: &Json) -> Option<AlgoTiming> {
     })
 }
 
+/// [`Store`] as a [`serve::plan::PlanStorage`]: text values ride in a JSON
+/// string under their content address, so serve plans and tuned schedules
+/// share the simcache directory (and its atomic write-and-rename
+/// discipline) with the sweep results. Used by both the `serve` binary
+/// (plan cache + schedule lookup) and the `tune` binary (schedule
+/// publishing), which is what lets "tune once, serve forever" cross
+/// process boundaries.
+pub struct SimStore(pub Store);
+
+impl serve::plan::PlanStorage for SimStore {
+    fn load(&self, key: &str) -> Option<String> {
+        match self.0.load(&CacheKey::new(key.to_string())) {
+            Some(Json::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn store(&self, key: &str, value: &str) {
+        self.0.store(
+            &CacheKey::new(key.to_string()),
+            &Json::Str(value.to_string()),
+        );
+    }
+
+    fn remove(&self, key: &str) {
+        self.0.remove(&CacheKey::new(key.to_string()));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,13 @@ use sass::Module;
 
 /// Reusable decoded-descriptor table for timing many schedule variants of
 /// one baseline module.
+///
+/// `Clone` hands each chain of a parallel search (`sass::island`) its own
+/// scratch space over the *same* decoded baseline, so the operand analysis
+/// is still done exactly once per module no matter how many islands evaluate
+/// candidates concurrently (the clone shares no mutable state — `scratch`
+/// starts empty).
+#[derive(Clone)]
 pub struct BatchTimer {
     /// Baseline descriptors, decoded with `region: None` (the per-candidate
     /// region is re-patched in, since reorders move PCs across markers).

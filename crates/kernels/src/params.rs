@@ -1,0 +1,209 @@
+//! Tier-2 emitter-parameter search space for the fused Winograd kernel.
+//!
+//! The schedule autotuner (`sass::tune`) searches *within* one emitted
+//! kernel; this module enumerates the discrete knobs the emitter itself
+//! exposes — block-level tiling (`bk`/`bn`/`bc`), filter LDG width and
+//! fragment software-pipelining depth — the space the Volta
+//! kernel-generation line of work searches over (see PAPERS.md). Each point
+//! carries an explicit legality verdict with the *reason* a configuration
+//! cannot be emitted, so the search reports what it pruned instead of
+//! silently shrinking the grid.
+//!
+//! Every legal point produces the same arithmetic in the same order (the
+//! accumulation chain over channels is fixed by the FFMA emission order,
+//! which none of these knobs touch), so variants are functionally
+//! *bit-exact* against each other — pinned by
+//! `kernels/tests/tune_differential.rs`.
+
+use crate::winograd_fused::{FilterLdgWidth, FusedConfig, BC, BN};
+
+/// One point of the emitter-parameter grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmitterParams {
+    /// Filters per block: 32 or 64.
+    pub bk: u32,
+    /// Input tiles (batches) per block.
+    pub bn: u32,
+    /// Channels per main-loop iteration.
+    pub bc: u32,
+    /// Filter LDG width in bits: 32, 64 or 128.
+    pub ldg_width: u32,
+    /// Fragment pipelining depth: 1 (single buffer) or 2 (double buffer).
+    pub pipeline_depth: u32,
+}
+
+impl EmitterParams {
+    /// The paper's hand-chosen point: bk=64, 64-bit filter loads,
+    /// double-buffered fragments.
+    pub fn hand() -> EmitterParams {
+        EmitterParams {
+            bk: 64,
+            bn: BN,
+            bc: BC,
+            ldg_width: 64,
+            pipeline_depth: 2,
+        }
+    }
+
+    /// Compact display label, e.g. `bk64-bn32-bc8-w64-p2`.
+    pub fn label(&self) -> String {
+        format!(
+            "bk{}-bn{}-bc{}-w{}-p{}",
+            self.bk, self.bn, self.bc, self.ldg_width, self.pipeline_depth
+        )
+    }
+
+    /// Why this point cannot be emitted, or `Ok(())` if it can.
+    ///
+    /// The block structure (256 threads = 8 warps of 32 lanes) hard-wires
+    /// two of the nominal tiling knobs:
+    ///
+    /// * `bn` must be 32 — each warp lane owns one batch of the input
+    ///   fragment (Fig. 3); bn=64 would double the accumulator file past
+    ///   the 255-register budget, bn=16 would idle half of every warp;
+    /// * `bc` must be 8 — the warp index (`tid/32` ∈ 0..8) *is* the
+    ///   channel-within-iteration coordinate, and the 32 KiB smem arena is
+    ///   sized as `16·bc·(bn+bk)` words;
+    /// * `bk` ∈ {32, 64} — the two register layouts that exist (Table 5's
+    ///   and the compact ≤126-reg variant);
+    /// * 128-bit filter LDGs would need each lane to own four consecutive
+    ///   k (a different lane→filter mapping and 64 staging registers);
+    ///   64-bit loads need the k-pair mapping, which only bk=64 has;
+    /// * double-buffered fragments need bk=64 — the bk=32 layout stages
+    ///   input LDGs *in* the fragment registers, aliasing any second
+    ///   buffer.
+    pub fn legality(&self) -> Result<(), String> {
+        if self.bn != BN {
+            return Err(format!(
+                "bn={} unsupported: warp lanes map 1:1 to {BN} batches (Fig. 3); \
+                 bn=64 overflows the register file, bn=16 idles half-warps",
+                self.bn
+            ));
+        }
+        if self.bc != BC {
+            return Err(format!(
+                "bc={} unsupported: the warp index is the channel coordinate \
+                 (8 warps) and the smem arena is sized 16·{BC}·(bn+bk) words",
+                self.bc
+            ));
+        }
+        if self.bk != 32 && self.bk != 64 {
+            return Err(format!("bk={} unsupported: no register layout", self.bk));
+        }
+        match (self.bk, self.ldg_width) {
+            (_, 128) => {
+                return Err("128-bit filter LDG needs 4 consecutive k per lane: \
+                     incompatible with both lane→filter mappings"
+                    .into())
+            }
+            (32, 64) => {
+                return Err("bk=32 lanes own a single k: 64-bit filter LDG impossible".into())
+            }
+            _ => {}
+        }
+        if self.pipeline_depth == 2 && self.bk != 64 {
+            return Err("double-buffered fragments need bk=64: the compact layout \
+                 stages input LDGs in the fragment registers"
+                .into());
+        }
+        if self.pipeline_depth != 1 && self.pipeline_depth != 2 {
+            return Err(format!(
+                "pipeline_depth={} unsupported (1 or 2)",
+                self.pipeline_depth
+            ));
+        }
+        Ok(())
+    }
+
+    /// The full candidate grid (legal and illegal points).
+    pub fn enumerate() -> Vec<EmitterParams> {
+        let mut v = Vec::new();
+        for &bk in &[32u32, 64] {
+            for &bn in &[16u32, 32, 64] {
+                for &bc in &[4u32, 8, 16] {
+                    for &ldg_width in &[32u32, 64, 128] {
+                        for &pipeline_depth in &[1u32, 2] {
+                            v.push(EmitterParams {
+                                bk,
+                                bn,
+                                bc,
+                                ldg_width,
+                                pipeline_depth,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// The emittable subset of [`EmitterParams::enumerate`], grid order.
+    pub fn legal_points() -> Vec<EmitterParams> {
+        Self::enumerate()
+            .into_iter()
+            .filter(|p| p.legality().is_ok())
+            .collect()
+    }
+
+    /// Specialize a problem-shaped base config to this parameter point.
+    /// Panics if the point is illegal.
+    pub fn apply(&self, base: FusedConfig) -> FusedConfig {
+        self.legality()
+            .unwrap_or_else(|e| panic!("{}: {e}", self.label()));
+        let mut cfg = base;
+        cfg.bk = self.bk;
+        cfg.filter_ldg = if self.ldg_width == 64 {
+            FilterLdgWidth::W64
+        } else {
+            FilterLdgWidth::W32
+        };
+        cfg.pipeline_depth = self.pipeline_depth;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_legal_subset() {
+        let all = EmitterParams::enumerate();
+        assert_eq!(all.len(), 2 * 3 * 3 * 3 * 2);
+        let legal = EmitterParams::legal_points();
+        // bk=64: {32,64}-bit loads × depth {1,2}; bk=32: one point.
+        assert_eq!(legal.len(), 5);
+        assert!(legal.contains(&EmitterParams::hand()));
+        for p in &legal {
+            assert_eq!(p.bn, BN);
+            assert_eq!(p.bc, BC);
+        }
+        // Every illegal point names its reason.
+        for p in &all {
+            if let Err(e) = p.legality() {
+                assert!(!e.is_empty(), "{} rejected without a reason", p.label());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_produces_valid_configs() {
+        for p in EmitterParams::legal_points() {
+            let cfg = p.apply(FusedConfig::ours(32, 4, 4, 32, 64));
+            cfg.validate();
+            assert_eq!(cfg.bk, p.bk);
+            assert_eq!(cfg.pipeline_depth, p.pipeline_depth);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn apply_rejects_illegal_points() {
+        let p = EmitterParams {
+            bn: 64,
+            ..EmitterParams::hand()
+        };
+        p.apply(FusedConfig::ours(32, 4, 4, 32, 64));
+    }
+}

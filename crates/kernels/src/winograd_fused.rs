@@ -77,6 +77,26 @@ impl StsStrategy {
     }
 }
 
+/// Width of the 16 filter-tile global loads (§4.1). `W64` loads each
+/// lane's k-pair with one LDG.64 (bk=64 only — a lane owns two consecutive
+/// k there); `W32` splits the pair into two LDG.32 (twice the LDG count,
+/// same registers, same bytes — the schedule space the Tier-2 search
+/// probes). bk=32 lanes own a single k, so only `W32` is emittable there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterLdgWidth {
+    W32,
+    W64,
+}
+
+impl FilterLdgWidth {
+    pub fn bits(self) -> u32 {
+        match self {
+            FilterLdgWidth::W32 => 32,
+            FilterLdgWidth::W64 => 64,
+        }
+    }
+}
+
 /// Full configuration of the fused kernel.
 #[derive(Clone, Copy, Debug)]
 pub struct FusedConfig {
@@ -87,6 +107,15 @@ pub struct FusedConfig {
     pub k: u32,
     /// Filters per thread block (§3.3): 64 = ours, 32 = cuDNN-like.
     pub bk: u32,
+    /// Filter LDG width (bk=64 only; see [`FilterLdgWidth`]).
+    pub filter_ldg: FilterLdgWidth,
+    /// Fragment software-pipelining depth: 2 = double-buffered LDS
+    /// prefetch one sub-iteration ahead (the paper's schedule, §3.4),
+    /// 1 = single-buffered (each sub-iteration loads its own fragments —
+    /// fewer live registers, no LDS latency hiding). Depth 2 requires
+    /// bk=64: the compact bk=32 layout stages input LDGs in the fragment
+    /// registers, which aliases any second buffer.
+    pub pipeline_depth: u32,
     pub yield_strategy: YieldStrategy,
     pub ldg: LdgStrategy,
     pub sts: StsStrategy,
@@ -131,6 +160,8 @@ impl FusedConfig {
             n,
             k,
             bk: 64,
+            filter_ldg: FilterLdgWidth::W64,
+            pipeline_depth: 2,
             yield_strategy: YieldStrategy::Natural,
             ldg: LdgStrategy::Ldg8,
             sts: StsStrategy::Sts6,
@@ -175,6 +206,8 @@ impl FusedConfig {
             n,
             k,
             bk: 32,
+            filter_ldg: FilterLdgWidth::W32,
+            pipeline_depth: 1,
             yield_strategy: YieldStrategy::Cudnn,
             ldg: LdgStrategy::Ldg2,
             sts: StsStrategy::Sts2,
@@ -189,6 +222,21 @@ impl FusedConfig {
 
     pub fn validate(&self) {
         assert!(self.bk == 64 || self.bk == 32, "bk must be 32 or 64");
+        assert!(
+            self.pipeline_depth == 1 || self.pipeline_depth == 2,
+            "pipeline_depth must be 1 or 2"
+        );
+        if self.bk == 32 {
+            assert_eq!(
+                self.filter_ldg,
+                FilterLdgWidth::W32,
+                "bk=32 lanes own one k: filter LDG must be 32-bit"
+            );
+            assert_eq!(
+                self.pipeline_depth, 1,
+                "bk=32 stages input LDGs in the fragment registers: no double buffer"
+            );
+        }
         if self.fp16 {
             assert_eq!(
                 self.n % (2 * BN),
@@ -310,7 +358,7 @@ impl Lay {
         if cfg.bk == 64 {
             Lay {
                 bk: 64,
-                double_frag: true,
+                double_frag: cfg.pipeline_depth == 2,
                 shared_input_staging: false,
                 pf_filter: 192,
                 pf_input: 224,
@@ -695,25 +743,44 @@ fn push(e: &mut Emitter, i: Instruction) {
     e.opc(i.op, i.ctrl).guard = i.guard;
 }
 
-/// The 16 filter tile loads (bk=64: LDG.64 k-pairs; bk=32: LDG.32).
+/// The 16 filter tile loads (bk=64: LDG.64 k-pairs, or 2×LDG.32 under
+/// `FilterLdgWidth::W32`; bk=32: LDG.32).
 fn filter_ldg_insts(cfg: &FusedConfig, lay: &Lay) -> Vec<Instruction> {
-    (0..16u32)
-        .map(|el| {
-            let off = (el * cfg.k * 4) as i32;
+    let mut v = Vec::new();
+    for el in 0..16u32 {
+        let off = (el * cfg.k * 4) as i32;
+        let first = v.is_empty();
+        if cfg.bk == 64 && cfg.filter_ldg == FilterLdgWidth::W32 {
+            // Narrow split of the k-pair: same registers, same bytes, two
+            // 32-bit transactions instead of one 64-bit.
+            for half in 0..2u32 {
+                v.push(
+                    Instruction::new(build::ldg(
+                        MemWidth::B32,
+                        Reg(lay.pf_filter + (2 * el + half) as u8),
+                        Reg(lay.fptr),
+                        off + 4 * half as i32,
+                    ))
+                    .with_ctrl(Ctrl::new().with_write_bar(2).with_stall(1)),
+                );
+            }
+        } else {
             let (width, dst) = if cfg.bk == 64 {
                 (MemWidth::B64, Reg(lay.pf_filter + (2 * el) as u8))
             } else {
                 (MemWidth::B32, Reg(lay.pf_filter + el as u8))
             };
-            let mut inst = Instruction::new(build::ldg(width, dst, Reg(lay.fptr), off))
-                .with_ctrl(Ctrl::new().with_write_bar(2).with_stall(1));
-            if el == 0 {
-                // WAR vs the store phase that read the staging registers.
-                inst.ctrl.wait_mask |= 1 << 4;
-            }
-            inst
-        })
-        .collect()
+            v.push(
+                Instruction::new(build::ldg(width, dst, Reg(lay.fptr), off))
+                    .with_ctrl(Ctrl::new().with_write_bar(2).with_stall(1)),
+            );
+        }
+        if first {
+            // WAR vs the store phase that read the staging registers.
+            v[0].ctrl.wait_mask |= 1 << 4;
+        }
+    }
+    v
 }
 
 /// Zero the input staging registers (masked-off LDGs must read as zero).

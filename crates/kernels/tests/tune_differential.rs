@@ -18,7 +18,7 @@
 
 use gpusim::{DeviceSpec, Gpu, LaunchDims, ParamBuilder};
 use kernels::filter_transform::emit_filter_transform;
-use kernels::{FusedConfig, FusedKernel};
+use kernels::{EmitterParams, FusedConfig, FusedKernel};
 use sass::tune::Tuner;
 use sass::Instruction;
 use tensor::XorShiftRng;
@@ -63,6 +63,81 @@ fn reference(
         }
     }
     out
+}
+
+/// Every legal Tier-2 emitter point (the `EmitterParams` grid the two-tier
+/// autotuner searches) must emit a lint-clean kernel whose output is
+/// bit-exact against every other legal point. The knobs — `bk` blocking,
+/// filter LDG width, fragment pipelining depth — reshuffle loads and
+/// register layouts but never the FFMA accumulation chain: channels
+/// accumulate in ascending order in the transform domain and the inverse
+/// transform runs once at the end, so even across layouts the IEEE result
+/// is identical down to the last ulp. The direct-convolution reference
+/// anchors the family within the usual Winograd tolerance.
+#[test]
+fn tier2_variants_lint_clean_and_bit_exact() {
+    let base = FusedConfig::ours(32, 4, 4, 32, 64);
+    let (c, h, w, n, k) = (
+        base.c as usize,
+        base.h as usize,
+        base.w as usize,
+        base.n as usize,
+        base.k as usize,
+    );
+    let mut rng = XorShiftRng::new(0x7157);
+    let input: Vec<f32> = (0..c * h * w * n)
+        .map(|_| rng.gen_range(-1.0, 1.0))
+        .collect();
+    let filter: Vec<f32> = (0..c * 9 * k).map(|_| rng.gen_range(-1.0, 1.0)).collect();
+
+    let mut gpu = Gpu::new(DeviceSpec::v100(), 1 << 26);
+    let d_in = gpu.alloc_upload_f32(&input);
+    let d_filt = gpu.alloc_upload_f32(&filter);
+    let d_tf = gpu.alloc((c * 16 * k) as u64 * 4);
+    let d_out = gpu.alloc((k * h * w * n) as u64 * 4);
+    let fx = emit_filter_transform(base.c, base.k);
+    let fx_params = ParamBuilder::new().push_ptr(d_filt).push_ptr(d_tf).build();
+    gpu.launch_parallel(
+        &fx,
+        LaunchDims::linear(base.c * base.k / 256, 256),
+        &fx_params,
+    )
+    .expect("filter transform");
+
+    let want = reference(c, h, w, n, k, &input, &filter);
+    let points = EmitterParams::legal_points();
+    assert!(points.len() >= 5, "tier-2 grid lost legal points");
+    let mut anchor: Option<Vec<f32>> = None;
+    for p in points {
+        let cfg = p.apply(base);
+        let kern = FusedKernel::emit(cfg);
+        assert!(
+            sass::lint(&kern.module.insts).is_empty(),
+            "{}: emitted kernel fails lint",
+            p.label()
+        );
+        gpu.mem
+            .upload_f32(d_out, &vec![f32::NAN; k * h * w * n])
+            .unwrap();
+        let params = kern.params(d_in, d_tf, d_out);
+        gpu.launch_parallel(&kern.module, kern.launch_dims(), &params)
+            .unwrap_or_else(|e| panic!("{}: failed to execute: {e}", p.label()));
+        let got = gpu.mem.download_f32(d_out, k * h * w * n).unwrap();
+        let rep = tensor::compare(&want, &got, 1e-3, 1e-3);
+        assert!(rep.num_bad == 0, "{} vs direct reference: {rep}", p.label());
+        match &anchor {
+            None => anchor = Some(got),
+            Some(a) => {
+                for (j, (x, y)) in a.iter().zip(&got).enumerate() {
+                    assert!(
+                        x.to_bits() == y.to_bits(),
+                        "{}: output[{j}] differs bit-for-bit from anchor: {x:?} vs {y:?}",
+                        p.label()
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

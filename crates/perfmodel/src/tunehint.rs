@@ -56,6 +56,55 @@ pub fn move_weights(report: &BottleneckReport) -> MoveWeights {
     }
 }
 
+/// Per-region move-family priors from the profiled issue/stall split.
+///
+/// [`move_weights`] hands every region the same bound-level table, which is
+/// blind to *where* the cycles go: a latency-bound kernel whose main loop is
+/// all stall but whose prologue is issue-saturated should not propose stall
+/// tightening uniformly. This blends the table with each region's profiled
+/// stall share `s = stall / (issue + stall)` (regions matched by name;
+/// unprofiled regions fall back to `s = 0.5`, which leaves the table weight
+/// exactly unchanged):
+///
+/// * stall-family weight scales by `0.25 + 1.5·s` — a fully stalled region
+///   proposes stall work ~7× more often than a fully issue-bound one;
+/// * reorder scales by `0.5 + s` — dependence-legal swaps pay off where
+///   stalls hide latency;
+/// * reuse scales by `1.5 − s` — bank-conflict wins live where issue slots
+///   dominate;
+/// * yield and barrier keep the table weight (their payoff is about warp
+///   interleaving structure, which the issue/stall split does not see).
+///
+/// Every multiplier is positive, so a family proposable under
+/// [`move_weights`] stays proposable in every region.
+pub fn region_move_weights(
+    report: &BottleneckReport,
+    region_totals: &[(String, u64, u64)],
+    region_names: &[String],
+) -> Vec<MoveWeights> {
+    let base = move_weights(report);
+    region_names
+        .iter()
+        .map(|name| {
+            let s = region_totals
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .and_then(|&(_, issue, stall)| {
+                    let tot = issue + stall;
+                    (tot > 0).then(|| stall as f64 / tot as f64)
+                })
+                .unwrap_or(0.5);
+            MoveWeights {
+                stall: base.stall * (0.25 + 1.5 * s),
+                reorder: base.reorder * (0.5 + s),
+                reuse: base.reuse * (1.5 - s),
+                yld: base.yld,
+                barrier: base.barrier,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +131,37 @@ mod tests {
         assert!(dram.barrier > dram.stall);
         // Every family stays proposable under every bound.
         for w in [lat, cmp, smem, dram] {
+            assert!(w.stall > 0.0 && w.reuse > 0.0 && w.yld > 0.0);
+            assert!(w.barrier > 0.0 && w.reorder > 0.0);
+        }
+    }
+
+    #[test]
+    fn region_weights_track_stall_shares() {
+        let rep = report(Bound::Latency);
+        let names: Vec<String> = ["stalled", "issued", "unprofiled"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let totals = vec![
+            ("stalled".to_string(), 10u64, 90u64),
+            ("issued".to_string(), 90u64, 10u64),
+        ];
+        let ws = region_move_weights(&rep, &totals, &names);
+        assert_eq!(ws.len(), 3);
+        let (hot, cold, unk) = (&ws[0], &ws[1], &ws[2]);
+        // A stall-heavy region proposes stall/reorder moves more and reuse
+        // moves less than an issue-heavy one.
+        assert!(hot.stall > cold.stall, "{} vs {}", hot.stall, cold.stall);
+        assert!(hot.reorder > cold.reorder);
+        assert!(hot.reuse < cold.reuse);
+        // Unprofiled regions fall back to the flat bound-level table.
+        let base = move_weights(&rep);
+        assert!((unk.stall - base.stall).abs() < 1e-12);
+        assert!((unk.reuse - base.reuse).abs() < 1e-12);
+        assert!((unk.reorder - base.reorder).abs() < 1e-12);
+        // Every family stays proposable in every region.
+        for w in &ws {
             assert!(w.stall > 0.0 && w.reuse > 0.0 && w.yld > 0.0);
             assert!(w.barrier > 0.0 && w.reorder > 0.0);
         }

@@ -27,6 +27,7 @@ pub mod disasm;
 pub mod encode;
 pub mod half;
 pub mod isa;
+pub mod island;
 pub mod lint;
 pub mod module;
 pub mod reg;

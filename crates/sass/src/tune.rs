@@ -263,6 +263,60 @@ impl MoveKind {
             MoveKind::SwapDown => "swap",
         }
     }
+
+    /// The family this kind belongs to for policy purposes.
+    pub fn family(self) -> MoveFamily {
+        match self {
+            MoveKind::TightenStall | MoveKind::RelaxStall => MoveFamily::Stall,
+            MoveKind::SetReuse | MoveKind::ClearReuse => MoveFamily::Reuse,
+            MoveKind::SetYield | MoveKind::ClearYield => MoveFamily::Yield,
+            MoveKind::ReassignBar => MoveFamily::Barrier,
+            MoveKind::SwapDown => MoveFamily::Reorder,
+        }
+    }
+}
+
+/// The five move families the adaptive policy reasons over. Kinds within a
+/// family share an acceptance-rate estimate (tighten/relax are two arms of
+/// the same knob, not independent behaviours).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MoveFamily {
+    Stall,
+    Reuse,
+    Yield,
+    Barrier,
+    Reorder,
+}
+
+impl MoveFamily {
+    pub const COUNT: usize = 5;
+    pub const ALL: [MoveFamily; 5] = [
+        MoveFamily::Stall,
+        MoveFamily::Reuse,
+        MoveFamily::Yield,
+        MoveFamily::Barrier,
+        MoveFamily::Reorder,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            MoveFamily::Stall => "stall",
+            MoveFamily::Reuse => "reuse",
+            MoveFamily::Yield => "yield",
+            MoveFamily::Barrier => "barrier",
+            MoveFamily::Reorder => "reorder",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            MoveFamily::Stall => 0,
+            MoveFamily::Reuse => 1,
+            MoveFamily::Yield => 2,
+            MoveFamily::Barrier => 3,
+            MoveFamily::Reorder => 4,
+        }
+    }
 }
 
 /// Relative priority of each move family, normally derived from the
@@ -287,6 +341,136 @@ impl Default for MoveWeights {
             barrier: 1.0,
             reorder: 1.0,
         }
+    }
+}
+
+impl MoveWeights {
+    /// Weight of one family.
+    pub fn family(&self, f: MoveFamily) -> f64 {
+        match f {
+            MoveFamily::Stall => self.stall,
+            MoveFamily::Reuse => self.reuse,
+            MoveFamily::Yield => self.yld,
+            MoveFamily::Barrier => self.barrier,
+            MoveFamily::Reorder => self.reorder,
+        }
+    }
+}
+
+// ---- adaptive proposal policy ----------------------------------------------
+
+/// Exponential-moving-average coefficient for acceptance-rate tracking.
+const ADAPT_ALPHA: f64 = 0.1;
+/// Exploration floor: a cell whose acceptance rate decays to zero still
+/// gets proposed with `FLOOR / (FLOOR + 1)` of its prior weight, so the
+/// policy never starves a family the cooling schedule might revive.
+const ADAPT_FLOOR: f64 = 0.25;
+/// Optimistic initial acceptance estimate (before any observations).
+const ADAPT_INIT: f64 = 0.5;
+
+/// One (region × family) proposal cell: a static prior (bottleneck- and
+/// profile-derived) times a learned acceptance-rate multiplier.
+#[derive(Clone, Copy, Debug)]
+struct AdaptCell {
+    prior: f64,
+    rate: f64,
+}
+
+/// Per-region × per-family bandit-style proposal policy. Each anneal
+/// proposal draws a cell with probability proportional to
+/// `prior(r, f) · (FLOOR + rate(r, f))`, where `rate` is an EMA of that
+/// cell's acceptance outcomes (illegal / inapplicable / failed proposals
+/// count as rejections — budget spent is budget spent). Updates depend only
+/// on the owning chain's own outcomes, so the policy is deterministic for a
+/// fixed seed regardless of thread count.
+#[derive(Clone, Debug)]
+pub struct AdaptivePolicy {
+    cells: Vec<[AdaptCell; MoveFamily::COUNT]>,
+}
+
+impl AdaptivePolicy {
+    /// Build priors from per-region family weights scaled by region weight.
+    pub fn new(region_weights: &[f64], family_weights: &[MoveWeights]) -> AdaptivePolicy {
+        assert_eq!(region_weights.len(), family_weights.len());
+        let cells = region_weights
+            .iter()
+            .zip(family_weights)
+            .map(|(&rw, fw)| {
+                let mut row = [AdaptCell {
+                    prior: 0.0,
+                    rate: ADAPT_INIT,
+                }; MoveFamily::COUNT];
+                for f in MoveFamily::ALL {
+                    row[f.index()].prior = rw.max(0.0) * fw.family(f).max(0.0);
+                }
+                row
+            })
+            .collect();
+        AdaptivePolicy { cells }
+    }
+
+    fn weight(&self, r: usize, f: usize) -> f64 {
+        let c = &self.cells[r][f];
+        c.prior * (ADAPT_FLOOR + c.rate)
+    }
+
+    /// Draw a (region, family) cell by roulette over current cell weights.
+    fn pick(&self, rng: &mut XorShiftRng) -> (usize, MoveFamily) {
+        let total: f64 = (0..self.cells.len())
+            .flat_map(|r| (0..MoveFamily::COUNT).map(move |f| (r, f)))
+            .map(|(r, f)| self.weight(r, f))
+            .sum();
+        if total <= 0.0 {
+            let r = rng.gen_index(self.cells.len());
+            return (r, MoveFamily::ALL[rng.gen_index(MoveFamily::COUNT)]);
+        }
+        let mut x = rng.next_f32() as f64 * total;
+        for r in 0..self.cells.len() {
+            for f in MoveFamily::ALL {
+                x -= self.weight(r, f.index());
+                if x <= 0.0 {
+                    return (r, f);
+                }
+            }
+        }
+        (self.cells.len() - 1, MoveFamily::Reorder)
+    }
+
+    fn update(&mut self, r: usize, f: MoveFamily, accepted: bool) {
+        let c = &mut self.cells[r][f.index()];
+        let x = if accepted { 1.0 } else { 0.0 };
+        c.rate += ADAPT_ALPHA * (x - c.rate);
+    }
+
+    /// Learned acceptance rates, one row per region in `MoveFamily::ALL`
+    /// order (for reporting).
+    pub fn rates(&self) -> Vec<[f64; MoveFamily::COUNT]> {
+        self.cells
+            .iter()
+            .map(|row| {
+                let mut out = [0.0; MoveFamily::COUNT];
+                for f in 0..MoveFamily::COUNT {
+                    out[f] = row[f].rate;
+                }
+                out
+            })
+            .collect()
+    }
+}
+
+/// Trajectory retention policy (see [`Tuner::trajectory`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrajectoryMode {
+    /// Record every strict best-so-far improvement plus every Nth accepted
+    /// move — enough to plot convergence without tracking-file bloat.
+    Trimmed(u64),
+    /// Record every accepted move.
+    Full,
+}
+
+impl Default for TrajectoryMode {
+    fn default() -> Self {
+        TrajectoryMode::Trimmed(16)
     }
 }
 
@@ -510,17 +694,27 @@ pub struct Tuner {
     regions: Vec<TuneRegion>,
     leaders: Vec<bool>,
     rng: XorShiftRng,
-    /// Move-family weights (see [`MoveWeights`]).
+    /// Move-family weights (see [`MoveWeights`]) — the prior for every
+    /// region unless [`Tuner::region_priors`] is set.
     pub weights: MoveWeights,
     /// Per-region weights, same order as the region list.
     pub region_weights: Vec<f64>,
+    /// Optional per-region family priors (same order as the region list),
+    /// e.g. derived from profiled stall shares
+    /// (`perfmodel::tunehint::region_move_weights`). Overrides `weights`.
+    pub region_priors: Option<Vec<MoveWeights>>,
+    /// The adaptive proposal policy; (re)built from the priors at
+    /// [`Tuner::start_anneal`].
+    pub policy: Option<AdaptivePolicy>,
     pub cur_cost: u64,
     pub best_insts: Vec<Instruction>,
     pub best_perm: Vec<u32>,
     pub best_cost: u64,
     pub stats: TuneStats,
-    /// Accepted moves in order.
+    /// Accepted moves, retained per [`Tuner::traj_mode`].
     pub trajectory: Vec<TrajPoint>,
+    /// Trajectory retention policy.
+    pub traj_mode: TrajectoryMode,
     /// When nonzero, snapshot the current stream every N accepted moves
     /// (consumed by the differential functional tests).
     pub snapshot_every: u64,
@@ -558,12 +752,15 @@ impl Tuner {
             rng: XorShiftRng::new(seed),
             weights: MoveWeights::default(),
             region_weights,
+            region_priors: None,
+            policy: None,
             cur_cost: u64::MAX,
             best_insts: base,
             best_perm: (0..n as u32).collect(),
             best_cost: u64::MAX,
             stats: TuneStats::default(),
             trajectory: Vec::new(),
+            traj_mode: TrajectoryMode::default(),
             snapshot_every: 0,
             snapshots: Vec::new(),
             steps: 0,
@@ -598,14 +795,26 @@ impl Tuner {
         }
     }
 
+    /// Record an accepted move. Called after `cur_cost` is updated but
+    /// before `note_best`, so `cur_cost < best_cost` identifies a strict
+    /// best-so-far improvement — those are always kept; other accepted moves
+    /// are subsampled per [`TrajectoryMode`].
     fn record(&mut self, kind: MoveKind, pc: u32, region: usize) {
-        self.trajectory.push(TrajPoint {
-            step: self.steps,
-            kind,
-            pc,
-            region,
-            cycles: self.cur_cost,
-        });
+        let keep = match self.traj_mode {
+            TrajectoryMode::Full => true,
+            TrajectoryMode::Trimmed(n) => {
+                self.cur_cost < self.best_cost || self.stats.accepted.is_multiple_of(n.max(1))
+            }
+        };
+        if keep {
+            self.trajectory.push(TrajPoint {
+                step: self.steps,
+                kind,
+                pc,
+                region,
+                cycles: self.cur_cost,
+            });
+        }
         if self.snapshot_every > 0 && self.stats.accepted.is_multiple_of(self.snapshot_every) {
             self.snapshots.push(self.insts.clone());
         }
@@ -669,6 +878,9 @@ impl Tuner {
 
     /// Initialise the annealing temperature for a run of `budget` steps:
     /// starts at 1% of the current cost and cools geometrically to ~1e-5.
+    /// Also builds the adaptive proposal policy from the current priors
+    /// (`weights` / `region_weights` / `region_priors`) unless one is
+    /// already installed.
     pub fn start_anneal(&mut self, budget: u64) {
         let scale = self.cur_cost.max(1) as f64;
         self.temp = scale * 0.01;
@@ -678,69 +890,69 @@ impl Tuner {
         } else {
             1.0
         };
+        if self.policy.is_none() {
+            let fams: Vec<MoveWeights> = match &self.region_priors {
+                Some(p) => {
+                    assert_eq!(p.len(), self.regions.len());
+                    p.clone()
+                }
+                None => vec![self.weights; self.regions.len()],
+            };
+            self.policy = Some(AdaptivePolicy::new(&self.region_weights, &fams));
+        }
     }
 
-    fn pick_region(&mut self) -> usize {
-        let total: f64 = self.region_weights.iter().map(|w| w.max(0.0)).sum();
-        if total <= 0.0 {
-            return self.rng.gen_index(self.regions.len());
-        }
-        let mut x = self.rng.next_f32() as f64 * total;
-        for (i, w) in self.region_weights.iter().enumerate() {
-            x -= w.max(0.0);
-            if x <= 0.0 {
-                return i;
+    /// Choose a concrete kind within a family. Intra-family ratios are
+    /// fixed (the improving arm is favored 80/20; yield is symmetric) —
+    /// cross-family balance is the adaptive policy's job.
+    fn pick_kind_in(&mut self, fam: MoveFamily) -> MoveKind {
+        match fam {
+            MoveFamily::Stall => {
+                if (self.rng.next_f32() as f64) < 0.8 {
+                    MoveKind::TightenStall
+                } else {
+                    MoveKind::RelaxStall
+                }
             }
-        }
-        self.regions.len() - 1
-    }
-
-    fn pick_kind(&mut self) -> MoveKind {
-        let w = self.weights;
-        let table: [(MoveKind, f64); 8] = [
-            (MoveKind::TightenStall, w.stall),
-            (MoveKind::RelaxStall, w.stall * 0.25),
-            (MoveKind::SetReuse, w.reuse),
-            (MoveKind::ClearReuse, w.reuse * 0.25),
-            (MoveKind::SetYield, w.yld * 0.5),
-            (MoveKind::ClearYield, w.yld * 0.5),
-            (MoveKind::ReassignBar, w.barrier),
-            (MoveKind::SwapDown, w.reorder),
-        ];
-        let total: f64 = table.iter().map(|(_, w)| w.max(0.0)).sum();
-        if total <= 0.0 {
-            return MoveKind::TightenStall;
-        }
-        let mut x = self.rng.next_f32() as f64 * total;
-        for (k, w) in table {
-            x -= w.max(0.0);
-            if x <= 0.0 {
-                return k;
+            MoveFamily::Reuse => {
+                if (self.rng.next_f32() as f64) < 0.8 {
+                    MoveKind::SetReuse
+                } else {
+                    MoveKind::ClearReuse
+                }
             }
+            MoveFamily::Yield => {
+                if (self.rng.next_f32() as f64) < 0.5 {
+                    MoveKind::SetYield
+                } else {
+                    MoveKind::ClearYield
+                }
+            }
+            MoveFamily::Barrier => MoveKind::ReassignBar,
+            MoveFamily::Reorder => MoveKind::SwapDown,
         }
-        MoveKind::SwapDown
     }
 
-    /// One simulated-annealing step: propose, legality-gate, evaluate,
-    /// Metropolis-accept. Returns whether the move was accepted.
+    /// One simulated-annealing step: draw a (region, family) cell from the
+    /// adaptive policy, propose, legality-gate, evaluate, Metropolis-accept,
+    /// and feed the outcome back into the policy. Returns whether the move
+    /// was accepted.
     pub fn anneal_step<F>(&mut self, objective: &mut F) -> bool
     where
         F: FnMut(&[Instruction], &[u32]) -> Option<u64>,
     {
         assert!(self.cur_cost != u64::MAX, "prime() the tuner first");
+        let mut policy = self.policy.take().expect("start_anneal() the tuner first");
         self.steps += 1;
         self.stats.proposed += 1;
-        let cool = self.cooling;
-        let done = |t: &mut Tuner| {
-            t.temp *= cool;
-        };
 
-        let r = self.pick_region();
+        let (r, fam) = policy.pick(&mut self.rng);
         let span = (self.regions[r].end.saturating_sub(self.regions[r].start)).max(1) as usize;
         let pc = (self.regions[r].start as usize + self.rng.gen_index(span))
             .min(self.insts.len().saturating_sub(1));
-        let kind = self.pick_kind();
+        let kind = self.pick_kind_in(fam);
 
+        let mut accepted = false;
         let mut cand = self.insts.clone();
         let mut cperm = self.perm.clone();
         if !apply_move(
@@ -752,34 +964,32 @@ impl Tuner {
             &mut self.rng,
         ) {
             self.stats.inapplicable += 1;
-            done(self);
-            return false;
-        }
-        if !lint(&cand).is_empty() {
+        } else if !lint(&cand).is_empty() {
             self.stats.illegal += 1;
-            done(self);
-            return false;
+        } else {
+            self.stats.evals += 1;
+            match objective(&cand, &cperm) {
+                None => self.stats.failed += 1,
+                Some(c) => {
+                    accepted = c <= self.cur_cost || {
+                        let d = (c - self.cur_cost) as f64;
+                        (self.rng.next_f32() as f64) < (-d / self.temp.max(1e-12)).exp()
+                    };
+                    if accepted {
+                        self.insts = cand;
+                        self.perm = cperm;
+                        self.cur_cost = c;
+                        self.stats.accepted += 1;
+                        self.record(kind, pc as u32, r);
+                        self.note_best();
+                    }
+                }
+            }
         }
-        self.stats.evals += 1;
-        let Some(c) = objective(&cand, &cperm) else {
-            self.stats.failed += 1;
-            done(self);
-            return false;
-        };
-        let accept = c <= self.cur_cost || {
-            let d = (c - self.cur_cost) as f64;
-            (self.rng.next_f32() as f64) < (-d / self.temp.max(1e-12)).exp()
-        };
-        if accept {
-            self.insts = cand;
-            self.perm = cperm;
-            self.cur_cost = c;
-            self.stats.accepted += 1;
-            self.record(kind, pc as u32, r);
-            self.note_best();
-        }
-        done(self);
-        accept
+        policy.update(r, fam, accepted);
+        self.policy = Some(policy);
+        self.temp *= self.cooling;
+        accepted
     }
 
     /// Full search: prime (if needed), greedy per-region tightening, then

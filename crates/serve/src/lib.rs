@@ -38,11 +38,13 @@
 pub mod engine;
 pub mod plan;
 pub mod queue;
+pub mod schedstore;
 pub mod telemetry;
 pub mod traffic;
 
 pub use engine::{run, run_recorded, EngineConfig, RunStats};
 pub use plan::{MemStorage, Plan, PlanCache, PlanStorage, Planner, PLAN_FORMAT_VERSION};
+pub use schedstore::{ScheduleStore, StoredSchedule, SCHED_FORMAT_VERSION};
 pub use telemetry::{
     BurnWindow, JsonlSink, LatencyHistogram, MemSink, MissCause, Telemetry, TelemetryEvent,
     TelemetryOptions, TelemetrySink,

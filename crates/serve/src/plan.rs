@@ -37,12 +37,14 @@ use gpusim::digest::module_digest;
 use gpusim::{
     time_kernel_device, BatchTimer, DeviceOptions, DeviceSpec, Digest, Gpu, TimingOptions,
 };
-use kernels::{FusedConfig, FusedKernel};
+use kernels::{EmitterParams, FusedConfig, FusedKernel};
 use perfmodel::{break_even_k, BottleneckReport};
-use sass::tune::{TuneRegion, Tuner};
+use sass::island::{run_islands, IslandConfig, Priors, SeedKind};
+use sass::tune::TuneRegion;
 use sass::Module;
 use wino_core::{Algo, Conv};
 
+use crate::schedstore::ScheduleStore;
 use crate::traffic::ShapeClass;
 
 /// Bumped whenever the plan text format or its semantics change; part of
@@ -51,7 +53,12 @@ use crate::traffic::ShapeClass;
 /// v2 added [`Plan::assumed_rps`] — the per-class arrival rate the traffic
 /// model assumed at plan-build time, which the telemetry drift tracker
 /// compares against the observed rate.
-pub const PLAN_FORMAT_VERSION: u32 = 2;
+///
+/// v3 added [`TunedSchedule::params`] and [`TunedSchedule::source`]: the
+/// winning Tier-2 emitter point and whether the schedule was replayed from
+/// the v2 autotuner's store (`store`) or found by in-process annealing
+/// (`anneal`).
+pub const PLAN_FORMAT_VERSION: u32 = 3;
 
 /// On-device runs charged per probed algorithm when modeling cold plan
 /// construction (cuDNN-style "find" runs each candidate a few times).
@@ -92,6 +99,11 @@ pub struct TunedSchedule {
     pub tuned_cycles: u64,
     /// Objective evaluations spent (drives the modeled tuning cost).
     pub evals: u64,
+    /// Winning Tier-2 emitter point (`EmitterParams::label` form).
+    pub params: String,
+    /// Provenance: `store` (replayed from the v2 autotuner's schedule
+    /// store) or `anneal` (found by this planner's in-process search).
+    pub source: String,
 }
 
 /// Everything needed to serve one shape class on one device.
@@ -174,8 +186,8 @@ impl Plan {
         }
         if let Some(t) = &self.tuned {
             s.push_str(&format!(
-                "tuned {} {} {} {} {}\n",
-                t.n, t.schedule_digest, t.hand_cycles, t.tuned_cycles, t.evals
+                "tuned {} {} {} {} {} {} {}\n",
+                t.n, t.schedule_digest, t.hand_cycles, t.tuned_cycles, t.evals, t.params, t.source
             ));
             s.push_str("cubin ");
             for b in &t.cubin {
@@ -238,6 +250,8 @@ impl Plan {
                         hand_cycles: it.next()?.parse().ok()?,
                         tuned_cycles: it.next()?.parse().ok()?,
                         evals: it.next()?.parse().ok()?,
+                        params: it.next()?.to_string(),
+                        source: it.next()?.to_string(),
                     });
                 }
                 "cubin" => {
@@ -388,6 +402,13 @@ impl<'a> PlanCache<'a> {
         &self.index
     }
 
+    /// The backing storage — shared with the tuned-schedule store, so
+    /// `acquire` can consult schedules published by the offline autotuner
+    /// through the same backend the plans live in.
+    pub fn storage(&self) -> &'a dyn PlanStorage {
+        self.storage
+    }
+
     /// Look up and verify a plan. Any failure (absent, unparsable, wrong
     /// version, digest mismatch) counts as a miss and drops the stale entry.
     pub fn get(&mut self, key: &str) -> Option<Plan> {
@@ -463,10 +484,18 @@ impl Planner {
         }
     }
 
-    /// Content address of the plan this planner would build for `class`.
+    /// Content address of the plan this planner would build for `class`
+    /// with no tuned-schedule store in play.
     pub fn plan_key(&self, class: &ShapeClass) -> String {
+        self.plan_key_with(class, None)
+    }
+
+    /// Content address of the plan this planner would build for `class`,
+    /// folding in the fingerprint of every stored tuned schedule the build
+    /// would consult — so publishing a new schedule rebuilds cached plans.
+    pub fn plan_key_with(&self, class: &ShapeClass, sched: Option<&ScheduleStore>) -> String {
         let mut d = Digest::new();
-        d.str("serve/plan/v1");
+        d.str("serve/plan/v2");
         d.u32(PLAN_FORMAT_VERSION).u32(gpusim::TIMING_MODEL_VERSION);
         self.device.digest_into(&mut d);
         d.str(&class.name);
@@ -480,7 +509,20 @@ impl Planner {
         // The mix assumption is part of the plan's content (it lands in
         // `assumed_rps`), so it must move the address too.
         d.u64(self.assumed_rps(class).to_bits());
+        match sched {
+            Some(s) => d.str(&s.fingerprint(&self.device, &self.fused_cfgs(class))),
+            None => d.str("sched:none"),
+        };
         d.hex()
+    }
+
+    /// The fused configs a build would consult in the schedule store: one
+    /// per supported batch size, ascending.
+    fn fused_cfgs(&self, class: &ShapeClass) -> Vec<FusedConfig> {
+        self.batch_sizes
+            .iter()
+            .map(|&n| FusedConfig::ours(class.c, class.hw, class.hw, n, class.k))
+            .collect()
     }
 
     /// Candidate algorithms for `class`: the fused kernels plus implicit
@@ -501,10 +543,18 @@ impl Planner {
         algos
     }
 
+    /// Build the plan for `class` without a tuned-schedule store (any
+    /// tuning happens in-process).
+    pub fn build(&self, class: &ShapeClass) -> Plan {
+        self.build_with(class, None)
+    }
+
     /// Build the plan for `class`. Deterministic; cost is dominated by one
     /// multi-wave simulation per (batch size × candidate) plus
-    /// `tune_budget` one-wave simulations when tuning is on.
-    pub fn build(&self, class: &ShapeClass) -> Plan {
+    /// `tune_budget` one-wave simulations when tuning is on. When a
+    /// schedule store is supplied, stored v2-tuner winners are replayed
+    /// (digest-verified, re-timed) before any in-process search runs.
+    pub fn build_with(&self, class: &ShapeClass, sched: Option<&ScheduleStore>) -> Plan {
         let algos = self.candidates(class);
         let mut variants = Vec::new();
         let mut probe_ns: u64 = 0;
@@ -546,31 +596,89 @@ impl Planner {
             assumed_rps: self.assumed_rps(class),
             tuned: None,
         };
-        if self.tune_budget > 0 && top.algo == Algo::OursFused {
-            self.tune_fused(class, &top, &mut plan);
+        if top.algo == Algo::OursFused {
+            let replayed = sched
+                .map(|s| self.replay_stored(class, s, &mut plan))
+                .unwrap_or(false);
+            if !replayed && self.tune_budget > 0 {
+                self.tune_fused(class, &top, &mut plan);
+            }
         }
         plan
     }
 
+    /// Consult the tuned-schedule store for every supported batch size,
+    /// largest first; the first verified entry that still beats the hand
+    /// schedule under the multi-wave device model is adopted into the plan.
+    /// Returns `true` if a schedule was adopted.
+    fn replay_stored(&self, class: &ShapeClass, sched: &ScheduleStore, plan: &mut Plan) -> bool {
+        for &n in self.batch_sizes.iter().rev() {
+            let cfg = FusedConfig::ours(class.c, class.hw, class.hw, n, class.k);
+            let Some(entry) = sched.load(&self.device, &cfg) else {
+                continue;
+            };
+            let tuned = entry.module().expect("load() verified the module");
+            let hand = FusedKernel::emit(cfg);
+            let capacity = 1usize << 30;
+            let dims = hand.launch_dims();
+            let alloc_bytes = fused_alloc_bytes(&cfg);
+            let opts = TimingOptions {
+                region: Some(hand.region),
+                ..Default::default()
+            };
+            let dopts = DeviceOptions {
+                base: opts,
+                ..Default::default()
+            };
+            let time_module = |m: &Module| {
+                let mut gpu = Gpu::new(self.device.clone(), capacity);
+                let a = gpu.alloc(alloc_bytes[0]);
+                let b = gpu.alloc(alloc_bytes[1]);
+                let o = gpu.alloc(alloc_bytes[2]);
+                let params = hand.params(a, b, o);
+                time_kernel_device(&mut gpu, m, dims, &params, dopts).ok()
+            };
+            let (Some(hand_t), Some(tuned_t)) = (time_module(&hand.module), time_module(&tuned))
+            else {
+                continue;
+            };
+            // Two verification runs are the modeled replay cost.
+            plan.build_cost_ns += to_ns(hand_t.time_s) + to_ns(tuned_t.time_s);
+            if tuned_t.time_s >= hand_t.time_s {
+                continue; // store entry no longer wins under this model
+            }
+            let saved = to_ns(hand_t.time_s) - to_ns(tuned_t.time_s);
+            if let Some(v) = plan
+                .variants
+                .iter_mut()
+                .find(|v| v.n == n && v.algo == Algo::OursFused.name())
+            {
+                v.service_ns -= saved.min(v.service_ns);
+            }
+            plan.tuned = Some(TunedSchedule {
+                n,
+                schedule_digest: entry.schedule_digest.clone(),
+                cubin: entry.cubin.clone(),
+                hand_cycles: entry.hand_cycles,
+                tuned_cycles: entry.tuned_cycles,
+                evals: entry.evals,
+                params: entry.params.clone(),
+                source: "store".into(),
+            });
+            return true;
+        }
+        false
+    }
+
     /// Anneal the fused schedule at the largest batch, starting from the
-    /// hand schedule; adopt the result only if the device-level re-timing
-    /// actually improves on the hand kernel.
+    /// hand schedule — a small two-island search (hand + greedy-tightened
+    /// hand) splitting `tune_budget` anneal steps; adopt the result only if
+    /// the device-level re-timing actually improves on the hand kernel.
     fn tune_fused(&self, class: &ShapeClass, top: &wino_core::AlgoTiming, plan: &mut Plan) {
         let n = *self.batch_sizes.last().unwrap();
         let cfg = FusedConfig::ours(class.c, class.hw, class.hw, n, class.k);
         let hand = FusedKernel::emit(cfg);
-        let (c64, h64, w64, n64, k64) = (
-            u64::from(cfg.c),
-            u64::from(cfg.h),
-            u64::from(cfg.w),
-            u64::from(cfg.n),
-            u64::from(cfg.k),
-        );
-        let alloc_bytes = [
-            c64 * h64 * w64 * n64 * 4,
-            c64 * 16 * k64 * 4,
-            k64 * h64 * w64 * n64 * 4,
-        ];
+        let alloc_bytes = fused_alloc_bytes(&cfg);
         let capacity = 1usize << 30;
         let dims = hand.launch_dims();
         let params = {
@@ -585,24 +693,30 @@ impl Planner {
             ..Default::default()
         };
 
-        let mut batch = BatchTimer::new(&hand.module);
+        let timer = BatchTimer::new(&hand.module);
         let base = hand.module.clone();
         let dev = self.device.clone();
-        let mut objective = |insts: &[sass::Instruction], perm: &[u32]| {
-            let cand = Module::new(
-                &base.info.name,
-                base.info.smem_bytes,
-                base.info.param_bytes,
-                insts.to_vec(),
-            );
-            let mut gpu = Gpu::new(dev.clone(), capacity);
-            for &b in &alloc_bytes {
-                gpu.alloc(b);
+        let params_ref = &params;
+        let make_objective = |_: usize| {
+            let mut batch = timer.clone();
+            let base = base.clone();
+            let dev = dev.clone();
+            move |insts: &[sass::Instruction], perm: &[u32]| {
+                let cand = Module::new(
+                    &base.info.name,
+                    base.info.smem_bytes,
+                    base.info.param_bytes,
+                    insts.to_vec(),
+                );
+                let mut gpu = Gpu::new(dev.clone(), capacity);
+                for &b in &alloc_bytes {
+                    gpu.alloc(b);
+                }
+                batch
+                    .time(&mut gpu, &cand, perm, dims, params_ref, opts)
+                    .ok()
+                    .map(|t| t.wave_cycles)
             }
-            batch
-                .time(&mut gpu, &cand, perm, dims, &params, opts)
-                .ok()
-                .map(|t| t.wave_cycles)
         };
 
         let regions: Vec<TuneRegion> = hand
@@ -614,17 +728,22 @@ impl Planner {
                 end: r.end,
             })
             .collect();
-        let mut tuner = Tuner::new(hand.module.insts.clone(), regions, self.tune_seed);
-        let hand_cycles = tuner.prime(&mut objective);
-        tuner.start_anneal(self.tune_budget);
-        for _ in 0..self.tune_budget {
-            tuner.anneal_step(&mut objective);
-        }
+        let mut icfg = IslandConfig::new(2, 2, (self.tune_budget / 4).max(1), self.tune_seed);
+        icfg.seeds = vec![SeedKind::Hand, SeedKind::HandGreedy];
+        icfg.jobs = 1;
+        let outcome = run_islands(
+            &hand.module.insts,
+            &regions,
+            &Priors::default(),
+            &icfg,
+            make_objective,
+        );
+        let hand_cycles = outcome.per_island[0].start_cost;
         // Modeled tuning cost: every objective evaluation is one on-device
         // run of roughly a hand-schedule wave.
-        let wave_ns = tuner.best_cost.max(hand_cycles) as f64 / self.device.clock_hz * 1e9;
-        plan.build_cost_ns += tuner.stats.evals * (wave_ns as u64);
-        if tuner.best_cost >= hand_cycles {
+        let wave_ns = outcome.best_cost.max(hand_cycles) as f64 / self.device.clock_hz * 1e9;
+        plan.build_cost_ns += outcome.stats.evals * (wave_ns as u64);
+        if outcome.best_cost >= hand_cycles {
             return; // annealing found nothing better; keep the hand schedule
         }
 
@@ -632,7 +751,7 @@ impl Planner {
             &base.info.name,
             base.info.smem_bytes,
             base.info.param_bytes,
-            tuner.best_insts.clone(),
+            outcome.best_insts.clone(),
         );
         // Re-time the tuned module through the full device model and fold
         // the kernel-phase delta into the largest-batch variant.
@@ -664,22 +783,44 @@ impl Planner {
             schedule_digest,
             cubin: best.to_cubin(),
             hand_cycles,
-            tuned_cycles: tuner.best_cost,
-            evals: tuner.stats.evals,
+            tuned_cycles: outcome.best_cost,
+            evals: outcome.stats.evals,
+            params: EmitterParams::hand().label(),
+            source: "anneal".into(),
         });
     }
 
     /// Cache-through acquisition: hit returns the stored plan, miss builds
-    /// and stores. The bool is `true` on a hit.
+    /// and stores. The bool is `true` on a hit. The schedule store shares
+    /// the cache's storage, so v2-tuner winners published through the same
+    /// backend are picked up (and move the plan key, forcing a rebuild).
     pub fn acquire(&self, cache: &mut PlanCache, class: &ShapeClass) -> (Plan, bool) {
-        let key = self.plan_key(class);
+        let sched = ScheduleStore::new(cache.storage());
+        let key = self.plan_key_with(class, Some(&sched));
         if let Some(p) = cache.get(&key) {
             return (p, true);
         }
-        let plan = self.build(class);
+        let plan = self.build_with(class, Some(&sched));
         cache.put(&key, &plan);
         (plan, false)
     }
+}
+
+/// Device-buffer sizes (input, transformed filter, output) for one fused
+/// problem shape, bytes.
+fn fused_alloc_bytes(cfg: &FusedConfig) -> [u64; 3] {
+    let (c64, h64, w64, n64, k64) = (
+        u64::from(cfg.c),
+        u64::from(cfg.h),
+        u64::from(cfg.w),
+        u64::from(cfg.n),
+        u64::from(cfg.k),
+    );
+    [
+        c64 * h64 * w64 * n64 * 4,
+        c64 * 16 * k64 * 4,
+        k64 * h64 * w64 * n64 * 4,
+    ]
 }
 
 /// Seconds → integer nanoseconds (round to nearest, min 1).
@@ -690,6 +831,7 @@ pub fn to_ns(s: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedstore::StoredSchedule;
 
     fn plan_fixture() -> Plan {
         Plan {
@@ -798,6 +940,8 @@ mod tests {
             hand_cycles: 100,
             tuned_cycles: 90,
             evals: 10,
+            params: "bk64-bn32-bc8-w64-p2".into(),
+            source: "store".into(),
         });
         assert!(p.verify());
         let rt = Plan::from_text(&p.to_text()).unwrap();
@@ -807,5 +951,217 @@ mod tests {
         let mut bad = p.clone();
         bad.tuned.as_mut().unwrap().schedule_digest = format!("{:032x}", 0);
         assert!(!bad.verify());
+    }
+
+    /// A fused-legal class cheap enough to simulate in a unit test. (The
+    /// probe would pick WINOGRAD_NONFUSED for it, which is exactly why the
+    /// replay tests below drive `replay_stored` directly.)
+    fn proxy_class() -> ShapeClass {
+        ShapeClass {
+            name: "SmokeA".into(),
+            hw: 8,
+            c: 32,
+            k: 64,
+            weight: 1.0,
+        }
+    }
+
+    fn ours_plan(planner: &Planner, class: &ShapeClass) -> Plan {
+        Plan {
+            version: PLAN_FORMAT_VERSION,
+            device: planner.device.name.to_string(),
+            class: class.name.clone(),
+            bound: "smem".into(),
+            break_even_k: break_even_k(&planner.device),
+            variants: vec![PlanVariant {
+                n: 32,
+                algo: Algo::OursFused.name().into(),
+                service_ns: 20_000,
+                tflops: 10.0,
+            }],
+            build_cost_ns: 0,
+            assumed_rps: 0.0,
+            tuned: None,
+        }
+    }
+
+    /// Publishing a schedule must move the plan address, so stale cached
+    /// plans rebuild — and an empty store is itself a distinct address from
+    /// "no store consulted".
+    #[test]
+    fn plan_key_tracks_schedule_store() {
+        let class = proxy_class();
+        let planner = Planner::new(DeviceSpec::v100(), vec![32]);
+        let mem = MemStorage::new();
+        let key_none = planner.plan_key(&class);
+        let key_empty = planner.plan_key_with(&class, Some(&ScheduleStore::new(&mem)));
+        assert_ne!(key_none, key_empty);
+
+        let kern = FusedKernel::emit(FusedConfig::ours(class.c, class.hw, class.hw, 32, class.k));
+        ScheduleStore::new(&mem).save(
+            &planner.device,
+            &kern.config,
+            &StoredSchedule {
+                params: "bk64-bn32-bc8-w64-p2".into(),
+                schedule_digest: {
+                    let mut d = Digest::new();
+                    module_digest(&kern.module, &mut d);
+                    d.hex()
+                },
+                cubin: kern.module.to_cubin(),
+                hand_cycles: 100,
+                tuned_cycles: 90,
+                evals: 10,
+            },
+        );
+        let key_stored = planner.plan_key_with(&class, Some(&ScheduleStore::new(&mem)));
+        assert_ne!(
+            key_empty, key_stored,
+            "publishing a schedule must move the plan key"
+        );
+    }
+
+    /// The tuned-schedule handoff end to end: `replay_stored` ignores an
+    /// empty store, re-times a stored schedule and rejects one that no
+    /// longer beats the hand schedule (here: the hand schedule itself with
+    /// forged cycle counts), and adopts a genuine winner — which a tiny
+    /// island run from the greedy-tightened hand seed manufactures.
+    #[test]
+    fn replay_adopts_only_verified_winning_schedules() {
+        let class = proxy_class();
+        let planner = Planner::new(DeviceSpec::v100(), vec![32]);
+        let mem = MemStorage::new();
+        let sched = ScheduleStore::new(&mem);
+        let cfg = FusedConfig::ours(class.c, class.hw, class.hw, 32, class.k);
+        let hand = FusedKernel::emit(cfg);
+        let digest_of = |m: &Module| {
+            let mut d = Digest::new();
+            module_digest(m, &mut d);
+            d.hex()
+        };
+
+        let mut plan = ours_plan(&planner, &class);
+        assert!(
+            !planner.replay_stored(&class, &sched, &mut plan),
+            "empty store adopted"
+        );
+
+        // The hand schedule itself, stored with forged "better" cycles:
+        // the re-time ties the hand baseline, so the gate must reject it.
+        sched.save(
+            &planner.device,
+            &cfg,
+            &StoredSchedule {
+                params: EmitterParams::hand().label(),
+                schedule_digest: digest_of(&hand.module),
+                cubin: hand.module.to_cubin(),
+                hand_cycles: 100,
+                tuned_cycles: 1,
+                evals: 1,
+            },
+        );
+        assert!(
+            !planner.replay_stored(&class, &sched, &mut plan),
+            "non-improving schedule adopted"
+        );
+        assert!(plan.tuned.is_none());
+
+        // Manufacture a genuine winner: two islands seeded from the hand
+        // schedule (one greedy-tightened) against the real simulator.
+        let regions: Vec<TuneRegion> = hand
+            .regions
+            .iter()
+            .map(|r| TuneRegion {
+                name: r.name.clone(),
+                start: r.start,
+                end: r.end,
+            })
+            .collect();
+        let opts = TimingOptions {
+            region: Some(hand.region),
+            ..Default::default()
+        };
+        let alloc = fused_alloc_bytes(&cfg);
+        let params = {
+            let mut gpu = Gpu::new(planner.device.clone(), 1 << 22);
+            let a = gpu.alloc(alloc[0]);
+            let b = gpu.alloc(alloc[1]);
+            let o = gpu.alloc(alloc[2]);
+            hand.params(a, b, o)
+        };
+        let timer = BatchTimer::new(&hand.module);
+        let mut icfg = IslandConfig::new(2, 2, 1, 2020);
+        icfg.seeds = vec![SeedKind::Hand, SeedKind::HandGreedy];
+        let outcome = run_islands(
+            &hand.module.insts,
+            &regions,
+            &Priors::default(),
+            &icfg,
+            |_| {
+                let mut timer = timer.clone();
+                let params = params.clone();
+                let dev = planner.device.clone();
+                let base = hand.module.clone();
+                let dims = hand.launch_dims();
+                move |insts: &[sass::Instruction], perm: &[u32]| {
+                    let cand = Module::new(
+                        &base.info.name,
+                        base.info.smem_bytes,
+                        base.info.param_bytes,
+                        insts.to_vec(),
+                    );
+                    let mut gpu = Gpu::new(dev.clone(), 1 << 22);
+                    for &b in &alloc {
+                        gpu.alloc(b);
+                    }
+                    Some(
+                        timer
+                            .time(&mut gpu, &cand, perm, dims, &params, opts)
+                            .unwrap()
+                            .wave_cycles,
+                    )
+                }
+            },
+        );
+        assert!(
+            outcome.best_cost < outcome.per_island[0].start_cost,
+            "greedy-tightened island failed to beat the hand schedule"
+        );
+        let best = Module::new(
+            &hand.module.info.name,
+            hand.module.info.smem_bytes,
+            hand.module.info.param_bytes,
+            outcome.best_insts.clone(),
+        );
+        sched.save(
+            &planner.device,
+            &cfg,
+            &StoredSchedule {
+                params: EmitterParams::hand().label(),
+                schedule_digest: digest_of(&best),
+                cubin: best.to_cubin(),
+                hand_cycles: outcome.per_island[0].start_cost,
+                tuned_cycles: outcome.best_cost,
+                evals: outcome.stats.evals,
+            },
+        );
+
+        assert!(
+            planner.replay_stored(&class, &sched, &mut plan),
+            "winning schedule not adopted"
+        );
+        assert!(plan.verify());
+        let tuned = plan.tuned.expect("adopted schedule recorded");
+        assert_eq!(tuned.source, "store");
+        assert_eq!(tuned.n, 32);
+        assert_eq!(tuned.schedule_digest, digest_of(&best));
+        assert!(
+            tuned.tuned_cycles < tuned.hand_cycles,
+            "recorded device-model cycles must show the win"
+        );
+        assert!(
+            plan.build_cost_ns > 0,
+            "replay must charge its re-time cost"
+        );
     }
 }
