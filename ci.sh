@@ -71,6 +71,18 @@ echo "== tune digest verify =="
 cp BENCH_tune.json "$fresh/tune_full.json"
 ./target/release/tune --verify --json "$fresh/tune_full.json" > /dev/null
 
+echo "== resnet smoke =="
+# Whole-network runtime smoke: plans the 4-node smoke graph on both devices
+# under all three policies, asserting the planner invariants in-process —
+# per-layer sum-consistency with the end-to-end report, every workspace
+# arena validates (no live-range overlap, peak bounds), linear-scan reuse
+# never loses to bump allocation, and hoisting the filter transforms
+# strictly reduces network time. Byte-determinism across --jobs and
+# simcache state is pinned by bench/tests/resnet_determinism.rs; the full
+# tracked run lives in BENCH_resnet.json (see EXPERIMENTS.md,
+# "Whole-network ResNet").
+./target/release/resnet --smoke --json "$fresh/resnet.json" > /dev/null
+
 echo "== serve smoke =="
 # Serving-engine smoke: tiny shapes, short bursty stream, both devices;
 # asserts both phases drain, the warm plan cache beats cold

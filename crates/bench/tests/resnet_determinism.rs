@@ -1,0 +1,58 @@
+//! The resnet binary must be a pure function of its flags: `--jobs` only
+//! shards the timing sweep across threads, and the simcache state (cold
+//! directory vs warm) must never leak into results — sweep points are
+//! content-addressed, so cached and fresh timings are bit-identical. One
+//! smoke run per `--jobs 1/2/8`, all sharing one cache directory (the
+//! first run populates it, the rest hit it), plus a second warm `--jobs 1`
+//! run, must produce byte-identical `--json` output.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_resnet(jobs: u32, json: &Path, cache_dir: &Path) {
+    let status = Command::new(env!("CARGO_BIN_EXE_resnet"))
+        .args([
+            "--smoke",
+            "--jobs",
+            &jobs.to_string(),
+            "--json",
+            json.to_str().unwrap(),
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ])
+        .status()
+        .expect("resnet binary runs");
+    assert!(status.success(), "resnet --smoke --jobs {jobs} failed");
+}
+
+#[test]
+fn byte_identical_json_across_jobs_and_cache_states() {
+    let base = std::env::temp_dir().join(format!("resnet_det_{}", std::process::id()));
+    std::fs::create_dir_all(&base).unwrap();
+    let cache_dir = base.join("simcache");
+
+    let mut outputs = Vec::new();
+    for jobs in [1u32, 2, 8] {
+        let json = base.join(format!("resnet_{jobs}.json"));
+        run_resnet(jobs, &json, &cache_dir);
+        outputs.push(std::fs::read(&json).expect("json written"));
+    }
+    assert!(!outputs[0].is_empty());
+    assert_eq!(
+        outputs[0], outputs[1],
+        "--jobs 1 (cold simcache) vs --jobs 2 (warm) diverged"
+    );
+    assert_eq!(outputs[1], outputs[2], "--jobs 2 vs --jobs 8 diverged");
+
+    // Fully warm repeat at the original job count: cache state itself must
+    // not move a byte.
+    let json = base.join("resnet_warm.json");
+    run_resnet(1, &json, &cache_dir);
+    assert_eq!(
+        outputs[0],
+        std::fs::read(&json).unwrap(),
+        "cold vs warm simcache diverged"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -252,24 +252,23 @@ impl Conv {
     }
 
     fn run_fused(&self, algo: Algo, input: &Tensor4, filter: &Tensor4) -> Tensor4 {
+        let tf = self.transform_filter(filter);
+        self.run_fused_pretransformed(algo, input, &tf)
+    }
+
+    /// Run the standalone filter-transform (FX) kernel on the simulated
+    /// device: KCRS filter in, `C×4×4×K` transformed array (`F̂ = G F Gᵀ`)
+    /// out. This is the data the fused kernels consume; a pure function of
+    /// the filter bytes, so the network runtime hoists it behind
+    /// `kernels::filter_transform::transform_cache_key` and replays the
+    /// result across batches/requests bit-identically.
+    pub fn transform_filter(&self, filter: &Tensor4) -> Vec<f32> {
         let p = &self.problem;
-        let cfg = self.fused_config(algo);
-        // Ours reads CHWN (§4.2); the cuDNN-like kernel reads NCHW (§7).
-        let chwn = if cfg.input_nchw {
-            input.clone()
-        } else {
-            input.to_layout(LayoutKind::Chwn)
-        };
+        assert_eq!(filter.dims(), [p.k, p.c, 3, 3]);
         let crsk = filter.to_layout(LayoutKind::Crsk);
-        let mut gpu = self.gpu_for(
-            (chwn.len() + crsk.len() + 16 * p.c * p.k + p.k * p.h * p.w * p.n) as u64 * 4
-                + (1 << 20),
-        );
-        let d_in = gpu.alloc_upload_f32(chwn.as_slice());
+        let mut gpu = self.gpu_for((crsk.len() + 16 * p.c * p.k) as u64 * 4 + (1 << 20));
         let d_filt = gpu.alloc_upload_f32(crsk.as_slice());
         let d_tf = gpu.alloc((p.c * 16 * p.k) as u64 * 4);
-        let d_out = gpu.alloc((p.k * p.h * p.w * p.n) as u64 * 4);
-
         let fx = emit_filter_transform(p.c as u32, p.k as u32);
         let fx_params = ParamBuilder::new().push_ptr(d_filt).push_ptr(d_tf).build();
         gpu.launch_parallel(
@@ -278,6 +277,34 @@ impl Conv {
             &fx_params,
         )
         .expect("filter transform kernel");
+        gpu.mem.download_f32(d_tf, p.c * 16 * p.k).unwrap()
+    }
+
+    /// Fused-path execution from an already-transformed filter (the hoisted
+    /// transform-cache path). `tf` must be [`Conv::transform_filter`] output
+    /// for this problem's filter; [`Conv::run`] is exactly the composition
+    /// of the two, so executing through a transform cache is bit-identical
+    /// to the on-the-fly path.
+    pub fn run_fused_pretransformed(&self, algo: Algo, input: &Tensor4, tf: &[f32]) -> Tensor4 {
+        let p = &self.problem;
+        assert!(
+            matches!(algo, Algo::OursFused | Algo::CudnnWinograd),
+            "pretransformed execution covers the fused algorithms"
+        );
+        assert_eq!(input.dims(), [p.n, p.c, p.h, p.w]);
+        assert_eq!(tf.len(), p.c * 16 * p.k, "transformed filter length");
+        let cfg = self.fused_config(algo);
+        // Ours reads CHWN (§4.2); the cuDNN-like kernel reads NCHW (§7).
+        let chwn = if cfg.input_nchw {
+            input.clone()
+        } else {
+            input.to_layout(LayoutKind::Chwn)
+        };
+        let mut gpu = self
+            .gpu_for((chwn.len() + 16 * p.c * p.k + p.k * p.h * p.w * p.n) as u64 * 4 + (1 << 20));
+        let d_in = gpu.alloc_upload_f32(chwn.as_slice());
+        let d_tf = gpu.alloc_upload_f32(tf);
+        let d_out = gpu.alloc((p.k * p.h * p.w * p.n) as u64 * 4);
 
         let kern = FusedKernel::emit(cfg);
         let params = kern.params(d_in, d_tf, d_out);

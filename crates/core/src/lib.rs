@@ -14,17 +14,25 @@
 //!   implementations of every algorithm, used as correctness oracles;
 //! * [`conv`] — the GPU-facing API dispatching to the SASS kernels in the
 //!   `kernels` crate and the simulator in `gpusim`;
-//! * [`resnet`] — the paper's Table 1 workload definitions.
+//! * [`resnet`] — the paper's Table 1 workload definitions;
+//! * [`memplan`] — live-range workspace planning over a shared arena;
+//! * [`netgraph`] — the whole-network graph runtime: layer chains with
+//!   per-layer algorithm selection, the memory planner, and the hoisted
+//!   filter-transform cache.
 
 pub mod conv;
 pub mod fft;
 pub mod im2col;
+pub mod memplan;
+pub mod netgraph;
 pub mod reference;
 pub mod resnet;
 pub mod transforms;
 pub mod winograd_host;
 
 pub use conv::{Algo, AlgoTiming, Conv, ConvOutput};
+pub use memplan::{plan_arena, ArenaPlan, ArenaPolicy, BufferReq};
+pub use netgraph::{AlgoPolicy, DirectTimer, LayerTimer, NetGraph, NetPlan, TransformCache};
 pub use reference::{conv2d_direct, ConvProblem};
 pub use transforms::Variant;
 pub use winograd_host::conv2d_winograd;

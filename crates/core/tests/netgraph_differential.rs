@@ -1,0 +1,157 @@
+//! Differential tests for the whole-network graph runtime: a [`NetGraph`]
+//! executed end to end — under any algorithm mix, with or without the
+//! hoisted transform cache, with planner-chosen algorithms — must be
+//! bit-exact against the same layers run individually through the
+//! per-layer [`Conv::run`] API, and within float tolerance of the host
+//! reference chain.
+
+use gpusim::DeviceSpec;
+use tensor::{allclose, max_abs_diff, Tensor4};
+use wino_core::netgraph::{run_transition, NetNode, TransformCache};
+use wino_core::{Algo, AlgoPolicy, Conv, DirectTimer, NetGraph};
+
+/// Run the graph layer by layer through the public per-layer API — the
+/// oracle the network runtime must match bit for bit.
+fn run_per_layer(
+    g: &NetGraph,
+    device: &DeviceSpec,
+    algos: &[Algo],
+    input: &Tensor4,
+    filters: &[Tensor4],
+) -> Tensor4 {
+    let mut cur = input.clone();
+    let mut ci = 0;
+    for node in &g.nodes {
+        match node {
+            NetNode::Conv(c) => {
+                let conv = Conv::new(c.problem, device.clone());
+                cur = conv.run(algos[ci], &cur, &filters[ci]).output;
+                ci += 1;
+            }
+            NetNode::Transition(t) => cur = run_transition(t, &cur),
+        }
+    }
+    cur
+}
+
+/// Every execution mode of `g` under `algos` agrees: cache-on ≡ cache-off ≡
+/// per-layer, and all are close to the host reference.
+fn check_modes(g: &NetGraph, algos: &[Algo], seed: u64) {
+    let device = DeviceSpec::v100();
+    let input = g.random_input(seed);
+    let filters = g.random_filters(seed.wrapping_add(1));
+
+    let per_layer = run_per_layer(g, &device, algos, &input, &filters);
+    let no_cache = g.execute(&device, algos, &input, &filters, None);
+    assert_eq!(
+        per_layer.as_slice(),
+        no_cache.as_slice(),
+        "{}: graph execution diverged from per-layer runs",
+        g.name
+    );
+
+    let mut cache = TransformCache::new();
+    let cached = g.execute(&device, algos, &input, &filters, Some(&mut cache));
+    assert_eq!(
+        no_cache.as_slice(),
+        cached.as_slice(),
+        "{}: hoisted transform cache changed the bits",
+        g.name
+    );
+    // A second request over the same weights replays every transform.
+    let miss0 = cache.misses;
+    let cached2 = g.execute(&device, algos, &input, &filters, Some(&mut cache));
+    assert_eq!(cached.as_slice(), cached2.as_slice());
+    assert_eq!(cache.misses, miss0, "warm cache must not recompute");
+
+    let reference = g.execute_reference(&input, &filters);
+    assert!(
+        allclose(cached.as_slice(), reference.as_slice(), 1e-3, 1e-3),
+        "{}: network output drifted from host reference (max abs diff {})",
+        g.name,
+        max_abs_diff(cached.as_slice(), reference.as_slice())
+    );
+}
+
+#[test]
+fn smoke_graph_all_fused() {
+    let g = NetGraph::smoke(32);
+    check_modes(&g, &vec![Algo::OursFused; g.num_convs()], 101);
+}
+
+#[test]
+fn smoke_graph_mixed_fused_algos() {
+    let g = NetGraph::smoke(32);
+    check_modes(
+        &g,
+        &[Algo::OursFused, Algo::CudnnWinograd, Algo::OursFused],
+        202,
+    );
+}
+
+#[test]
+fn pooled_graph_mixed_with_nonfused_and_gemm() {
+    // A pooling transition into a 4×4 stage exercised by host and GPU
+    // baselines alongside the fused kernel.
+    let g = NetGraph::new("pool-mix", 32, 32, 8)
+        .conv_named("A", 64)
+        .transition(64, 4)
+        .conv_named("B", 64)
+        .conv_named("C", 64);
+    check_modes(
+        &g,
+        &[
+            Algo::OursFused,
+            Algo::WinogradNonfused,
+            Algo::ImplicitPrecompGemm,
+        ],
+        303,
+    );
+}
+
+#[test]
+fn planner_selected_mix_matches_per_layer() {
+    // The algorithms the planner actually picks (Auto and Baseline) run
+    // through the same differential gauntlet, and the plan's invariants
+    // hold.
+    let g = NetGraph::smoke(32);
+    let device = DeviceSpec::v100();
+    for policy in [AlgoPolicy::Auto, AlgoPolicy::Baseline] {
+        let plan = g.plan(&device, policy, &DirectTimer);
+        plan.validate().unwrap();
+        let algos: Vec<Algo> = plan.choices.iter().map(|c| c.algo).collect();
+        check_modes(&g, &algos, 404);
+        if policy == AlgoPolicy::Baseline {
+            assert!(
+                algos.iter().all(|&a| a != Algo::OursFused),
+                "baseline policy must not pick the paper's kernel"
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_shared_across_batches_and_graphs() {
+    // One cache serving two batch sizes of the same network: the filter
+    // transform is batch-independent, so the second graph gets pure hits
+    // and still matches its own uncached run bit for bit.
+    let device = DeviceSpec::v100();
+    let g32 = NetGraph::smoke(32);
+    let g64 = NetGraph::smoke(64);
+    let filters = g32.random_filters(7);
+    let algos = vec![Algo::OursFused; g32.num_convs()];
+    let mut cache = TransformCache::new();
+
+    let in32 = g32.random_input(8);
+    g32.execute(&device, &algos, &in32, &filters, Some(&mut cache));
+    let misses_after_first = cache.misses;
+
+    let in64 = g64.random_input(9);
+    let warm = g64.execute(&device, &algos, &in64, &filters, Some(&mut cache));
+    assert_eq!(
+        cache.misses, misses_after_first,
+        "same weights at a new batch size must hit the hoisted cache"
+    );
+    let cold = g64.execute(&device, &algos, &in64, &filters, None);
+    assert_eq!(warm.as_slice(), cold.as_slice());
+}

@@ -1,0 +1,100 @@
+//! Regression tests for the hoisted filter-transform path: the cached
+//! `F̂ = G F Gᵀ` slab must be bit-identical to the transform the fused
+//! kernel would compute on the fly, and the content key must move whenever
+//! the filter bits, the filter shape, or the transform tile change.
+
+use gpusim::DeviceSpec;
+use kernels::filter_transform::{transform_cache_key, TRANSFORM_TILE};
+use tensor::{LayoutKind, Tensor4};
+use wino_core::netgraph::TransformCache;
+use wino_core::{Algo, Conv, ConvProblem};
+
+fn conv(n: usize, c: usize, hw: usize, k: usize) -> Conv {
+    Conv::new(ConvProblem::resnet3x3(n, c, hw, k), DeviceSpec::v100())
+}
+
+#[test]
+fn hoisted_transform_bit_identical_to_on_the_fly() {
+    let conv = conv(32, 32, 8, 64);
+    let p = conv.problem;
+    let input = Tensor4::random(LayoutKind::Nchw, [p.n, p.c, p.h, p.w], -1.0, 1.0, 1);
+    let filter = Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, 2);
+    for algo in [Algo::OursFused, Algo::CudnnWinograd] {
+        // On the fly: the public run() transforms and executes in one call.
+        let direct = conv.run(algo, &input, &filter).output;
+        // Hoisted: transform once, execute on the cached slab — twice, to
+        // prove the replay is stable.
+        let tf = conv.transform_filter(&filter);
+        let hoisted = conv.run_fused_pretransformed(algo, &input, &tf);
+        let replayed = conv.run_fused_pretransformed(algo, &input, &tf);
+        assert_eq!(
+            direct.as_slice(),
+            hoisted.as_slice(),
+            "{algo:?}: hoisted transform changed the output bits"
+        );
+        assert_eq!(hoisted.as_slice(), replayed.as_slice());
+    }
+    // The transform itself is deterministic.
+    assert_eq!(
+        conv.transform_filter(&filter),
+        conv.transform_filter(&filter)
+    );
+}
+
+#[test]
+fn cache_returns_the_exact_transform_bytes() {
+    let conv = conv(32, 32, 8, 64);
+    let p = conv.problem;
+    let filter = Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, 3);
+    let mut cache = TransformCache::new();
+    let cached = cache.get_or_insert(&conv, &filter);
+    assert_eq!(*cached, conv.transform_filter(&filter));
+    assert_eq!((cache.hits, cache.misses), (0, 1));
+    // Same filter again: a hit, same Rc contents.
+    let again = cache.get_or_insert(&conv, &filter);
+    assert_eq!((cache.hits, cache.misses), (1, 1));
+    assert_eq!(*cached, *again);
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn key_invalidates_on_filter_contents() {
+    let conv = conv(32, 32, 8, 64);
+    let p = conv.problem;
+    let filter = Tensor4::random(LayoutKind::Kcrs, [p.k, p.c, 3, 3], -1.0, 1.0, 4);
+    let mut perturbed = filter.clone();
+    // One ULP-level change to one weight must produce a different key and a
+    // fresh transform.
+    let old = perturbed.get([0, 0, 0, 0]);
+    perturbed.set([0, 0, 0, 0], f32::from_bits(old.to_bits() ^ 1));
+    assert_ne!(
+        TransformCache::key(&p, &filter),
+        TransformCache::key(&p, &perturbed),
+        "key must track exact filter bits"
+    );
+    let mut cache = TransformCache::new();
+    cache.get_or_insert(&conv, &filter);
+    cache.get_or_insert(&conv, &perturbed);
+    assert_eq!(cache.misses, 2, "changed weights must not replay stale F̂");
+    assert_eq!(cache.len(), 2);
+}
+
+#[test]
+fn key_invalidates_on_shape_and_tile() {
+    let c = 32u32;
+    let k = 64u32;
+    let filter = vec![0.5f32; (c * 9 * k) as usize];
+    let base = transform_cache_key(c, k, TRANSFORM_TILE, &filter);
+    // Transform tile change (e.g. a future F(4×4) fused variant) moves the
+    // key even for identical bytes.
+    let other_tile = transform_cache_key(c, k, TRANSFORM_TILE + 2, &filter);
+    assert_ne!(base.hex(), other_tile.hex());
+    // C/K swap with the same flat length moves the key.
+    let swapped = transform_cache_key(k, c, TRANSFORM_TILE, &filter);
+    assert_ne!(base.hex(), swapped.hex());
+    // Deterministic across calls.
+    assert_eq!(
+        base.hex(),
+        transform_cache_key(c, k, TRANSFORM_TILE, &filter).hex()
+    );
+}

@@ -147,6 +147,30 @@ pub fn transformed_filter_len(c_dim: u32, k_dim: u32) -> usize {
     (c_dim * 16 * k_dim) as usize
 }
 
+/// Output-tile extent of the transform this kernel computes: `F(2×2,3×3)`
+/// maps each 3×3 filter tile to a 4×4 transformed tile.
+pub const TRANSFORM_TILE: u32 = 4;
+
+/// Content address of a hoisted transformed filter: a pure function of the
+/// transform tile extent, the `(C, K)` shape, and the exact bit patterns of
+/// the CRSK filter data. The network runtime's transform cache keys on this,
+/// so changing any filter byte — or switching to a different transform tile
+/// — invalidates the cached `F̂` rather than silently reusing it.
+pub fn transform_cache_key(c_dim: u32, k_dim: u32, tile: u32, filter: &[f32]) -> gpusim::Digest {
+    assert_eq!(
+        filter.len(),
+        (c_dim * 9 * k_dim) as usize,
+        "filter must be the CRSK array for (C, K)"
+    );
+    let mut d = gpusim::Digest::new();
+    d.str("kernels/filter-transform-cache/v1");
+    d.u32(tile).u32(c_dim).u32(k_dim);
+    for &v in filter {
+        d.u32(v.to_bits());
+    }
+    d
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +271,37 @@ mod tests {
     #[should_panic(expected = "multiple of 256")]
     fn rejects_ragged_shapes() {
         let _ = emit_filter_transform(3, 100);
+    }
+
+    #[test]
+    fn cache_key_tracks_contents_shape_and_tile() {
+        let (c_dim, k_dim) = (2u32, 8u32);
+        let filt: Vec<f32> = (0..(c_dim * 9 * k_dim) as usize)
+            .map(|i| i as f32 * 0.25)
+            .collect();
+        let base = transform_cache_key(c_dim, k_dim, TRANSFORM_TILE, &filt).hex();
+        // Deterministic.
+        assert_eq!(
+            base,
+            transform_cache_key(c_dim, k_dim, TRANSFORM_TILE, &filt).hex()
+        );
+        // Any filter bit moves the key — including sign-of-zero flips that
+        // compare equal as floats.
+        let mut flipped = filt.clone();
+        flipped[0] = -0.0;
+        assert_ne!(
+            base,
+            transform_cache_key(c_dim, k_dim, TRANSFORM_TILE, &flipped).hex()
+        );
+        // Tile extent moves the key.
+        assert_ne!(
+            base,
+            transform_cache_key(c_dim, k_dim, TRANSFORM_TILE + 2, &filt).hex()
+        );
+        // Shape moves the key even over identical bytes (C/K swap).
+        assert_ne!(
+            base,
+            transform_cache_key(k_dim, c_dim, TRANSFORM_TILE, &filt).hex()
+        );
     }
 }

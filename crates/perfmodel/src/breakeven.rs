@@ -32,6 +32,15 @@ pub fn nonfused_f4_time(dev: &DeviceSpec, n: f64, c: f64, h: f64, w: f64, k: f64
     compute + traffic
 }
 
+/// Whether the non-fused `F(4×4)` pipeline is worth probing at output
+/// channel count `k` on `dev`: below the break-even `K` the fused `F(2×2)`
+/// kernel provably wins under the §8.1 model, so candidate-set builders
+/// (the serve planner, the network-graph selector) prune it instead of
+/// spending probe runs on a guaranteed loser.
+pub fn nonfused_viable(dev: &DeviceSpec, k: f64) -> bool {
+    k >= break_even_k(dev)
+}
+
 /// The K (= C) at which the two strategies tie, for any layer shape — the
 /// §8.1 analysis (the spatial extent cancels out of the model).
 pub fn break_even_k(dev: &DeviceSpec) -> f64 {
@@ -55,6 +64,23 @@ mod tests {
         let t = break_even_k(&DeviceSpec::rtx2070());
         assert!((v - 129.0).abs() < 5.0, "V100 break-even {v}");
         assert!((t - 127.0).abs() < 5.0, "RTX2070 break-even {t}");
+    }
+
+    #[test]
+    fn viability_follows_break_even() {
+        for dev in [DeviceSpec::v100(), DeviceSpec::rtx2070()] {
+            let be = break_even_k(&dev);
+            assert!(!nonfused_viable(&dev, be - 1.0));
+            assert!(nonfused_viable(&dev, be + 1.0));
+            // Table 1: Conv2 prunes the nonfused pipeline, Conv4/5 keep it.
+            assert!(!nonfused_viable(&dev, 64.0));
+            assert!(nonfused_viable(&dev, 256.0));
+            assert!(nonfused_viable(&dev, 512.0));
+        }
+        // Conv3 (K=128) straddles the two devices' break-evens: pruned on
+        // V100 (≈129), admitted on RTX 2070 (≈127).
+        assert!(!nonfused_viable(&DeviceSpec::v100(), 128.0));
+        assert!(nonfused_viable(&DeviceSpec::rtx2070(), 128.0));
     }
 
     #[test]

@@ -38,7 +38,7 @@ use gpusim::{
     time_kernel_device, BatchTimer, DeviceOptions, DeviceSpec, Digest, Gpu, TimingOptions,
 };
 use kernels::{EmitterParams, FusedConfig, FusedKernel};
-use perfmodel::{break_even_k, BottleneckReport};
+use perfmodel::{break_even_k, nonfused_viable, BottleneckReport};
 use sass::island::{run_islands, IslandConfig, Priors, SeedKind};
 use sass::tune::TuneRegion;
 use sass::Module;
@@ -537,7 +537,7 @@ impl Planner {
         }
         algos.push(Algo::CudnnWinograd);
         algos.push(Algo::ImplicitPrecompGemm);
-        if f64::from(class.k) >= break_even_k(&self.device) {
+        if nonfused_viable(&self.device, f64::from(class.k)) {
             algos.push(Algo::WinogradNonfused);
         }
         algos
